@@ -1,0 +1,40 @@
+"""A1 — dimensionality ablation (§II's 10k-vs-20k/30k remark).
+
+Paper: "While dimensions of 20,000 or 30,000 share similar properties,
+through informal experiments, we didn't see much improvement by using
+larger vectors."  We sweep the Hamming LOOCV accuracy over k and assert
+the plateau: accuracy saturates well before the largest dimensionality.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_dimension_ablation
+from repro.eval.tables import ablation_tables
+
+
+def _dims():
+    if os.environ.get("REPRO_BENCH_SCALE", "bench") == "paper":
+        return (1_000, 2_000, 5_000, 10_000, 20_000)
+    return (256, 1_024, 4_096, 8_192)
+
+
+def test_dimension_plateau(benchmark, config, datasets):
+    dims = _dims()
+    results = benchmark.pedantic(
+        lambda: run_dimension_ablation(dims, config, datasets=datasets),
+        rounds=1,
+        iterations=1,
+    )
+    rows = "\n".join(f"  dim={k:>6d}  acc={v:.1%}" for k, v in results.items())
+    print("\nHamming LOOCV vs dimensionality (pima_r):\n" + rows)
+
+    accs = np.array([results[d] for d in dims])
+    # Shape 1: all dimensionalities land in a plausible band.
+    assert np.all((accs > 0.55) & (accs <= 1.0))
+    # Shape 2 (the paper's plateau): the largest dim is no more than a
+    # couple of points better than the mid-range dim.
+    mid = accs[len(accs) // 2]
+    assert accs[-1] - mid < 0.05

@@ -1,0 +1,79 @@
+"""K1 — HPC kernel microbenchmarks.
+
+Throughput of the primitives everything else is built on, at the paper's
+scale (10,000-bit hypervectors, Pima/Sylhet-sized batches):
+
+* packed pairwise Hamming (the LOOCV hot loop);
+* level-encoder batch encoding;
+* majority-vote bundling;
+* pack/unpack conversion at the ML-model boundary.
+
+These are proper pytest-benchmark measurements (multiple rounds), unlike
+the table benches which run the full experiment once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bundling import majority_vote_batch
+from repro.core.distance import pairwise_hamming
+from repro.core.encoding import LevelEncoder
+from repro.core.hypervector import pack_bits, random_packed, unpack_bits
+from repro.core.records import RecordEncoder
+from repro.data.pima import load_pima_r
+
+DIM = 10_000
+N = 392  # Pima R size
+
+
+@pytest.fixture(scope="module")
+def packed_batch():
+    return random_packed(N, DIM, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pima():
+    return load_pima_r(seed=2023)
+
+
+def test_pairwise_hamming_loocv_matrix(benchmark, packed_batch):
+    """Full 392x392x10k distance matrix — the entire LOOCV cost."""
+    D = benchmark(pairwise_hamming, packed_batch)
+    assert D.shape == (N, N)
+    assert np.all(np.diag(D) == 0)
+
+
+def test_pairwise_hamming_larger_batch(benchmark):
+    big = random_packed(1024, DIM, seed=1)
+    D = benchmark(pairwise_hamming, big)
+    assert D.shape == (1024, 1024)
+
+
+def test_level_encoder_batch(benchmark, rng_values=None):
+    enc = LevelEncoder(dim=DIM, seed=0).fit([0.0, 1.0])
+    values = np.linspace(0, 1, N)
+    out = benchmark(enc.encode_batch, values)
+    assert out.shape[0] == N
+
+
+def test_record_encoder_pima(benchmark, pima):
+    """Whole-dataset encoding: 392 patients x 8 features -> 10k bits."""
+    enc = RecordEncoder(specs=pima.specs, dim=DIM, seed=0).fit(pima.X)
+    packed = benchmark(enc.transform, pima.X)
+    assert packed.shape[0] == pima.n_samples
+
+
+def test_majority_vote_batch(benchmark):
+    stack = random_packed((N, 8), DIM, seed=2)
+    out = benchmark(majority_vote_batch, stack, DIM)
+    assert out.shape[0] == N
+
+
+def test_pack_unpack_roundtrip(benchmark):
+    bits = (np.random.default_rng(0).random((N, DIM)) < 0.5).astype(np.uint8)
+
+    def roundtrip():
+        return unpack_bits(pack_bits(bits), DIM)
+
+    out = benchmark(roundtrip)
+    assert out.shape == (N, DIM)

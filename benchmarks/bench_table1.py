@@ -1,0 +1,48 @@
+"""T1 — Table I: Pima feature distribution per class.
+
+Regenerates the paper's Table I (per-class mean and range of the eight
+Pima R features) and checks the calibration of the synthetic substrate
+against the published statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.pima import generate_pima, load_pima_r
+from repro.eval.tables import table1
+
+# Paper Table I: feature -> (positive mean, negative mean)
+PAPER_MEANS = {
+    "age": (36, 28),
+    "pregnancies": (4, 3),
+    "glucose": (145, 111),
+    "bmi": (36, 32),
+    "skin_thickness": (33, 27),
+    "insulin": (207, 130),
+    "dpf": (0.6, 0.47),
+    "blood_pressure": (74, 69),
+}
+
+
+def regenerate():
+    ds = load_pima_r(seed=2023)
+    return ds, table1(ds)
+
+
+def test_table1_regeneration(benchmark):
+    ds, text = benchmark(regenerate)
+    print("\n" + text)
+    # Calibration: every class-conditional mean within 15% of Table I.
+    for feat, (pos_mean, neg_mean) in PAPER_MEANS.items():
+        j = ds.feature_names.index(feat)
+        got_pos = ds.X[ds.y == 1, j].mean()
+        got_neg = ds.X[ds.y == 0, j].mean()
+        assert abs(got_pos - pos_mean) / pos_mean < 0.15, (feat, got_pos)
+        assert abs(got_neg - neg_mean) / neg_mean < 0.15, (feat, got_neg)
+    # The paper's complete-case class counts are exact.
+    assert ds.n_positive == 130 and ds.n_negative == 262
+
+
+def test_pima_generation_speed(benchmark):
+    ds = benchmark(lambda: generate_pima(seed=0))
+    assert ds.n_samples == 768

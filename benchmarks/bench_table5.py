@@ -1,0 +1,43 @@
+"""T5 — Table V: held-out metrics on Sylhet (90/10 split) + Hamming row.
+
+Paper reference: Random Forest + hypervectors wins (96.79% accuracy,
+F1 0.973); the Hamming model alone reaches 95.96% with precision 0.984 —
+"accuracy that rivaled iterative approaches" at a fraction of the cost.
+"""
+
+import pytest
+
+from repro.eval.experiments import MODEL_ORDER, run_table45
+from repro.eval.tables import table45
+
+
+def test_table5_regeneration(benchmark, config, datasets):
+    results = benchmark.pedantic(
+        lambda: run_table45("sylhet", config, datasets), rounds=1, iterations=1
+    )
+    print("\n" + table45(results, "Table V - Sylhet test metrics"))
+
+    # Hamming row included, hypervector-side only (as in the paper).
+    assert "Hamming" in results
+    assert set(results["Hamming"]) == {"hypervectors"}
+
+    # Shape 1: the pure-HDC Hamming model rivals the ML roster (paper:
+    # 95.96% vs the 96.79% best).  Require it within 10 points of best.
+    best = max(
+        reps["hypervectors"]["accuracy"]
+        for name, reps in results.items()
+        if name != "Hamming"
+    )
+    ham = results["Hamming"]["hypervectors"]["accuracy"]
+    assert ham > best - 0.10
+
+    # Shape 2: Sylhet is an easy dataset — everything is strong (paper:
+    # worst cell 83%).  The floor only binds at bench/paper scale; the
+    # fast smoke preset truncates SVC/SGD iterations too hard to hold it.
+    floor = 0.75 if config.dim >= 4096 else 0.65
+    for name, reps in results.items():
+        for rep, report in reps.items():
+            assert report["accuracy"] > floor, (name, rep)
+
+    # Shape 3: Hamming precision is high (paper: 0.984).
+    assert results["Hamming"]["hypervectors"]["precision"] > 0.8

@@ -1,0 +1,53 @@
+"""Shared benchmark configuration.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``bench`` (default) — 4096-bit hypervectors, reduced repeats; every
+  table regenerates in tens of seconds and preserves the paper's
+  qualitative shape (who wins, roughly by how much).
+* ``paper`` — the full 10,000-bit / 10-fold / 10-repeat protocol used to
+  fill EXPERIMENTS.md (minutes per table).
+* ``fast``  — the test-suite preset (seconds; for smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig, default_datasets
+
+
+def bench_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    if scale == "fast":
+        return ExperimentConfig.fast()
+    if scale == "bench":
+        return replace(
+            ExperimentConfig.paper(),
+            dim=4096,
+            n_folds=5,
+            nn_repeats=3,
+            nn_epochs=300,
+            boosted_estimators=30,
+            forest_estimators=60,
+            sgd_max_iter=40,
+            svc_max_iter=40,
+        )
+    raise ValueError(
+        f"REPRO_BENCH_SCALE must be fast|bench|paper, got {scale!r}"
+    )
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def datasets(config):
+    return default_datasets(config)

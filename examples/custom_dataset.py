@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Bring your own data: CSV -> FeatureSpec -> hypervectors -> model grid.
+
+Shows the integration path a downstream user follows with their own
+tabular clinical data:
+
+1. write/load a CSV (here we synthesise a small cardiovascular-style
+   table so the example is self-contained);
+2. declare per-column :class:`FeatureSpec` (or let the encoder infer);
+3. encode, then compare the paper's model roster on raw features vs
+   hypervectors with 5-fold cross-validation.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import csv
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import FeatureSpec, RecordEncoder
+from repro.eval import cross_validate
+from repro.ml import KNeighborsClassifier, LogisticRegression, RandomForestClassifier, SGDClassifier
+from repro.ml.pipeline import ScaledClassifier
+
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+DIM = 1024 if FAST else 8192
+SEED = 11
+
+COLUMNS = ["age", "resting_bp", "cholesterol", "max_heart_rate", "smoker", "exercise_angina"]
+
+
+def synthesize_csv(path: str, n: int = 300) -> None:
+    """Write a small synthetic cardio-risk CSV (stands in for user data)."""
+    rng = np.random.default_rng(SEED)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(COLUMNS + ["label"])
+        for _ in range(n):
+            age = rng.uniform(30, 80)
+            bp = rng.normal(125 + 0.3 * (age - 50), 12)
+            chol = rng.normal(210 + 0.5 * (age - 50), 30)
+            hr = rng.normal(175 - 0.8 * (age - 30), 12)
+            smoker = int(rng.random() < 0.3)
+            angina = int(rng.random() < 0.2 + 0.002 * (age - 30))
+            logit = (
+                0.05 * (age - 55) + 0.03 * (bp - 130) + 0.01 * (chol - 220)
+                - 0.02 * (hr - 150) + 0.9 * smoker + 1.2 * angina
+                + rng.normal(0, 0.8)
+            )
+            label = int(logit > 0)
+            writer.writerow(
+                [f"{age:.0f}", f"{bp:.0f}", f"{chol:.0f}", f"{hr:.0f}", smoker, angina, label]
+            )
+
+
+def load_csv(path: str):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    X = np.array([[float(r[c]) for c in COLUMNS] for r in rows])
+    y = np.array([int(r["label"]) for r in rows])
+    return X, y
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "cardio.csv")
+        synthesize_csv(path)
+        X, y = load_csv(path)
+    print(f"Loaded {X.shape[0]} rows x {X.shape[1]} columns "
+          f"({int(y.sum())} positive)")
+
+    # Declare the column semantics (continuous vs yes/no) explicitly.
+    specs = [
+        FeatureSpec("age", "linear"),
+        FeatureSpec("resting_bp", "linear"),
+        FeatureSpec("cholesterol", "linear"),
+        FeatureSpec("max_heart_rate", "linear"),
+        FeatureSpec("smoker", "binary"),
+        FeatureSpec("exercise_angina", "binary"),
+    ]
+    encoder = RecordEncoder(specs, dim=DIM, seed=SEED).fit(X)
+    H = encoder.transform_dense(X).astype(float)
+    print(f"Encoded to {DIM}-bit hypervectors\n")
+
+    roster = {
+        "Random Forest": lambda: RandomForestClassifier(n_estimators=60, random_state=SEED),
+        "KNN": lambda: ScaledClassifier(KNeighborsClassifier()),
+        "Logistic Regression": lambda: ScaledClassifier(LogisticRegression()),
+        "SGD": lambda: ScaledClassifier(SGDClassifier(max_iter=30, random_state=SEED)),
+    }
+    hv_roster = {
+        "Random Forest": lambda: RandomForestClassifier(n_estimators=60, random_state=SEED),
+        "KNN": lambda: KNeighborsClassifier(),
+        "Logistic Regression": lambda: LogisticRegression(),
+        "SGD": lambda: SGDClassifier(max_iter=30, random_state=SEED),
+    }
+
+    print(f"{'Model':22s}  {'features':>9s}  {'hypervectors':>13s}")
+    for name in roster:
+        acc_f = cross_validate(roster[name](), X, y, n_splits=5, seed=SEED).mean_test
+        acc_h = cross_validate(hv_roster[name](), H, y, n_splits=5, seed=SEED).mean_test
+        print(f"{name:22s}  {acc_f:9.1%}  {acc_h:13.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Beyond tabular data: HDna-style sequence classification.
+
+The paper motivates HDC with its bioinformatics track record — Imani et
+al.'s HDna classifies DNA with >99% accuracy using n-gram hypervector
+profiles.  This example shows that the same library primitives (item
+memory, permutation, binding, bundling, prototype classification) cover
+that workload too:
+
+1. synthesise two "gene families" that differ in motif statistics;
+2. encode every sequence as a bundle of permuted-bound 3-grams;
+3. build one profile hypervector per family and classify held-out
+   sequences by nearest profile.
+
+Run:  python examples/dna_ngram_screening.py
+      REPRO_EXAMPLE_FAST=1 python examples/dna_ngram_screening.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import Hypervector, NGramEncoder
+from repro.core.classifier import PrototypeClassifier
+from repro.eval import classification_report
+
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+DIM = 2048 if FAST else 10_000
+SEED = 7
+N_TRAIN, N_TEST = (40, 20) if FAST else (120, 60)
+SEQ_LEN = 60
+
+FAMILIES = {
+    "promoter-like": ["TATAAT", "TTGACA"],   # canonical -10 / -35 boxes
+    "repeat-rich": ["CAGCAG", "GCGGCG"],     # triplet-repeat expansions
+}
+
+
+def sample_family(motifs, n, rng) -> list:
+    """Random backbone with 2-3 family motifs inserted at random offsets."""
+    seqs = []
+    for _ in range(n):
+        body = list(rng.choice(list("ACGT"), size=SEQ_LEN))
+        for _ in range(int(rng.integers(2, 4))):
+            motif = motifs[int(rng.integers(0, len(motifs)))]
+            pos = int(rng.integers(0, SEQ_LEN - len(motif)))
+            body[pos : pos + len(motif)] = list(motif)
+        seqs.append("".join(body))
+    return seqs
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    enc = NGramEncoder("ACGT", n=3, dim=DIM, seed=SEED)
+
+    names = list(FAMILIES)
+    train, y_train, test, y_test = [], [], [], []
+    for label, (family, motifs) in enumerate(FAMILIES.items()):
+        train += sample_family(motifs, N_TRAIN, rng)
+        y_train += [label] * N_TRAIN
+        test += sample_family(motifs, N_TEST, rng)
+        y_test += [label] * N_TEST
+    y_train, y_test = np.array(y_train), np.array(y_test)
+
+    print(f"Encoding {len(train)} training and {len(test)} test sequences "
+          f"as {DIM}-bit 3-gram bundles...")
+    H_train = enc.encode_batch(train)
+    H_test = enc.encode_batch(test)
+
+    clf = PrototypeClassifier(dim=DIM).fit(H_train, y_train)
+    pred = clf.predict(H_test)
+    report = classification_report(y_test, pred)
+    print(f"\nNearest-profile accuracy: {report['accuracy']:.1%} "
+          f"(precision {report['precision']:.3f}, recall {report['recall']:.3f})")
+
+    # Show the geometry: profiles are near-orthogonal, members are closer
+    # to their own profile.
+    p0 = Hypervector(clf.prototypes_[0], DIM)
+    p1 = Hypervector(clf.prototypes_[1], DIM)
+    member = Hypervector(H_test[0], DIM)
+    print(f"profile-0 vs profile-1 distance: {p0.normalized_hamming(p1):.3f}")
+    print(f"a family-0 sequence vs profile-0: {member.normalized_hamming(p0):.3f}, "
+          f"vs profile-1: {member.normalized_hamming(p1):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Longitudinal EHR screening: detecting risk *trends* across visits.
+
+§III-B: "The model can help assess if the risk of developing diabetes has
+increased, decreased, or remained unchanged and inform doctors on how
+effective their management or intervention was."  This example closes
+that loop end-to-end with the simulated EHR substrate:
+
+1. train the HDC prototype risk model on cross-sectional Pima M;
+2. simulate a follow-up cohort with mixed clinical courses
+   (deteriorating / improving / stable latent risk);
+3. score every visit, classify each patient's trend from the score
+   trajectory, and grade the result against the simulator's hidden
+   ground truth.
+
+Run:  python examples/ehr_longitudinal.py
+      REPRO_EXAMPLE_FAST=1 python examples/ehr_longitudinal.py
+"""
+
+import os
+from collections import Counter
+
+import numpy as np
+
+from repro.core import HammingClassifier, RecordEncoder
+from repro.data import load_pima_m
+from repro.data.ehr import simulate_cohort
+
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+DIM = 1024 if FAST else 10_000
+SEED = 7
+N_PATIENTS = 30 if FAST else 60
+TREND_MARGIN = 0.04  # score change below this = "stable"
+
+
+def main() -> None:
+    ds = load_pima_m(seed=2023)
+    encoder = RecordEncoder(specs=ds.specs, dim=DIM, seed=SEED).fit(ds.X)
+    # k-NN vote fraction as the risk score: its dynamic range across the
+    # latent risk spectrum is ~3x that of the prototype distance ratio,
+    # so visit-to-visit trends stand out from encoding noise.
+    knn = HammingClassifier(dim=DIM, n_neighbors=25).fit(encoder.transform(ds.X), ds.y)
+    pos_col = int(np.flatnonzero(knn.classes_ == 1)[0])
+
+    def risk_score(rows: np.ndarray) -> np.ndarray:
+        return knn.predict_proba(encoder.transform(rows))[:, pos_col]
+
+    cohort = simulate_cohort(
+        N_PATIENTS, n_visits=6, deteriorating_fraction=0.35,
+        improving_fraction=0.25, seed=SEED,
+    )
+    truth = Counter(t.trend() for t in cohort)
+    print(f"Simulated {N_PATIENTS} patients x 6 visits "
+          f"(ground truth: {dict(truth)})\n")
+
+    confusion: Counter = Counter()
+    for t in cohort:
+        scores = risk_score(t.visits)
+        # Robust trend: least-squares slope over the whole trajectory
+        # (last-minus-first is too sensitive to single-visit noise).
+        slope = float(np.polyfit(np.arange(len(scores)), scores, 1)[0])
+        delta = slope * (len(scores) - 1)
+        called = (
+            "rising" if delta > TREND_MARGIN
+            else "falling" if delta < -TREND_MARGIN
+            else "stable"
+        )
+        confusion[(t.trend(), called)] += 1
+
+    trends = ("rising", "stable", "falling")
+    header = "truth / called"
+    print(f"{header:>15s}  " + "  ".join(f"{c:>8s}" for c in trends))
+    for actual in trends:
+        row = "  ".join(f"{confusion[(actual, called)]:8d}" for called in trends)
+        print(f"{actual:>15s}  {row}")
+
+    hits = sum(confusion[(c, c)] for c in trends)
+    print(f"\nTrend-detection accuracy: {hits / N_PATIENTS:.1%}")
+    print(
+        "A clinician reading the score trajectory sees deterioration and"
+        " intervention response without any new model training — the"
+        " §III-B 'regular follow-up visit' workflow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: encode a diabetes dataset as hypervectors and classify.
+
+Walks the paper's pipeline end-to-end in ~30 lines of API:
+
+1. load the Pima R dataset (complete cases);
+2. encode every patient as a 10,000-bit hypervector (§II-B);
+3. evaluate the pure-HDC Hamming model with leave-one-out CV (§II-C);
+4. feed the same hypervectors to a Random Forest (§II-D hybrid) and
+   compare against the raw-feature baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RecordEncoder
+from repro.data import load_pima_r
+from repro.eval import leave_one_out_hamming, train_test_split, classification_report
+from repro.ml import RandomForestClassifier
+
+DIM = 10_000
+SEED = 7
+
+
+def main() -> None:
+    # 1. Data: 392 complete-case patients, 8 clinical features.
+    ds = load_pima_r(seed=2023)
+    print(ds.class_summary())
+
+    # 2. Hypervector encoding: one independently-seeded level encoder per
+    #    feature, bundled per patient with bitwise majority (ties -> 1).
+    encoder = RecordEncoder(specs=ds.specs, dim=DIM, seed=SEED).fit(ds.X)
+    packed = encoder.transform(ds.X)          # bit-packed, for Hamming
+    dense = encoder.transform_dense(ds.X)     # 0/1 matrix, for ML models
+    print(f"\nEncoded {ds.n_samples} patients into {DIM}-bit hypervectors")
+    print(encoder.describe())
+
+    # 3. Pure HDC: nearest neighbour under Hamming distance, leave-one-out.
+    loo = leave_one_out_hamming(packed, ds.y)
+    print(f"\nHamming-distance model (LOOCV): {loo.accuracy:.1%} accuracy")
+    print("  " + ", ".join(f"{k}={v:.3f}" for k, v in loo.report.items()))
+
+    # 4. Hybrid: hypervectors as input features for a Random Forest,
+    #    versus the same model on the raw clinical features.
+    X_tr, X_te, H_tr, H_te, y_tr, y_te = train_test_split(
+        ds.X, dense, ds.y, test_size=0.2, stratify=ds.y, seed=SEED
+    )
+    raw_rf = RandomForestClassifier(n_estimators=100, random_state=SEED).fit(X_tr, y_tr)
+    hv_rf = RandomForestClassifier(n_estimators=100, random_state=SEED).fit(H_tr, y_tr)
+    raw_report = classification_report(y_te, raw_rf.predict(X_te))
+    hv_report = classification_report(y_te, hv_rf.predict(H_te))
+
+    print("\nRandom Forest, held-out 20%:")
+    print(f"  raw features : acc={raw_report['accuracy']:.1%} f1={raw_report['f1']:.3f}")
+    print(f"  hypervectors : acc={hv_report['accuracy']:.1%} f1={hv_report['f1']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

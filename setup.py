@@ -1,0 +1,5 @@
+"""Legacy setup shim: offline environments without `wheel` cannot do PEP 660
+editable installs, so `pip install -e .` routes through setup.py develop."""
+from setuptools import setup
+
+setup()

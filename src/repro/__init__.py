@@ -1,0 +1,2 @@
+"""repro: HDC feature extraction for type-2 diabetes detection (IPDPSW 2023 reproduction)."""
+__version__ = "1.0.0"

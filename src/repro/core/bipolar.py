@@ -1,0 +1,161 @@
+"""Bipolar (±1) hypervector algebra — the paper's §II aside, implemented.
+
+§II notes that besides binary vectors, "ternary (with values of -1, 0 and
+1) and integer hypervectors could also be used".  This module provides
+that alternative representation so the ablation benches can compare it
+against the paper's binary default:
+
+* elements are int8 in {-1, +1} (the ternary 0 appears transiently as the
+  tie state of exact bundling before sign resolution);
+* **binding** is elementwise multiplication (self-inverse, like XOR);
+* **bundling** is elementwise sum followed by sign, with the same tie
+  rules as the binary majority vote;
+* **similarity** is the normalised dot product (cosine), related to
+  normalised Hamming distance ``h`` of the corresponding binary vectors
+  by ``cos = 1 - 2h``.
+
+Conversions to/from the packed binary representation map bit 1 ↔ +1 and
+bit 0 ↔ -1, making the two algebras exactly interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.hypervector import pack_bits, unpack_bits
+from repro.utils.rng import SeedLike, as_generator
+
+_TIE_RULES = ("one", "zero", "random")
+
+
+def random_bipolar(
+    shape, dim: int, seed: SeedLike = None
+) -> np.ndarray:
+    """I.i.d. uniform ±1 vectors of shape ``(*shape, dim)``, int8."""
+    rng = as_generator(seed)
+    if np.isscalar(shape):
+        shape = (int(shape),)
+    bits = rng.integers(0, 2, size=tuple(shape) + (dim,), dtype=np.int8)
+    return (2 * bits - 1).astype(np.int8)
+
+
+def check_bipolar(arr: np.ndarray, *, name: str = "hv") -> np.ndarray:
+    """Validate a ±1 array (any shape)."""
+    arr = np.asarray(arr)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer array, got {arr.dtype}")
+    vals = np.unique(arr)
+    if not set(vals.tolist()) <= {-1, 1}:
+        raise ValueError(f"{name} must contain only -1/+1, saw {vals.tolist()[:5]}")
+    return arr.astype(np.int8, copy=False)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise multiplication: the bipolar analogue of XOR binding."""
+    return (check_bipolar(a, name="a") * check_bipolar(b, name="b")).astype(np.int8)
+
+
+def bundle(
+    vectors: np.ndarray,
+    *,
+    tie: str = "one",
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sign-of-sum bundling over axis 0 (``(m, dim) -> (dim,)``).
+
+    Ties (zero sums, only possible for even ``m``) resolve like the
+    paper's binary majority vote: ``"one"`` → +1, ``"zero"`` → -1,
+    ``"random"`` → coin flip.
+    """
+    vectors = check_bipolar(vectors, name="vectors")
+    if vectors.ndim != 2:
+        raise ValueError(f"vectors must be (m, dim), got shape {vectors.shape}")
+    if vectors.shape[0] == 0:
+        raise ValueError("cannot bundle zero vectors")
+    if tie not in _TIE_RULES:
+        raise ValueError(f"tie must be one of {_TIE_RULES}, got {tie!r}")
+    total = vectors.sum(axis=0, dtype=np.int64)
+    out = np.sign(total).astype(np.int8)
+    tied = out == 0
+    if tied.any():
+        if tie == "one":
+            out[tied] = 1
+        elif tie == "zero":
+            out[tied] = -1
+        else:
+            rng = as_generator(seed)
+            out[tied] = (
+                2 * rng.integers(0, 2, size=int(tied.sum()), dtype=np.int8) - 1
+            )
+    return out
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Normalised dot product between corresponding rows (broadcasts)."""
+    a = check_bipolar(a, name="a").astype(np.float64)
+    b = check_bipolar(b, name="b").astype(np.float64)
+    dim = a.shape[-1]
+    return (a * b).sum(axis=-1) / dim
+
+
+def pairwise_cosine(A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pairwise cosine similarity matrix via one GEMM."""
+    A = check_bipolar(A, name="A").astype(np.float32)
+    Bf = A if B is None else check_bipolar(B, name="B").astype(np.float32)
+    if A.ndim != 2 or Bf.ndim != 2:
+        raise ValueError("operands must be 2-d (n, dim)")
+    if A.shape[1] != Bf.shape[1]:
+        raise ValueError(f"dim mismatch: {A.shape[1]} vs {Bf.shape[1]}")
+    return (A @ Bf.T).astype(np.float64) / A.shape[1]
+
+
+# ----------------------------------------------------------------------
+# Conversions: binary packed <-> bipolar dense
+# ----------------------------------------------------------------------
+def from_packed(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Packed binary batch -> bipolar int8 batch (bit 1 -> +1, 0 -> -1)."""
+    bits = unpack_bits(np.asarray(packed, dtype=np.uint64), dim)
+    return (2 * bits.astype(np.int8) - 1).astype(np.int8)
+
+
+def to_packed(bipolar: np.ndarray) -> np.ndarray:
+    """Bipolar batch -> packed binary batch (+1 -> bit 1, -1 -> bit 0)."""
+    arr = check_bipolar(bipolar, name="bipolar")
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    bits = (arr > 0).astype(np.uint8)
+    return pack_bits(bits)
+
+
+def hamming_from_cosine(cos: np.ndarray, dim: int) -> np.ndarray:
+    """Exact identity: normalised Hamming ``h = (1 - cos) / 2`` times dim."""
+    return np.round((1.0 - np.asarray(cos)) / 2.0 * dim).astype(np.int64)
+
+
+class BipolarLevelEncoder:
+    """Bipolar twin of :class:`repro.core.encoding.LevelEncoder`.
+
+    Implemented by delegation: the binary level encoder produces the
+    packed vector, which is mapped to ±1.  All the §II-B geometry
+    (nesting, orthogonal extremes, linear interpolation) carries over
+    because the bit↔sign mapping is an isometry between
+    (binary, Hamming) and (bipolar, cosine).
+    """
+
+    def __init__(self, dim: int = 10_000, seed: SeedLike = None) -> None:
+        from repro.core.encoding import LevelEncoder
+
+        self._inner = LevelEncoder(dim=dim, seed=seed)
+        self.dim = dim
+
+    def fit(self, values: Sequence[float]) -> "BipolarLevelEncoder":
+        self._inner.fit(values)
+        return self
+
+    def encode(self, value: float) -> np.ndarray:
+        return from_packed(self._inner.encode(value)[None, :], self.dim)[0]
+
+    def encode_batch(self, values: Sequence[float]) -> np.ndarray:
+        return from_packed(self._inner.encode_batch(values), self.dim)

@@ -1,0 +1,174 @@
+"""Pure-HDC classifiers (S4) — §II-C's Hamming-distance model.
+
+Two models:
+
+* :class:`HammingClassifier` — the paper's model: store every training
+  record hypervector; classify a query as the class of its nearest
+  neighbour under Hamming distance (``n_neighbors=1`` default; k-NN
+  voting is an optional extension).
+* :class:`PrototypeClassifier` — the classic HDC "class hypervector"
+  variant (Kleyko et al.): bundle all training vectors of one class into a
+  single prototype with majority vote, then classify by nearest prototype.
+  Mentioned-adjacent in the HDC literature the paper builds on; included
+  as an extension and ablation baseline.
+
+Both accept either packed ``(n, words)`` uint64 batches (native) or dense
+0/1 matrices (auto-packed), so they slot into the same evaluation grid as
+the ML models.
+
+Leave-one-out evaluation (the paper's validation for this model) lives in
+:func:`repro.eval.crossval.leave_one_out_hamming`, which computes a single
+pairwise distance matrix instead of refitting n times — the algorithmic
+advantage §II-C highlights ("once the hypervectors are constructed there's
+no model that needs to be built").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bundling import majority_vote
+from repro.core.distance import pairwise_distance, pairwise_hamming
+from repro.core.hypervector import n_words, pack_bits
+from repro.ml.base import BaseEstimator, ClassifierMixin
+from repro.utils.validation import check_positive_int, column_or_1d
+
+
+def coerce_packed(X, dim: int) -> np.ndarray:
+    """Accept packed uint64 or dense 0/1 input; return packed ``(n, words)``."""
+    arr = np.asarray(X)
+    if arr.ndim != 2:
+        raise ValueError(f"X must be 2-d, got shape {arr.shape}")
+    if arr.dtype == np.uint64 and arr.shape[1] == n_words(dim):
+        # Treat as already packed — unless it is actually a dense 0/1 matrix
+        # whose width coincides with the word count (only possible for tiny
+        # dims; packed batches for real dims are far narrower than dense).
+        if dim > 64 or arr.shape[1] != dim:
+            return np.ascontiguousarray(arr)
+    if arr.shape[1] == dim:
+        vals = np.unique(arr)
+        if not set(vals.tolist()) <= {0, 1}:
+            raise ValueError("dense hypervector input must be 0/1")
+        return pack_bits(arr.astype(np.uint8), dim)
+    raise ValueError(
+        f"X width {arr.shape[1]} matches neither packed ({n_words(dim)}) nor "
+        f"dense ({dim}) layout for dim={dim}"
+    )
+
+
+class HammingClassifier(BaseEstimator, ClassifierMixin):
+    """Nearest-neighbour classification in Hamming space (§II-C).
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    n_neighbors:
+        1 reproduces the paper ("the known class of the closest
+        hypervector"); larger values majority-vote over the k nearest.
+    metric:
+        Distance metric name (see ``repro.core.distance.available_metrics``);
+        the paper uses ``"hamming"``.
+    block_rows:
+        Row blocking for the pairwise kernel (memory bound).
+    """
+
+    def __init__(
+        self,
+        dim: int = 10_000,
+        n_neighbors: int = 1,
+        metric: str = "hamming",
+        block_rows: int = 64,
+    ) -> None:
+        self.dim = check_positive_int(dim, "dim", minimum=2)
+        self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+        self.metric = metric
+        self.block_rows = check_positive_int(block_rows, "block_rows")
+
+    def fit(self, X, y) -> "HammingClassifier":
+        """Store the training hypervectors; no optimisation happens."""
+        packed = coerce_packed(X, self.dim)
+        y = column_or_1d(y)
+        if packed.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {packed.shape[0]} rows but y has {y.shape[0]}"
+            )
+        if packed.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds training size "
+                f"{packed.shape[0]}"
+            )
+        self.y_train_ = self._encode_labels(y)
+        self.X_train_ = packed
+        return self
+
+    def decision_distances(self, X) -> np.ndarray:
+        """Distance matrix from queries to every training record."""
+        self._check_fitted("X_train_")
+        packed = coerce_packed(X, self.dim)
+        return pairwise_distance(packed, self.X_train_, dim=self.dim, metric=self.metric)
+
+    def predict(self, X) -> np.ndarray:
+        dists = self.decision_distances(X)
+        if self.n_neighbors == 1:
+            idx = np.argmin(dists, axis=1)
+            return self._decode_labels(self.y_train_[idx])
+        order = np.argsort(dists, axis=1, kind="stable")[:, : self.n_neighbors]
+        votes = self.y_train_[order]
+        counts = np.apply_along_axis(
+            np.bincount, 1, votes, minlength=self.classes_.size
+        )
+        return self._decode_labels(np.argmax(counts, axis=1))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Neighbour-vote class frequencies (soft output for the grid)."""
+        dists = self.decision_distances(X)
+        order = np.argsort(dists, axis=1, kind="stable")[:, : self.n_neighbors]
+        votes = self.y_train_[order]
+        counts = np.apply_along_axis(
+            np.bincount, 1, votes, minlength=self.classes_.size
+        ).astype(np.float64)
+        return counts / counts.sum(axis=1, keepdims=True)
+
+
+class PrototypeClassifier(BaseEstimator, ClassifierMixin):
+    """Bundle-per-class HDC classifier (extension beyond the paper).
+
+    Training bundles all hypervectors of each class into one prototype by
+    bitwise majority; inference is nearest-prototype in Hamming space.
+    O(1) memory per class and a single distance row per query — the
+    cheapest possible HDC model, a useful lower anchor in ablations.
+    """
+
+    def __init__(self, dim: int = 10_000, tie: str = "one") -> None:
+        self.dim = check_positive_int(dim, "dim", minimum=2)
+        self.tie = tie
+
+    def fit(self, X, y) -> "PrototypeClassifier":
+        packed = coerce_packed(X, self.dim)
+        y = column_or_1d(y)
+        if packed.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {packed.shape[0]} rows but y has {y.shape[0]}")
+        encoded = self._encode_labels(y)
+        prototypes = []
+        for c in range(self.classes_.size):
+            members = packed[encoded == c]
+            prototypes.append(majority_vote(members, self.dim, tie=self.tie))
+        self.prototypes_ = np.stack(prototypes)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("prototypes_")
+        packed = coerce_packed(X, self.dim)
+        dists = pairwise_hamming(packed, self.prototypes_)
+        return self._decode_labels(np.argmin(dists, axis=1))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax over negative normalised distances (monotone surrogate)."""
+        self._check_fitted("prototypes_")
+        packed = coerce_packed(X, self.dim)
+        dists = pairwise_hamming(packed, self.prototypes_) / float(self.dim)
+        logits = -dists * 10.0  # temperature chosen so 0.5-vs-0.4 separates visibly
+        logits -= logits.max(axis=1, keepdims=True)
+        expd = np.exp(logits)
+        return expd / expd.sum(axis=1, keepdims=True)

@@ -1,0 +1,288 @@
+"""Feature-to-hypervector encoders (S2) — the paper's §II-B.
+
+Three encoders cover the paper's needs plus the ablation variants:
+
+* :class:`LevelEncoder` — the paper's **linear encoding** for continuous
+  features.  A random half-dense seed represents every value ``<= min(V)``;
+  a value ``t`` flips ``x = k (t - min) / (2 (max - min))`` bits, drawn
+  half from the seed's 1-positions and half from its 0-positions, so
+  density stays at one half and ``max(V)`` lands exactly orthogonal
+  (Hamming ``k/2``) to the seed.  Flip order is fixed once per feature, so
+  the family of level vectors is *nested*: ``d(enc(s), enc(t))``
+  grows linearly with ``|x(s) - x(t)|`` — neighbouring values are close,
+  distant values approach orthogonality, precisely the construction in
+  the paper.
+* :class:`BinaryEncoder` — for Sylhet's yes/no symptoms: a random seed for
+  0 and an orthogonal flip of it for 1.
+* :class:`CategoricalEncoder` — i.i.d. random hypervector per category
+  (classic item memory); used for ablations and non-ordinal features in
+  user datasets.
+
+All encoders are fitted objects with the ``fit`` / ``encode`` /
+``encode_batch`` contract and operate on *packed* uint64 hypervectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.hypervector import (
+    bit_positions,
+    exact_half_dense,
+    flip_bits,
+    n_words,
+    pack_bits,
+    unpack_bits,
+)
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+
+class EncoderNotFittedError(RuntimeError):
+    """Raised when ``encode`` is called before ``fit``."""
+
+
+class BaseEncoder:
+    """Common plumbing for scalar-feature encoders."""
+
+    def __init__(self, dim: int = 10_000, seed: SeedLike = None) -> None:
+        self.dim = check_positive_int(dim, "dim", minimum=2)
+        self.seed = seed
+        self._fitted = False
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise EncoderNotFittedError(
+                f"{type(self).__name__} must be fitted before encoding"
+            )
+
+    def encode(self, value) -> np.ndarray:
+        """Encode one scalar to a packed hypervector of shape ``(words,)``."""
+        raise NotImplementedError
+
+    def encode_batch(self, values: Sequence) -> np.ndarray:
+        """Encode a sequence of scalars to a packed ``(n, words)`` batch."""
+        values = np.asarray(values)
+        out = np.empty((values.shape[0], n_words(self.dim)), dtype=np.uint64)
+        for i, v in enumerate(values):
+            out[i] = self.encode(v)
+        return out
+
+
+class LevelEncoder(BaseEncoder):
+    """The paper's linear (level) encoding for continuous features.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality ``k`` (paper: 10,000).
+    seed:
+        Reproducibility seed; each feature gets its own encoder/seed so no
+        feature is biased toward another (paper: "Each feature has a
+        different seed hypervector").
+    levels:
+        Optional quantisation of the flip count.  ``None`` (default) keeps
+        the paper's continuous formula; an integer ``L`` snaps values to
+        ``L`` discrete levels first (common in the HDC literature, exposed
+        for the encoding ablation A2).
+    clip:
+        If True (default), out-of-range values at encode time clamp to
+        ``[min, max]``.  The paper specifies values below ``min`` map to
+        the seed; symmetric clamping above ``max`` keeps unseen data legal.
+
+    Notes
+    -----
+    ``fit`` draws the half-dense seed and then fixes two random
+    *flip schedules*: a permutation of the seed's one-positions and of its
+    zero-positions.  Encoding value ``t`` computes the paper's
+    ``x = k (t - min) / (2 (max - min))`` and flips the first
+    ``ceil(x/2)`` entries of each schedule (equal numbers of 1s and 0s, as
+    §II-B requires), yielding Hamming distance ``2*ceil(x/2) ~= x`` from
+    the seed and exact orthogonality at ``t = max``.
+    """
+
+    def __init__(
+        self,
+        dim: int = 10_000,
+        seed: SeedLike = None,
+        *,
+        levels: Optional[int] = None,
+        clip: bool = True,
+    ) -> None:
+        super().__init__(dim, seed)
+        if levels is not None:
+            levels = check_positive_int(levels, "levels", minimum=2)
+        self.levels = levels
+        self.clip = clip
+
+    def fit(self, values: Sequence[float]) -> "LevelEncoder":
+        """Learn ``min``/``max`` from training values and draw the schedules."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit LevelEncoder on an empty value list")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("LevelEncoder requires finite values; impute first")
+        self.min_ = float(values.min())
+        self.max_ = float(values.max())
+        rng = as_generator(self.seed)
+        self.seed_vector_ = exact_half_dense(self.dim, rng)
+        ones = bit_positions(self.seed_vector_, self.dim, 1)
+        zeros = bit_positions(self.seed_vector_, self.dim, 0)
+        self.flip_ones_ = rng.permutation(ones)
+        self.flip_zeros_ = rng.permutation(zeros)
+        self._fitted = True
+        return self
+
+    def flip_count(self, value: float) -> int:
+        """The paper's ``x`` for ``value``: total bits flipped from the seed."""
+        self._require_fitted()
+        span = self.max_ - self.min_
+        if span == 0.0:
+            return 0  # constant feature: everything maps to the seed
+        t = float(value)
+        if self.clip:
+            t = min(max(t, self.min_), self.max_)
+        elif not self.min_ <= t <= self.max_:
+            raise ValueError(
+                f"value {value} outside fitted range [{self.min_}, {self.max_}] "
+                f"with clip=False"
+            )
+        frac = (t - self.min_) / span
+        if self.levels is not None:
+            frac = round(frac * (self.levels - 1)) / (self.levels - 1)
+        # x = k * (t - min) / (2 * (max - min)); orthogonal (k/2) at t = max.
+        return int(round(self.dim * frac / 2.0))
+
+    def encode(self, value: float) -> np.ndarray:
+        self._require_fitted()
+        x = self.flip_count(value)
+        half = x // 2
+        odd = x - 2 * half
+        # Equal flips from 1-positions and 0-positions keeps density at 1/2;
+        # an odd x gives the extra flip to the zero schedule (tie toward 1,
+        # matching the paper's tie-breaking spirit).
+        positions = np.concatenate(
+            [self.flip_ones_[:half], self.flip_zeros_[: half + odd]]
+        )
+        return flip_bits(self.seed_vector_, self.dim, positions)
+
+    def encode_batch(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorised batch encoding.
+
+        Builds the dense seed once, then toggles each row's prefix of the
+        flip schedules with advanced indexing — no per-bit Python work.
+        """
+        self._require_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        counts = np.array([self.flip_count(v) for v in values], dtype=np.int64)
+        dense_seed = unpack_bits(self.seed_vector_[None, :], self.dim)[0]
+        dense = np.broadcast_to(dense_seed, (values.size, self.dim)).copy()
+        halves = counts // 2
+        odds = counts - 2 * halves
+        max_half = int(halves.max(initial=0))
+        max_zero = int((halves + odds).max(initial=0))
+        rows = np.arange(values.size)[:, None]
+        if max_half:
+            cols = np.broadcast_to(self.flip_ones_[:max_half], (values.size, max_half))
+            mask = np.arange(max_half)[None, :] < halves[:, None]
+            dense[np.broadcast_to(rows, cols.shape)[mask], cols[mask]] ^= 1
+        if max_zero:
+            cols = np.broadcast_to(self.flip_zeros_[:max_zero], (values.size, max_zero))
+            mask = np.arange(max_zero)[None, :] < (halves + odds)[:, None]
+            dense[np.broadcast_to(rows, cols.shape)[mask], cols[mask]] ^= 1
+        return pack_bits(dense, self.dim)
+
+
+class BinaryEncoder(BaseEncoder):
+    """Encoder for yes/no features (§II-B, Sylhet).
+
+    A random seed hypervector represents 0; 1 is represented by a vector
+    orthogonal to the seed, "generated by flipping an equal number of 1's
+    and 0's chosen randomly" — i.e. ``k/4`` one-bits and ``k/4`` zero-bits,
+    for a total Hamming distance of ``k/2``.
+    """
+
+    def fit(self, values: Optional[Sequence] = None) -> "BinaryEncoder":
+        rng = as_generator(self.seed)
+        if values is not None:
+            vals = np.unique(np.asarray(values))
+            extra = set(vals.tolist()) - {0, 1, 0.0, 1.0, False, True}
+            if extra:
+                raise ValueError(
+                    f"BinaryEncoder expects 0/1 values, saw {sorted(map(float, extra))}"
+                )
+        self.zero_vector_ = exact_half_dense(self.dim, rng)
+        ones = rng.permutation(bit_positions(self.zero_vector_, self.dim, 1))
+        zeros = rng.permutation(bit_positions(self.zero_vector_, self.dim, 0))
+        quarter = self.dim // 4
+        positions = np.concatenate([ones[:quarter], zeros[: self.dim // 2 - quarter]])
+        self.one_vector_ = flip_bits(self.zero_vector_, self.dim, positions)
+        self._fitted = True
+        return self
+
+    def encode(self, value) -> np.ndarray:
+        self._require_fitted()
+        v = int(value)
+        if v not in (0, 1):
+            raise ValueError(f"BinaryEncoder only encodes 0 or 1, got {value!r}")
+        return (self.one_vector_ if v else self.zero_vector_).copy()
+
+    def encode_batch(self, values: Sequence) -> np.ndarray:
+        self._require_fitted()
+        values = np.asarray(values)
+        as_int = values.astype(np.int64)
+        if not np.array_equal(as_int, values.astype(np.float64)):
+            raise ValueError("BinaryEncoder received non-integer values")
+        if np.any((as_int != 0) & (as_int != 1)):
+            raise ValueError("BinaryEncoder only encodes 0 or 1 values")
+        table = np.stack([self.zero_vector_, self.one_vector_])
+        return table[as_int]
+
+
+class CategoricalEncoder(BaseEncoder):
+    """Item-memory encoder: an i.i.d. random hypervector per category.
+
+    Categories are unordered, so unlike :class:`LevelEncoder` no proximity
+    structure is imposed — any two categories are near-orthogonal with
+    overwhelming probability at ``dim = 10k`` (Kanerva's concentration
+    argument quoted in §II).
+    """
+
+    def __init__(self, dim: int = 10_000, seed: SeedLike = None) -> None:
+        super().__init__(dim, seed)
+        self.table_: Dict[Hashable, np.ndarray] = {}
+
+    def fit(self, values: Sequence[Hashable]) -> "CategoricalEncoder":
+        rng = as_generator(self.seed)
+        self.table_ = {}
+        for v in values:
+            key = self._key(v)
+            if key not in self.table_:
+                self.table_[key] = exact_half_dense(self.dim, rng)
+        if not self.table_:
+            raise ValueError("cannot fit CategoricalEncoder on an empty value list")
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _key(value: Hashable) -> Hashable:
+        # Normalise numpy scalars so 1, 1.0 and np.int64(1) share an entry.
+        if isinstance(value, (np.integer, np.floating)):
+            return value.item()
+        return value
+
+    @property
+    def categories_(self) -> list:
+        self._require_fitted()
+        return list(self.table_)
+
+    def encode(self, value: Hashable) -> np.ndarray:
+        self._require_fitted()
+        key = self._key(value)
+        if key not in self.table_:
+            raise KeyError(
+                f"unseen category {value!r}; known: {sorted(map(str, self.table_))}"
+            )
+        return self.table_[key].copy()

@@ -1,0 +1,144 @@
+"""Per-feature saliency for HDC predictions (§III-B clinical need).
+
+A clinician shown a risk score wants to know *which* inputs drive it.
+Hypervector bits are anonymous, but the record encoder is compositional,
+so two faithful attribution mechanisms exist:
+
+* :func:`occlusion_saliency` — re-bundle the record with one feature left
+  out and measure how the classifier's positive-class probability moves.
+  A large drop means the feature was pushing the prediction.
+* :func:`substitution_saliency` — replace one feature's value with a
+  reference value (e.g. the healthy-population median) and re-encode;
+  this answers the counterfactual "what if this lab were normal?",
+  exactly the §III-B follow-up framing.
+
+Both operate on any fitted classifier with ``predict_proba`` over packed
+or dense hypervectors and on any fitted :class:`RecordEncoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.bundling import majority_vote_batch
+from repro.core.records import RecordEncoder
+from repro.utils.validation import check_array
+
+
+@dataclass(frozen=True)
+class Saliency:
+    """Attribution result for one record.
+
+    ``scores[i]`` is the change in positive-class probability caused by
+    removing/substituting feature ``i``: positive scores mean the feature
+    was pushing *toward* the positive (diabetic) class.
+    """
+
+    feature_names: List[str]
+    scores: np.ndarray
+    base_probability: float
+
+    def ranked(self) -> List[tuple]:
+        """(name, score) pairs, strongest absolute effect first."""
+        order = np.argsort(-np.abs(self.scores))
+        return [(self.feature_names[i], float(self.scores[i])) for i in order]
+
+    def __str__(self) -> str:
+        lines = [f"base P(positive) = {self.base_probability:.3f}"]
+        for name, score in self.ranked():
+            arrow = "+" if score >= 0 else "-"
+            lines.append(f"  {name:20s} {arrow}{abs(score):.3f}")
+        return "\n".join(lines)
+
+
+def _positive_proba(classifier, packed: np.ndarray) -> np.ndarray:
+    proba = classifier.predict_proba(packed)
+    classes = list(classifier.classes_)
+    if 1 in classes:
+        col = classes.index(1)
+    else:  # fall back to the lexicographically-last class as "positive"
+        col = len(classes) - 1
+    return proba[:, col]
+
+
+def occlusion_saliency(
+    encoder: RecordEncoder,
+    classifier,
+    x: np.ndarray,
+) -> Saliency:
+    """Leave-one-feature-out attribution for a single record.
+
+    The record is re-bundled ``n_features`` times, each time without one
+    feature hypervector (majority over the remaining ``m-1``), and scored.
+    ``score_i = P(pos | full) - P(pos | without i)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be a single record (1-d), got shape {x.shape}")
+    feats = encoder.encode_features(x[None, :])[0]  # (m, words)
+    m = feats.shape[0]
+    if m < 2:
+        raise ValueError("occlusion needs at least 2 features")
+
+    full = majority_vote_batch(feats[None, :, :], encoder.dim, tie=encoder.tie)
+    variants = np.stack(
+        [np.delete(feats, i, axis=0) for i in range(m)]
+    )  # (m, m-1, words)
+    occluded = majority_vote_batch(variants, encoder.dim, tie=encoder.tie)
+
+    base = float(_positive_proba(classifier, full)[0])
+    probs = _positive_proba(classifier, occluded)
+    scores = base - probs
+    return Saliency(
+        feature_names=list(encoder.feature_names_),
+        scores=np.asarray(scores, dtype=np.float64),
+        base_probability=base,
+    )
+
+
+def substitution_saliency(
+    encoder: RecordEncoder,
+    classifier,
+    x: np.ndarray,
+    reference: np.ndarray,
+) -> Saliency:
+    """Counterfactual attribution: set feature i to ``reference[i]``.
+
+    ``score_i = P(pos | x) - P(pos | x with x_i := reference_i)`` — a
+    positive score means normalising that feature would lower the risk,
+    i.e. the feature currently elevates it.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be a single record (1-d), got shape {x.shape}")
+    if reference.shape != x.shape:
+        raise ValueError(
+            f"reference shape {reference.shape} must match x shape {x.shape}"
+        )
+    m = x.shape[0]
+    variants = np.tile(x, (m, 1))
+    variants[np.arange(m), np.arange(m)] = reference
+    batch = np.vstack([x[None, :], variants])
+    packed = encoder.transform(batch)
+    probs = _positive_proba(classifier, packed)
+    base = float(probs[0])
+    scores = base - probs[1:]
+    return Saliency(
+        feature_names=list(encoder.feature_names_),
+        scores=np.asarray(scores, dtype=np.float64),
+        base_probability=base,
+    )
+
+
+def cohort_reference(X: np.ndarray, y: np.ndarray, *, healthy_label=0) -> np.ndarray:
+    """Per-feature median of the healthy class — the natural counterfactual."""
+    X = check_array(X, name="X")
+    y = np.asarray(y)
+    healthy = X[y == healthy_label]
+    if healthy.shape[0] == 0:
+        raise ValueError(f"no rows with label {healthy_label!r}")
+    return np.median(healthy, axis=0)

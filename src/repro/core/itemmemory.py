@@ -1,0 +1,132 @@
+"""Associative item memory (S2) — store/cleanup of named hypervectors.
+
+Kanerva-style HDC systems keep a table of known hypervectors and recover
+("clean up") the nearest stored item from a noisy query.  The paper's
+Hamming classifier is a special case (items = training patients, labels =
+classes); this module provides the general structure, used by the
+categorical encoder, the prototype classifier and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distance import pairwise_hamming
+from repro.core.hypervector import Hypervector, n_words
+
+
+class ItemMemory:
+    """A keyed store of packed hypervectors with nearest-item cleanup.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of stored vectors.
+
+    Examples
+    --------
+    >>> from repro.core.hypervector import Hypervector
+    >>> mem = ItemMemory(dim=128)
+    >>> a = Hypervector.random(128, seed=1)
+    >>> mem.store("a", a)
+    >>> mem.cleanup(a)[0]
+    'a'
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._keys: List[Hashable] = []
+        self._index: dict = {}
+        self._packed = np.empty((0, n_words(dim)), dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    @property
+    def keys(self) -> List[Hashable]:
+        return list(self._keys)
+
+    def _coerce(self, hv) -> np.ndarray:
+        if isinstance(hv, Hypervector):
+            if hv.dim != self.dim:
+                raise ValueError(f"dimension mismatch: memory={self.dim}, item={hv.dim}")
+            return hv.packed
+        arr = np.asarray(hv, dtype=np.uint64)
+        if arr.shape != (n_words(self.dim),):
+            raise ValueError(
+                f"packed item must have shape ({n_words(self.dim)},), got {arr.shape}"
+            )
+        return arr
+
+    def store(self, key: Hashable, hv) -> None:
+        """Insert or overwrite the vector stored under ``key``."""
+        packed = self._coerce(hv)
+        if key in self._index:
+            self._packed[self._index[key]] = packed
+            return
+        self._index[key] = len(self._keys)
+        self._keys.append(key)
+        self._packed = np.vstack([self._packed, packed[None, :]])
+
+    def store_batch(self, keys: Sequence[Hashable], packed: np.ndarray) -> None:
+        """Bulk insert; much faster than repeated :meth:`store`."""
+        packed = np.asarray(packed, dtype=np.uint64)
+        if packed.ndim != 2 or packed.shape[0] != len(keys):
+            raise ValueError("packed must be (len(keys), words)")
+        if packed.shape[1] != n_words(self.dim):
+            raise ValueError("word-count mismatch with memory dim")
+        fresh_keys, fresh_rows = [], []
+        for i, key in enumerate(keys):
+            if key in self._index:
+                self._packed[self._index[key]] = packed[i]
+            else:
+                self._index[key] = len(self._keys) + len(fresh_keys)
+                fresh_keys.append(key)
+                fresh_rows.append(packed[i])
+        if fresh_keys:
+            self._keys.extend(fresh_keys)
+            self._packed = np.vstack([self._packed, np.stack(fresh_rows)])
+
+    def get(self, key: Hashable) -> Hypervector:
+        if key not in self._index:
+            raise KeyError(f"unknown item {key!r}")
+        return Hypervector(self._packed[self._index[key]].copy(), self.dim)
+
+    def cleanup(self, query, *, return_distance: bool = True) -> Tuple[Hashable, int]:
+        """Return the stored key nearest (Hamming) to ``query``.
+
+        Ties resolve to the earliest-stored key, making cleanup
+        deterministic.
+        """
+        if not self._keys:
+            raise ValueError("cleanup on an empty ItemMemory")
+        packed = self._coerce(query)
+        dists = pairwise_hamming(packed[None, :], self._packed)[0]
+        best = int(np.argmin(dists))
+        if return_distance:
+            return self._keys[best], int(dists[best])
+        return self._keys[best]  # type: ignore[return-value]
+
+    def nearest(self, query, k: int = 1) -> List[Tuple[Hashable, int]]:
+        """The ``k`` nearest stored items as ``(key, distance)`` pairs."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self._keys:
+            raise ValueError("nearest on an empty ItemMemory")
+        packed = self._coerce(query)
+        dists = pairwise_hamming(packed[None, :], self._packed)[0]
+        k = min(k, len(self._keys))
+        order = np.argsort(dists, kind="stable")[:k]
+        return [(self._keys[int(i)], int(dists[int(i)])) for i in order]
+
+    def distances(self, query) -> np.ndarray:
+        """Hamming distance from ``query`` to every stored item, in key order."""
+        packed = self._coerce(query)
+        return pairwise_hamming(packed[None, :], self._packed)[0]

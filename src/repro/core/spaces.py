@@ -1,0 +1,134 @@
+"""HypervectorSpace — one object holding a dimensionality and a seed tree.
+
+Users composing custom HDC pipelines (outside the :class:`RecordEncoder`
+happy path) repeatedly need "a random vector", "a level encoder for this
+range", "bundle these", all at one fixed dimensionality with coherent
+seeding.  :class:`HypervectorSpace` packages that: every factory method
+derives an independent stream from the space's master seed and a caller
+token, so pipelines remain reproducible without threading generators
+through every call.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.bundling import majority_vote
+from repro.core.encoding import BinaryEncoder, CategoricalEncoder, LevelEncoder
+from repro.core.hypervector import (
+    Hypervector,
+    exact_half_dense,
+    n_words,
+    random_packed,
+    xor_packed,
+)
+from repro.core.itemmemory import ItemMemory
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.validation import check_positive_int
+
+
+class HypervectorSpace:
+    """Factory and algebra for hypervectors of one dimensionality.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality shared by everything created from this space.
+    seed:
+        Master seed; method-level streams derive from it via
+        :func:`repro.utils.rng.derive_seed` with a name token, so
+        ``space.random("glucose")`` is stable across runs and independent
+        of ``space.random("age")``.
+
+    Examples
+    --------
+    >>> space = HypervectorSpace(dim=256, seed=42)
+    >>> a = space.random("a")
+    >>> b = space.random("b")
+    >>> bound = space.bind(a, b)
+    >>> space.unbind(bound, b) == a
+    True
+    """
+
+    def __init__(self, dim: int = 10_000, seed: SeedLike = 0) -> None:
+        self.dim = check_positive_int(dim, "dim", minimum=2)
+        self.seed = seed
+        self._counter = 0
+
+    # -- creation -------------------------------------------------------
+    def _token_seed(self, token: Optional[Hashable]) -> int:
+        if token is None:
+            self._counter += 1
+            return derive_seed(self.seed, "anon", self._counter)
+        return derive_seed(self.seed, "token", str(token))
+
+    def random(self, token: Optional[Hashable] = None) -> Hypervector:
+        """A random half-dense vector; same token → same vector."""
+        return Hypervector(exact_half_dense(self.dim, self._token_seed(token)), self.dim)
+
+    def random_batch(self, n: int, token: Optional[Hashable] = None) -> np.ndarray:
+        """``(n, words)`` packed batch of i.i.d. dense-0.5 vectors."""
+        check_positive_int(n, "n")
+        return random_packed(n, self.dim, self._token_seed(token))
+
+    def level_encoder(
+        self,
+        low: float,
+        high: float,
+        *,
+        token: Optional[Hashable] = None,
+        levels: Optional[int] = None,
+    ) -> LevelEncoder:
+        """A fitted §II-B linear encoder over ``[low, high]``."""
+        if not low < high:
+            raise ValueError(f"need low < high, got [{low}, {high}]")
+        enc = LevelEncoder(self.dim, self._token_seed(token), levels=levels)
+        return enc.fit([low, high])
+
+    def binary_encoder(self, token: Optional[Hashable] = None) -> BinaryEncoder:
+        return BinaryEncoder(self.dim, self._token_seed(token)).fit()
+
+    def categorical_encoder(
+        self, categories: Sequence[Hashable], token: Optional[Hashable] = None
+    ) -> CategoricalEncoder:
+        return CategoricalEncoder(self.dim, self._token_seed(token)).fit(categories)
+
+    def item_memory(self) -> ItemMemory:
+        return ItemMemory(self.dim)
+
+    # -- algebra ----------------------------------------------------------
+    @staticmethod
+    def _packed(hv: Union[Hypervector, np.ndarray]) -> np.ndarray:
+        return hv.packed if isinstance(hv, Hypervector) else np.asarray(hv, dtype=np.uint64)
+
+    def bind(self, a, b) -> Hypervector:
+        """XOR binding (associates two vectors; self-inverse)."""
+        return Hypervector(xor_packed(self._packed(a), self._packed(b)), self.dim)
+
+    def unbind(self, bound, key) -> Hypervector:
+        """Inverse of :meth:`bind` (same operation, named for intent)."""
+        return self.bind(bound, key)
+
+    def bundle(self, vectors: Sequence, *, tie: str = "one") -> Hypervector:
+        """Majority-vote superposition of two or more vectors."""
+        if len(vectors) == 0:
+            raise ValueError("cannot bundle zero vectors")
+        packed = np.stack([self._packed(v) for v in vectors])
+        if packed.shape[1] != n_words(self.dim):
+            raise ValueError("vector width does not match this space's dim")
+        return Hypervector(majority_vote(packed, self.dim, tie=tie), self.dim)
+
+    def distance(self, a, b) -> int:
+        """Raw Hamming distance."""
+        return Hypervector(self._packed(a), self.dim).hamming(
+            Hypervector(self._packed(b), self.dim)
+        )
+
+    def similarity(self, a, b) -> float:
+        """1 − normalised Hamming distance (1 = identical, ~0.5 = random)."""
+        return 1.0 - self.distance(a, b) / self.dim
+
+    def __repr__(self) -> str:
+        return f"HypervectorSpace(dim={self.dim}, seed={self.seed!r})"

@@ -1,0 +1,65 @@
+"""Dataset substrate (S13): calibrated synthetic Pima + Sylhet, imputation,
+CSV interchange for the real files. See DESIGN.md §3 for the substitution
+rationale."""
+
+from repro.data.datasets import Dataset
+from repro.data.pima import (
+    generate_pima,
+    load_pima_r,
+    load_pima_m,
+    pima_feature_specs,
+    PIMA_FEATURES,
+    PIMA_MISSING_COLUMNS,
+)
+from repro.data.sylhet import (
+    generate_sylhet,
+    load_sylhet,
+    sylhet_feature_specs,
+    SYLHET_FEATURES,
+)
+from repro.data.impute import (
+    drop_incomplete,
+    median_impute_by_class,
+    mean_impute,
+    missing_mask,
+)
+from repro.data.io import load_pima_csv, load_sylhet_csv, save_dataset_csv
+from repro.data.dpf import Relative, compute_dpf, GENE_SHARE
+from repro.data.synth import (
+    BetaMarginal,
+    BernoulliMarginal,
+    build_correlation,
+    copula_uniforms,
+    nearest_positive_definite,
+    sample_continuous,
+)
+
+__all__ = [
+    "Dataset",
+    "generate_pima",
+    "load_pima_r",
+    "load_pima_m",
+    "pima_feature_specs",
+    "PIMA_FEATURES",
+    "PIMA_MISSING_COLUMNS",
+    "generate_sylhet",
+    "load_sylhet",
+    "sylhet_feature_specs",
+    "SYLHET_FEATURES",
+    "drop_incomplete",
+    "median_impute_by_class",
+    "mean_impute",
+    "missing_mask",
+    "load_pima_csv",
+    "load_sylhet_csv",
+    "save_dataset_csv",
+    "Relative",
+    "compute_dpf",
+    "GENE_SHARE",
+    "BetaMarginal",
+    "BernoulliMarginal",
+    "build_correlation",
+    "copula_uniforms",
+    "nearest_positive_definite",
+    "sample_continuous",
+]

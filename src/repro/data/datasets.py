@@ -1,0 +1,82 @@
+"""Dataset container shared by loaders, experiments and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.records import FeatureSpec
+
+
+@dataclass
+class Dataset:
+    """A labelled tabular dataset plus the metadata the pipeline needs.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in tables (e.g. ``"pima_r"``).
+    X:
+        ``(n, F)`` float matrix.
+    y:
+        ``(n,)`` int labels; 1 = diabetic (positive).
+    feature_names:
+        Column names, length F.
+    specs:
+        Per-column :class:`FeatureSpec` driving the record encoder.
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: List[str]
+    specs: List[FeatureSpec]
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-d, got shape {self.X.shape}")
+        if self.y.shape != (self.X.shape[0],):
+            raise ValueError(
+                f"y shape {self.y.shape} does not match X rows {self.X.shape[0]}"
+            )
+        if len(self.feature_names) != self.X.shape[1]:
+            raise ValueError("feature_names length mismatch")
+        if len(self.specs) != self.X.shape[1]:
+            raise ValueError("specs length mismatch")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    @property
+    def n_positive(self) -> int:
+        return int(np.sum(self.y == 1))
+
+    @property
+    def n_negative(self) -> int:
+        return int(np.sum(self.y == 0))
+
+    def subset(self, idx: np.ndarray, *, name: Optional[str] = None) -> "Dataset":
+        """Row-subset view copied into a new Dataset."""
+        idx = np.asarray(idx)
+        return Dataset(
+            name=name or self.name,
+            X=self.X[idx].copy(),
+            y=self.y[idx].copy(),
+            feature_names=list(self.feature_names),
+            specs=list(self.specs),
+        )
+
+    def class_summary(self) -> str:
+        return (
+            f"{self.name}: {self.n_samples} rows, {self.n_features} features, "
+            f"{self.n_positive} positive / {self.n_negative} negative"
+        )

@@ -1,0 +1,219 @@
+"""Longitudinal EHR simulation (§III-B substrate).
+
+The paper's clinical-significance section proposes feeding the HDC model
+from electronic health records at every follow-up visit and tracking
+whether a patient's diabetes risk "has increased, decreased, or remained
+unchanged".  The Pima dataset is cross-sectional, so this module
+simulates the missing longitudinal substrate:
+
+* each patient carries a **latent metabolic risk state** ``r in [0, 1]``
+  that evolves between visits as a bounded random walk with a
+  per-patient drift (susceptible patients drift up; patients "under
+  intervention" drift down);
+* visit features are drawn from the same class-conditional Pima marginals
+  used by :mod:`repro.data.pima`, *interpolated* by ``r`` — a patient at
+  ``r = 0.8`` draws glucose/BMI/insulin near the positive-class
+  distribution — so a model trained on (cross-sectional) Pima transfers
+  to the simulated visits;
+* the visit label reproduces Pima's temporal semantics: positive iff the
+  latent state crosses the diagnosis threshold within ``horizon`` visits
+  (the dataset's "develops diabetes within five years" construction).
+
+The simulator backs ``examples/ehr_longitudinal.py`` and the trend-
+detection tests: a useful risk score must rise on up-drifting patients
+and fall on down-drifting ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.pima import _TABLE1, PIMA_FEATURES  # calibrated marginals
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive_int
+
+DIAGNOSIS_THRESHOLD = 0.72  # latent risk level treated as onset
+
+
+@dataclass
+class PatientTrajectory:
+    """One simulated patient's follow-up record.
+
+    Attributes
+    ----------
+    patient_id:
+        Stable identifier within the cohort.
+    visits:
+        ``(n_visits, 8)`` feature matrix in :data:`PIMA_FEATURES` order.
+    risk:
+        ``(n_visits,)`` latent risk state (hidden from models; used by
+        tests/examples as ground truth for trend evaluation).
+    onset_labels:
+        ``(n_visits,)`` int — 1 iff the latent risk crosses
+        :data:`DIAGNOSIS_THRESHOLD` within the simulation horizon after
+        that visit (Pima's "onset within five years" semantics).
+    drift:
+        The patient's per-visit latent drift (positive = deteriorating).
+    """
+
+    patient_id: int
+    visits: np.ndarray
+    risk: np.ndarray
+    onset_labels: np.ndarray
+    drift: float
+
+    @property
+    def n_visits(self) -> int:
+        return int(self.visits.shape[0])
+
+    def trend(self) -> str:
+        """Ground-truth direction between first and last visit."""
+        delta = self.risk[-1] - self.risk[0]
+        if delta > 0.05:
+            return "rising"
+        if delta < -0.05:
+            return "falling"
+        return "stable"
+
+
+def _interpolated_row(
+    r: float, quantiles: np.ndarray, rng: np.random.Generator, *, jitter: float = 0.05
+) -> np.ndarray:
+    """Draw one visit's features with marginals blended by latent risk.
+
+    Parameter blend: for each feature, the Beta marginal's (low, high,
+    mean) interpolate linearly between the negative-class (r=0) and
+    positive-class (r=1) calibrations.  ``quantiles`` is the patient's
+    *persistent physiology* — their fixed percentile position within the
+    population per feature — jittered slightly per visit, so consecutive
+    visits of one patient are similar and within-patient change is driven
+    by the latent risk, not by redrawing the whole population marginal.
+    """
+    from repro.data.synth import BetaMarginal
+
+    row = np.empty(len(PIMA_FEATURES))
+    for j, name in enumerate(PIMA_FEATURES):
+        pos = _TABLE1[name][1]
+        neg = _TABLE1[name][0]
+        low = (1 - r) * neg.low + r * pos.low
+        high = (1 - r) * neg.high + r * pos.high
+        mean = (1 - r) * neg.mean + r * pos.mean
+        conc = (neg.concentration + pos.concentration) / 2.0
+        u = float(np.clip(quantiles[j] + rng.normal(0.0, jitter), 1e-4, 1 - 1e-4))
+        marg = BetaMarginal(low, high, mean, concentration=conc, integer=neg.integer)
+        row[j] = marg.ppf(np.asarray([u]))[0]
+    return row
+
+
+def simulate_trajectory(
+    patient_id: int,
+    *,
+    n_visits: int = 6,
+    drift: float = 0.0,
+    start_risk: Optional[float] = None,
+    noise: float = 0.04,
+    seed: SeedLike = None,
+) -> PatientTrajectory:
+    """Simulate one patient's visit sequence.
+
+    Parameters
+    ----------
+    n_visits:
+        Number of follow-ups (>= 2).
+    drift:
+        Mean per-visit change of the latent risk; clinical stories:
+        +0.05 = untreated deterioration, -0.05 = successful intervention.
+    start_risk:
+        Initial latent risk; default drawn uniform in [0.2, 0.6].
+    noise:
+        Std of the per-visit random-walk innovation.
+    """
+    check_positive_int(n_visits, "n_visits", minimum=2)
+    check_in_range(noise, "noise", 0.0, 0.5, inclusive="low")
+    rng = as_generator(seed)
+    r = float(rng.uniform(0.2, 0.6)) if start_risk is None else float(start_risk)
+    check_in_range(r, "start_risk", 0.0, 1.0)
+
+    # Persistent physiology: this patient's percentile per feature.
+    quantiles = rng.random(len(PIMA_FEATURES))
+    risks = np.empty(n_visits)
+    visits = np.empty((n_visits, len(PIMA_FEATURES)))
+    for t in range(n_visits):
+        risks[t] = r
+        visits[t] = _interpolated_row(r, quantiles, rng)
+        r = float(np.clip(r + drift + rng.normal(0.0, noise), 0.0, 1.0))
+
+    # Onset label: does the latent state cross the threshold at or after
+    # this visit (within the simulated horizon)?
+    crossed = risks >= DIAGNOSIS_THRESHOLD
+    onset = np.zeros(n_visits, dtype=np.int64)
+    for t in range(n_visits):
+        onset[t] = int(crossed[t:].any())
+    # Age must be non-decreasing across visits: enforce monotone repair.
+    age_col = PIMA_FEATURES.index("age")
+    visits[:, age_col] = np.maximum.accumulate(visits[:, age_col])
+    # Pregnancies cannot decrease either.
+    preg_col = PIMA_FEATURES.index("pregnancies")
+    visits[:, preg_col] = np.maximum.accumulate(visits[:, preg_col])
+    return PatientTrajectory(
+        patient_id=patient_id,
+        visits=visits,
+        risk=risks,
+        onset_labels=onset,
+        drift=drift,
+    )
+
+
+def simulate_cohort(
+    n_patients: int = 50,
+    *,
+    n_visits: int = 6,
+    deteriorating_fraction: float = 0.3,
+    improving_fraction: float = 0.2,
+    seed: SeedLike = 0,
+) -> List[PatientTrajectory]:
+    """Simulate a follow-up cohort with mixed clinical courses.
+
+    ``deteriorating_fraction`` of patients drift up (+0.04..0.08/visit),
+    ``improving_fraction`` drift down, the rest are stable.  Patient
+    order is shuffled so course type is not recoverable from the id.
+    """
+    check_positive_int(n_patients, "n_patients")
+    if deteriorating_fraction + improving_fraction > 1.0:
+        raise ValueError("course fractions must sum to <= 1")
+    rng = as_generator(seed)
+    n_up = int(round(deteriorating_fraction * n_patients))
+    n_down = int(round(improving_fraction * n_patients))
+    drifts = (
+        [float(rng.uniform(0.04, 0.08)) for _ in range(n_up)]
+        + [float(-rng.uniform(0.04, 0.08)) for _ in range(n_down)]
+        + [0.0] * (n_patients - n_up - n_down)
+    )
+    rng.shuffle(drifts)
+    cohort = []
+    for pid, drift in enumerate(drifts):
+        start = float(rng.uniform(0.45, 0.6)) if drift < 0 else None
+        cohort.append(
+            simulate_trajectory(
+                pid,
+                n_visits=n_visits,
+                drift=drift,
+                start_risk=start,
+                seed=rng,
+            )
+        )
+    return cohort
+
+
+def cohort_to_matrix(cohort: List[PatientTrajectory]) -> tuple:
+    """Flatten a cohort to ``(X, y, patient_ids, visit_index)`` arrays."""
+    if not cohort:
+        raise ValueError("empty cohort")
+    X = np.vstack([t.visits for t in cohort])
+    y = np.concatenate([t.onset_labels for t in cohort])
+    pids = np.concatenate([[t.patient_id] * t.n_visits for t in cohort])
+    visit_idx = np.concatenate([np.arange(t.n_visits) for t in cohort])
+    return X, y, pids.astype(np.int64), visit_idx.astype(np.int64)

@@ -1,0 +1,168 @@
+"""CSV interchange (S13): load the *real* datasets when a user has them.
+
+The synthetic generators are the offline default, but a downstream user
+with the actual UCI/Kaggle files should be able to drop them in.  These
+parsers accept the canonical public formats:
+
+* ``diabetes.csv`` (Kaggle Pima): header row, 8 numeric columns + Outcome;
+* ``diabetes_data_upload.csv`` (UCI early-stage): header row, Age, Gender
+  (Male/Female), 14 Yes/No symptom columns, class (Positive/Negative).
+
+No pandas in this environment, so parsing is a small hand-rolled CSV
+reader (stdlib ``csv``) with strict validation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.pima import PIMA_FEATURES, pima_feature_specs
+from repro.data.sylhet import SYLHET_FEATURES, sylhet_feature_specs
+
+_PIMA_CSV_COLUMNS = [
+    "Pregnancies",
+    "Glucose",
+    "BloodPressure",
+    "SkinThickness",
+    "Insulin",
+    "BMI",
+    "DiabetesPedigreeFunction",
+    "Age",
+]
+
+_SYLHET_CSV_COLUMNS = [
+    "Age",
+    "Gender",
+    "Polyuria",
+    "Polydipsia",
+    "sudden weight loss",
+    "weakness",
+    "Polyphagia",
+    "Genital thrush",
+    "visual blurring",
+    "Itching",
+    "Irritability",
+    "delayed healing",
+    "partial paresis",
+    "muscle stiffness",
+    "Alopecia",
+    "Obesity",
+]
+
+
+def _read_csv(path: Union[str, Path]) -> List[Dict[str, str]]:
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file or missing header")
+        rows = [dict(row) for row in reader]
+    if not rows:
+        raise ValueError(f"{path}: header only, no data rows")
+    return rows
+
+
+def _require_columns(rows: List[Dict[str, str]], required: Sequence[str], path) -> None:
+    have = set(rows[0])
+    missing = [c for c in required if c not in have]
+    if missing:
+        raise ValueError(f"{path}: missing columns {missing}; found {sorted(have)}")
+
+
+def load_pima_csv(path: Union[str, Path]) -> Dataset:
+    """Parse the Kaggle Pima CSV into a :class:`Dataset` (full table).
+
+    Output feature order matches :data:`repro.data.pima.PIMA_FEATURES`
+    (zeros in lab columns are kept — apply ``load_pima_r``/``load_pima_m``
+    style treatments via :mod:`repro.data.impute`).
+    """
+    rows = _read_csv(path)
+    _require_columns(rows, _PIMA_CSV_COLUMNS + ["Outcome"], path)
+    n = len(rows)
+    X = np.empty((n, 8), dtype=np.float64)
+    y = np.empty(n, dtype=np.int64)
+    # Map CSV order to our canonical order.
+    csv_for_ours = {
+        "pregnancies": "Pregnancies",
+        "glucose": "Glucose",
+        "blood_pressure": "BloodPressure",
+        "skin_thickness": "SkinThickness",
+        "insulin": "Insulin",
+        "bmi": "BMI",
+        "dpf": "DiabetesPedigreeFunction",
+        "age": "Age",
+    }
+    for i, row in enumerate(rows):
+        try:
+            for j, ours in enumerate(PIMA_FEATURES):
+                X[i, j] = float(row[csv_for_ours[ours]])
+            y[i] = int(row["Outcome"])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: bad value in data row {i + 1}: {exc}") from exc
+    if not set(np.unique(y).tolist()) <= {0, 1}:
+        raise ValueError(f"{path}: Outcome must be 0/1")
+    return Dataset(
+        name="pima",
+        X=X,
+        y=y,
+        feature_names=list(PIMA_FEATURES),
+        specs=pima_feature_specs(),
+    )
+
+
+_YESNO = {"yes": 1.0, "no": 0.0}
+
+
+def load_sylhet_csv(path: Union[str, Path]) -> Dataset:
+    """Parse the UCI early-stage-diabetes CSV into a :class:`Dataset`.
+
+    Gender becomes 1 = Male / 2 = Female (paper's convention); symptoms
+    become 0/1; the class column accepts Positive/Negative.
+    """
+    rows = _read_csv(path)
+    _require_columns(rows, _SYLHET_CSV_COLUMNS + ["class"], path)
+    n = len(rows)
+    X = np.empty((n, 16), dtype=np.float64)
+    y = np.empty(n, dtype=np.int64)
+    for i, row in enumerate(rows):
+        try:
+            X[i, 0] = float(row["Age"])
+            gender = row["Gender"].strip().lower()
+            if gender not in ("male", "female"):
+                raise ValueError(f"Gender must be Male/Female, got {row['Gender']!r}")
+            X[i, 1] = 1.0 if gender == "male" else 2.0
+            for j, col in enumerate(_SYLHET_CSV_COLUMNS[2:], start=2):
+                val = row[col].strip().lower()
+                if val not in _YESNO:
+                    raise ValueError(f"{col} must be Yes/No, got {row[col]!r}")
+                X[i, j] = _YESNO[val]
+            cls = row["class"].strip().lower()
+            if cls not in ("positive", "negative"):
+                raise ValueError(f"class must be Positive/Negative, got {row['class']!r}")
+            y[i] = 1 if cls == "positive" else 0
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: bad value in data row {i + 1}: {exc}") from exc
+    return Dataset(
+        name="sylhet",
+        X=X,
+        y=y,
+        feature_names=list(SYLHET_FEATURES),
+        specs=sylhet_feature_specs(),
+    )
+
+
+def save_dataset_csv(ds: Dataset, path: Union[str, Path]) -> None:
+    """Write a dataset as CSV (features + ``label`` column) for interchange."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(ds.feature_names) + ["label"])
+        for i in range(ds.n_samples):
+            writer.writerow([f"{v:g}" for v in ds.X[i]] + [int(ds.y[i])])

@@ -1,0 +1,154 @@
+"""Synthesis machinery (S13): Gaussian copulas over calibrated marginals.
+
+No network access means the public Pima/Sylhet CSVs cannot be downloaded,
+so the datasets are *simulated* (see DESIGN.md §3).  The generator has two
+layers:
+
+* per-feature **marginals** matched to published class-conditional
+  statistics (mean and range → a scaled Beta distribution, which respects
+  the exact range and hits the mean);
+* a **Gaussian copula** imposing a specified correlation structure across
+  features without disturbing the marginals.
+
+Both layers are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class BetaMarginal:
+    """A Beta distribution rescaled to ``[low, high]`` with a target mean.
+
+    ``concentration`` sets α + β: small values give broad, skewed spread
+    (lab measurements like insulin), large values concentrate around the
+    mean (age within an adult cohort).
+    """
+
+    low: float
+    high: float
+    mean: float
+    concentration: float = 5.0
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"low must be < high, got [{self.low}, {self.high}]")
+        if not self.low <= self.mean <= self.high:
+            raise ValueError(
+                f"mean {self.mean} outside range [{self.low}, {self.high}]"
+            )
+        if self.concentration <= 0:
+            raise ValueError("concentration must be positive")
+
+    def _alpha_beta(self) -> Tuple[float, float]:
+        mu = (self.mean - self.low) / (self.high - self.low)
+        mu = float(np.clip(mu, 1e-3, 1 - 1e-3))
+        return mu * self.concentration, (1 - mu) * self.concentration
+
+    def ppf(self, u: np.ndarray) -> np.ndarray:
+        """Quantile function on the rescaled support."""
+        a, b = self._alpha_beta()
+        x = self.low + (self.high - self.low) * stats.beta.ppf(u, a, b)
+        return np.round(x) if self.integer else x
+
+
+@dataclass(frozen=True)
+class BernoulliMarginal:
+    """Binary feature with success probability ``p`` (optionally shifted
+    per-sample by a latent severity score — see :func:`copula_sample`)."""
+
+    p: float
+    severity_slope: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+
+    def prob(self, severity: Optional[np.ndarray]) -> np.ndarray:
+        if severity is None or self.severity_slope == 0.0:
+            return np.full(1, self.p)
+        return np.clip(self.p + self.severity_slope * (severity - 0.5), 0.0, 1.0)
+
+    def ppf(self, u: np.ndarray, severity: Optional[np.ndarray] = None) -> np.ndarray:
+        p = self.prob(severity)
+        return (u < p).astype(np.float64)
+
+
+def nearest_positive_definite(corr: np.ndarray, *, eps: float = 1e-6) -> np.ndarray:
+    """Clip eigenvalues so a hand-written correlation matrix is usable.
+
+    Hand-specified pairwise correlations are rarely exactly PSD; this
+    projects to the nearest PSD matrix (Higham-style eigenvalue clipping)
+    and re-normalises the diagonal to 1.
+    """
+    corr = np.asarray(corr, dtype=np.float64)
+    if corr.ndim != 2 or corr.shape[0] != corr.shape[1]:
+        raise ValueError("correlation matrix must be square")
+    if not np.allclose(corr, corr.T, atol=1e-8):
+        raise ValueError("correlation matrix must be symmetric")
+    w, V = np.linalg.eigh(corr)
+    w = np.maximum(w, eps)
+    fixed = (V * w) @ V.T
+    d = np.sqrt(np.diag(fixed))
+    fixed = fixed / np.outer(d, d)
+    np.fill_diagonal(fixed, 1.0)
+    return fixed
+
+
+def build_correlation(n: int, pairs: Dict[Tuple[int, int], float]) -> np.ndarray:
+    """Identity plus specified symmetric off-diagonal entries, made PSD."""
+    corr = np.eye(n)
+    for (i, j), rho in pairs.items():
+        if not -1.0 < rho < 1.0:
+            raise ValueError(f"correlation must be in (-1, 1), got {rho}")
+        if i == j:
+            raise ValueError("diagonal correlations are fixed at 1")
+        corr[i, j] = corr[j, i] = rho
+    return nearest_positive_definite(corr)
+
+
+def copula_uniforms(
+    n_samples: int,
+    corr: np.ndarray,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Correlated U(0,1) columns via a Gaussian copula.
+
+    Draw ``z ~ N(0, corr)`` (Cholesky), push through Φ.  Column marginals
+    are exactly uniform; rank correlations approximate ``corr``.
+    """
+    rng = as_generator(seed)
+    n_feat = corr.shape[0]
+    L = np.linalg.cholesky(corr)
+    z = rng.standard_normal((n_samples, n_feat)) @ L.T
+    return stats.norm.cdf(z)
+
+
+def sample_continuous(
+    marginals: Sequence[BetaMarginal],
+    n_samples: int,
+    corr: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sample an ``(n, F)`` continuous block honouring marginals + copula."""
+    f = len(marginals)
+    if f == 0:
+        raise ValueError("need at least one marginal")
+    if corr is None:
+        corr = np.eye(f)
+    if corr.shape != (f, f):
+        raise ValueError(f"corr shape {corr.shape} != ({f}, {f})")
+    U = copula_uniforms(n_samples, corr, seed)
+    out = np.empty((n_samples, f), dtype=np.float64)
+    for j, marg in enumerate(marginals):
+        out[:, j] = marg.ppf(U[:, j])
+    return out

@@ -1,0 +1,500 @@
+"""Experiment harness (S15): one function per paper artefact.
+
+Each ``run_*`` function regenerates the data behind one table of the
+paper (see DESIGN.md §4 for the index) and returns plain dict/row
+structures; :mod:`repro.eval.tables` formats them, and the scripts in
+``benchmarks/`` time and sanity-check them.
+
+The configuration dataclass has a ``fast()`` preset (small dimensionality,
+few repeats) used by tests so the full pipeline is exercised end-to-end in
+seconds; benchmark and CLI runs use the paper-scale defaults (10,000-bit
+hypervectors, 10-fold CV, 10 NN repeats).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.records import RecordEncoder
+from repro.data.datasets import Dataset
+from repro.data.pima import generate_pima, load_pima_m, load_pima_r
+from repro.data.sylhet import load_sylhet
+from repro.eval.crossval import (
+    cross_validate,
+    leave_one_out_hamming,
+    train_test_split,
+    train_val_test_split,
+)
+from repro.eval.metrics import classification_report
+from repro.ml.base import BaseEstimator
+from repro.ml.ensemble import (
+    CatBoostClassifier,
+    LGBMClassifier,
+    RandomForestClassifier,
+    XGBClassifier,
+)
+from repro.ml.linear import LogisticRegression, SGDClassifier
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.neural import SequentialNN
+from repro.ml.pipeline import ScaledClassifier
+from repro.ml.svm import SVC
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment.
+
+    Attributes
+    ----------
+    dim:
+        Hypervector dimensionality (paper: 10,000).
+    seed:
+        Master seed for encoders, models and splits.
+    data_seed:
+        Seed of the synthetic dataset generators (separate so the same
+        "population" can be analysed under different model seeds).
+    n_folds:
+        K for the Table III cross-validation.
+    nn_repeats / nn_epochs / nn_patience:
+        Sequential-NN protocol (paper: 10 repeats, 1000 epochs, 20).
+    boosted_estimators / forest_estimators:
+        Ensemble sizes.  The references use 100; 50 keeps the 10k-bit
+        boosted runs tractable on one core while preserving ranking.
+    test_size:
+        Held-out fraction for Tables IV/V (paper: 10%).
+    """
+
+    dim: int = 10_000
+    seed: int = 7
+    data_seed: int = 2023
+    n_folds: int = 10
+    nn_repeats: int = 10
+    nn_epochs: int = 1000
+    nn_patience: int = 20
+    boosted_estimators: int = 50
+    forest_estimators: int = 100
+    test_size: float = 0.10
+    sgd_max_iter: int = 60
+    svc_max_iter: int = 60
+
+    @staticmethod
+    def paper() -> "ExperimentConfig":
+        return ExperimentConfig()
+
+    @staticmethod
+    def fast() -> "ExperimentConfig":
+        """Seconds-scale preset used by the test suite."""
+        return ExperimentConfig(
+            dim=1024,
+            n_folds=3,
+            nn_repeats=2,
+            nn_epochs=40,
+            nn_patience=10,
+            boosted_estimators=10,
+            forest_estimators=15,
+            sgd_max_iter=15,
+            svc_max_iter=15,
+        )
+
+
+# ----------------------------------------------------------------------
+# Datasets and encodings
+# ----------------------------------------------------------------------
+def default_datasets(config: ExperimentConfig) -> Dict[str, Dataset]:
+    """The paper's three working datasets, from one synthetic population."""
+    base = generate_pima(seed=config.data_seed)
+    return {
+        "pima_r": load_pima_r(base=base),
+        "pima_m": load_pima_m(base=base),
+        "sylhet": load_sylhet(seed=config.data_seed),
+    }
+
+
+def encode_dataset(
+    ds: Dataset, config: ExperimentConfig
+) -> Tuple[np.ndarray, np.ndarray, RecordEncoder]:
+    """Fit a record encoder on the dataset; return packed + dense forms.
+
+    Encoding is fitted on the full dataset, as in the paper: the level
+    encoder's min/max and the per-feature seeds are data-wide properties
+    (the paper computes hypervectors once, before any split).
+    """
+    enc = RecordEncoder(
+        specs=ds.specs, dim=config.dim, seed=derive_seed(config.seed, "encode", ds.name)
+    ).fit(ds.X)
+    packed = enc.transform(ds.X)
+    dense = enc.transform_dense(ds.X).astype(np.float64)
+    return packed, dense, enc
+
+
+# ----------------------------------------------------------------------
+# Model grid (paper §II: the 9 sklearn-equivalent models)
+# ----------------------------------------------------------------------
+def model_grid(
+    config: ExperimentConfig, *, scaled: bool
+) -> Dict[str, Callable[[], BaseEstimator]]:
+    """Factories for the Table III-V model roster.
+
+    ``scaled=True`` wraps scale-sensitive models in a StandardScaler
+    pipeline (raw clinical features); hypervector input uses ``False``.
+    """
+    seed = config.seed
+
+    def wrap(est: BaseEstimator) -> BaseEstimator:
+        return ScaledClassifier(est) if scaled else est
+
+    return {
+        "Random Forest": lambda: RandomForestClassifier(
+            n_estimators=config.forest_estimators, random_state=seed
+        ),
+        "KNN": lambda: wrap(KNeighborsClassifier(n_neighbors=5)),
+        "Decision Tree": lambda: DecisionTreeClassifier(random_state=seed),
+        "XGBoost": lambda: XGBClassifier(
+            n_estimators=config.boosted_estimators, random_state=seed
+        ),
+        "CatBoost": lambda: CatBoostClassifier(
+            n_estimators=config.boosted_estimators, random_state=seed
+        ),
+        "SGD": lambda: wrap(
+            SGDClassifier(max_iter=config.sgd_max_iter, random_state=seed)
+        ),
+        "Logistic Regression": lambda: wrap(LogisticRegression()),
+        "SVC": lambda: wrap(SVC(max_iter=config.svc_max_iter, random_state=seed)),
+        "LGBM": lambda: LGBMClassifier(
+            n_estimators=config.boosted_estimators,
+            min_samples_leaf=5,
+            random_state=seed,
+        ),
+    }
+
+
+MODEL_ORDER = [
+    "Random Forest",
+    "KNN",
+    "Decision Tree",
+    "XGBoost",
+    "CatBoost",
+    "SGD",
+    "Logistic Regression",
+    "SVC",
+    "LGBM",
+]
+
+
+# ----------------------------------------------------------------------
+# Table II — Hamming LOOCV + Sequential NN (features vs hypervectors)
+# ----------------------------------------------------------------------
+def run_table2(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Optional[Dict[str, Dataset]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Testing accuracy of the Hamming model and the Sequential NN.
+
+    Returns ``{dataset: {"hamming": acc, "nn_features": acc,
+    "nn_hypervectors": acc}}`` with accuracies in [0, 1].
+    """
+    config = config or ExperimentConfig.paper()
+    datasets = datasets or default_datasets(config)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, ds in datasets.items():
+        packed, dense, _ = encode_dataset(ds, config)
+        loo = leave_one_out_hamming(packed, ds.y)
+        # The paper's NN does "little preprocessing of data": raw features
+        # go in unscaled (which is what caps its Pima accuracy at ~71%
+        # and gives hypervectors their +8-point headroom).  Hypervector
+        # input is 0/1 and needs no scaling either.
+        nn_feat = _nn_repeated_accuracy(ds.X, ds.y, config, scaled=False, tag=f"{name}-f")
+        nn_hv = _nn_repeated_accuracy(dense, ds.y, config, scaled=False, tag=f"{name}-h")
+        out[name] = {
+            "hamming": loo.accuracy,
+            "nn_features": nn_feat,
+            "nn_hypervectors": nn_hv,
+        }
+    return out
+
+
+def _nn_repeated_accuracy(
+    X: np.ndarray,
+    y: np.ndarray,
+    config: ExperimentConfig,
+    *,
+    scaled: bool,
+    tag: str,
+) -> float:
+    """The paper's §II-D protocol: 70/15/15 split, early stopping on the
+    validation set, mean test accuracy over ``nn_repeats`` runs."""
+    accs = []
+    for rep in range(config.nn_repeats):
+        split_seed = derive_seed(config.seed, "nn-split", tag, rep)
+        X_tr, X_val, X_te, y_tr, y_val, y_te = train_val_test_split(
+            X, y, val_size=0.15, test_size=0.15, stratify=y, seed=split_seed
+        )
+        model: BaseEstimator = SequentialNN(
+            hidden=(32, 32),
+            epochs=config.nn_epochs,
+            patience=config.nn_patience,
+            validation_fraction=0.0,
+            random_state=derive_seed(config.seed, "nn-init", tag, rep),
+        )
+        if scaled:
+            model = ScaledClassifier(model)
+        # Early stopping monitors the explicit validation part: stack the
+        # train+val and let the NN carve the same fraction back out.
+        X_fit = np.vstack([X_tr, X_val])
+        y_fit = np.concatenate([y_tr, y_val])
+        frac = X_val.shape[0] / X_fit.shape[0]
+        inner = model.estimator if isinstance(model, ScaledClassifier) else model
+        inner.set_params(validation_fraction=frac, monitor="val")
+        model.fit(X_fit, y_fit)
+        accs.append(model.score(X_te, y_te))
+    return float(np.mean(accs))
+
+
+# ----------------------------------------------------------------------
+# Table III — 10-fold training accuracy across the model grid
+# ----------------------------------------------------------------------
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Optional[Dict[str, Dataset]] = None,
+    models: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Training accuracy per (dataset, model, input-representation).
+
+    Returns ``{dataset: {model: {"features": acc, "hypervectors": acc}}}``.
+    """
+    config = config or ExperimentConfig.paper()
+    datasets = datasets or default_datasets(config)
+    chosen = models or MODEL_ORDER
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, ds in datasets.items():
+        _, dense, _ = encode_dataset(ds, config)
+        grid_f = model_grid(config, scaled=True)
+        grid_h = model_grid(config, scaled=False)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model_name in chosen:
+            res_f = cross_validate(
+                grid_f[model_name](), ds.X, ds.y, n_splits=config.n_folds, seed=config.seed
+            )
+            res_h = cross_validate(
+                grid_h[model_name](), dense, ds.y, n_splits=config.n_folds, seed=config.seed
+            )
+            per_model[model_name] = {
+                "features": res_f.mean_train,
+                "hypervectors": res_h.mean_train,
+                "features_test": res_f.mean_test,
+                "hypervectors_test": res_h.mean_test,
+            }
+        out[name] = per_model
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tables IV & V — held-out metrics on Pima M / Sylhet
+# ----------------------------------------------------------------------
+def run_table45(
+    dataset_name: str,
+    config: Optional[ExperimentConfig] = None,
+    datasets: Optional[Dict[str, Dataset]] = None,
+    models: Optional[List[str]] = None,
+    *,
+    include_hamming: Optional[bool] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """90/10-split metrics for every model, features vs hypervectors.
+
+    Returns ``{model: {"features": report, "hypervectors": report}}``
+    where each report has precision/recall/specificity/f1/accuracy.
+    Table V (sylhet) also includes the Hamming LOOCV row, as in the paper.
+    """
+    config = config or ExperimentConfig.paper()
+    datasets = datasets or default_datasets(config)
+    if dataset_name not in datasets:
+        raise KeyError(f"unknown dataset {dataset_name!r}; have {sorted(datasets)}")
+    ds = datasets[dataset_name]
+    if include_hamming is None:
+        include_hamming = dataset_name == "sylhet"
+    chosen = models or MODEL_ORDER
+    packed, dense, _ = encode_dataset(ds, config)
+
+    split_seed = derive_seed(config.seed, "table45", dataset_name)
+    idx = np.arange(ds.n_samples)
+    idx_tr, idx_te = train_test_split(
+        idx, test_size=config.test_size, stratify=ds.y, seed=split_seed
+    )
+    y_tr, y_te = ds.y[idx_tr], ds.y[idx_te]
+
+    grid_f = model_grid(config, scaled=True)
+    grid_h = model_grid(config, scaled=False)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model_name in chosen:
+        reports = {}
+        for rep_name, grid, X in (
+            ("features", grid_f, ds.X),
+            ("hypervectors", grid_h, dense),
+        ):
+            model = grid[model_name]()
+            model.fit(X[idx_tr], y_tr)
+            pred = model.predict(X[idx_te])
+            reports[rep_name] = classification_report(y_te, pred)
+        out[model_name] = reports
+    if include_hamming:
+        loo = leave_one_out_hamming(packed, ds.y)
+        out["Hamming"] = {"hypervectors": loo.report}
+    return out
+
+
+# ----------------------------------------------------------------------
+# R1 — runtime study (§III-A remarks)
+# ----------------------------------------------------------------------
+def run_runtime_study(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Optional[Dict[str, Dataset]] = None,
+    *,
+    dataset_name: str = "sylhet",
+    nn_epochs: int = 20,
+) -> Dict[str, Dict[str, float]]:
+    """Wall-clock comparison of feature vs hypervector inputs.
+
+    Reproduces the two §III-A timing observations:
+
+    * per-epoch Sequential-NN time is similar for both representations;
+    * the boosted models slow down by roughly an order of magnitude on
+      hypervectors.
+
+    Returns ``{model: {"features_s": t, "hypervectors_s": t, "ratio": r}}``
+    (NN rows report seconds per epoch).
+    """
+    config = config or ExperimentConfig.paper()
+    datasets = datasets or default_datasets(config)
+    ds = datasets[dataset_name]
+    _, dense, _ = encode_dataset(ds, config)
+    out: Dict[str, Dict[str, float]] = {}
+
+    def timed_fit(factory: Callable[[], BaseEstimator], X: np.ndarray) -> float:
+        model = factory()
+        t0 = time.perf_counter()
+        model.fit(X, ds.y)
+        return time.perf_counter() - t0
+
+    for model_name in ("XGBoost", "CatBoost", "LGBM", "Random Forest"):
+        grid_f = model_grid(config, scaled=True)
+        grid_h = model_grid(config, scaled=False)
+        tf = timed_fit(grid_f[model_name], ds.X)
+        th = timed_fit(grid_h[model_name], dense)
+        out[model_name] = {
+            "features_s": tf,
+            "hypervectors_s": th,
+            "ratio": th / max(tf, 1e-9),
+        }
+
+    def nn_epoch_time(X: np.ndarray) -> float:
+        model = SequentialNN(
+            hidden=(32, 32), epochs=nn_epochs, patience=None, random_state=config.seed
+        )
+        t0 = time.perf_counter()
+        model.fit(X, ds.y)
+        return (time.perf_counter() - t0) / model.n_epochs_
+
+    tf = nn_epoch_time(ds.X)
+    th = nn_epoch_time(dense)
+    out["Sequential NN (per epoch)"] = {
+        "features_s": tf,
+        "hypervectors_s": th,
+        "ratio": th / max(tf, 1e-9),
+    }
+    return out
+
+
+# ----------------------------------------------------------------------
+# A1 — dimensionality ablation (§II's 10k-vs-20k/30k remark)
+# ----------------------------------------------------------------------
+def run_dimension_ablation(
+    dims: Tuple[int, ...] = (1_000, 2_000, 5_000, 10_000, 20_000),
+    config: Optional[ExperimentConfig] = None,
+    dataset_name: str = "pima_r",
+    datasets: Optional[Dict[str, Dataset]] = None,
+) -> Dict[int, float]:
+    """Hamming LOOCV accuracy as a function of hypervector dimensionality."""
+    config = config or ExperimentConfig.paper()
+    datasets = datasets or default_datasets(config)
+    ds = datasets[dataset_name]
+    out: Dict[int, float] = {}
+    for dim in dims:
+        cfg = replace(config, dim=dim)
+        packed, _, _ = encode_dataset(ds, cfg)
+        out[dim] = leave_one_out_hamming(packed, ds.y).accuracy
+    return out
+
+
+# ----------------------------------------------------------------------
+# A2 — encoding ablation (tie rule / level quantisation / model variant)
+# ----------------------------------------------------------------------
+def run_encoding_ablation(
+    config: Optional[ExperimentConfig] = None,
+    dataset_name: str = "pima_r",
+    datasets: Optional[Dict[str, Dataset]] = None,
+) -> Dict[str, float]:
+    """LOOCV accuracy under encoding design variations.
+
+    Variants: majority-vote tie rule (paper's 1 vs 0 vs random), quantised
+    level encoding (16 levels), and the prototype (bundle-per-class)
+    classifier as a cheaper alternative to 1-NN.
+    """
+    config = config or ExperimentConfig.paper()
+    datasets = datasets or default_datasets(config)
+    ds = datasets[dataset_name]
+    out: Dict[str, float] = {}
+
+    for tie in ("one", "zero", "random"):
+        enc = RecordEncoder(
+            specs=ds.specs,
+            dim=config.dim,
+            seed=derive_seed(config.seed, "ablate-tie", ds.name),
+            tie=tie,
+        ).fit(ds.X)
+        packed = enc.transform(ds.X)
+        out[f"tie={tie}"] = leave_one_out_hamming(packed, ds.y).accuracy
+
+    quant_specs = [replace_levels(s, 16) for s in ds.specs]
+    enc = RecordEncoder(
+        specs=quant_specs, dim=config.dim, seed=derive_seed(config.seed, "ablate-q", ds.name)
+    ).fit(ds.X)
+    out["levels=16"] = leave_one_out_hamming(enc.transform(ds.X), ds.y).accuracy
+
+    enc = RecordEncoder(
+        specs=ds.specs,
+        dim=config.dim,
+        seed=derive_seed(config.seed, "ablate-bind", ds.name),
+        bind_ids=True,
+    ).fit(ds.X)
+    out["bind_ids"] = leave_one_out_hamming(enc.transform(ds.X), ds.y).accuracy
+
+    enc = RecordEncoder(
+        specs=ds.specs, dim=config.dim, seed=derive_seed(config.seed, "encode", ds.name)
+    ).fit(ds.X)
+    packed = enc.transform(ds.X)
+    proto_accs = []
+    idx = np.arange(ds.n_samples)
+    for rep in range(5):
+        tr, te = train_test_split(
+            idx, test_size=0.2, stratify=ds.y, seed=derive_seed(config.seed, "proto", rep)
+        )
+        clf = PrototypeClassifier(dim=config.dim).fit(packed[tr], ds.y[tr])
+        proto_accs.append(clf.score(packed[te], ds.y[te]))
+    out["prototype"] = float(np.mean(proto_accs))
+    return out
+
+
+def replace_levels(spec, levels: int):
+    """Quantised copy of a linear FeatureSpec (binary/categorical unchanged)."""
+    from repro.core.records import FeatureSpec
+
+    if spec.kind != "linear":
+        return spec
+    return FeatureSpec(spec.name, "linear", levels=levels)

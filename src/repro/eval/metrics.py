@@ -1,0 +1,202 @@
+"""Classification metrics (S12) — exactly the columns of Tables IV/V.
+
+The paper reports precision, recall, specificity, F1 and accuracy, with
+"positive" = diabetic.  All metrics are computed from one confusion
+matrix; zero-denominator cases return 0.0 (and are exercised in tests)
+rather than NaN so tables render cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_length, column_or_1d
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positive label fixed per construction)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    def as_array(self) -> np.ndarray:
+        """2x2 layout [[tn, fp], [fn, tp]] (sklearn convention)."""
+        return np.array([[self.tn, self.fp], [self.fn, self.tp]], dtype=np.int64)
+
+
+def confusion_matrix(y_true, y_pred, *, positive=1) -> ConfusionMatrix:
+    """Binary confusion matrix with ``positive`` as the positive label."""
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred, names=("y_true", "y_pred"))
+    if y_true.size == 0:
+        raise ValueError("cannot compute a confusion matrix on empty inputs")
+    t = y_true == positive
+    p = y_pred == positive
+    return ConfusionMatrix(
+        tp=int(np.sum(t & p)),
+        fp=int(np.sum(~t & p)),
+        tn=int(np.sum(~t & ~p)),
+        fn=int(np.sum(t & ~p)),
+    )
+
+
+def _safe_div(num: float, den: float) -> float:
+    return num / den if den > 0 else 0.0
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred, names=("y_true", "y_pred"))
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy on empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision(y_true, y_pred, *, positive=1) -> float:
+    """TP / (TP + FP) — of predicted positives, how many are real."""
+    cm = confusion_matrix(y_true, y_pred, positive=positive)
+    return _safe_div(cm.tp, cm.tp + cm.fp)
+
+
+def recall(y_true, y_pred, *, positive=1) -> float:
+    """TP / (TP + FN) — sensitivity; of real positives, how many found."""
+    cm = confusion_matrix(y_true, y_pred, positive=positive)
+    return _safe_div(cm.tp, cm.tp + cm.fn)
+
+
+def specificity(y_true, y_pred, *, positive=1) -> float:
+    """TN / (TN + FP) — of real negatives, how many correctly cleared."""
+    cm = confusion_matrix(y_true, y_pred, positive=positive)
+    return _safe_div(cm.tn, cm.tn + cm.fp)
+
+
+def f1_score(y_true, y_pred, *, positive=1) -> float:
+    """Harmonic mean of precision and recall."""
+    cm = confusion_matrix(y_true, y_pred, positive=positive)
+    return _safe_div(2 * cm.tp, 2 * cm.tp + cm.fp + cm.fn)
+
+
+def balanced_accuracy(y_true, y_pred, *, positive=1) -> float:
+    """Mean of sensitivity and specificity (robust to class imbalance)."""
+    return 0.5 * (
+        recall(y_true, y_pred, positive=positive)
+        + specificity(y_true, y_pred, positive=positive)
+    )
+
+
+def classification_report(y_true, y_pred, *, positive=1) -> Dict[str, float]:
+    """All Table IV/V columns in one pass.
+
+    Returns a dict with keys ``precision``, ``recall``, ``specificity``,
+    ``f1``, ``accuracy`` (accuracy as a fraction in [0, 1]).
+    """
+    cm = confusion_matrix(y_true, y_pred, positive=positive)
+    prec = _safe_div(cm.tp, cm.tp + cm.fp)
+    rec = _safe_div(cm.tp, cm.tp + cm.fn)
+    spec = _safe_div(cm.tn, cm.tn + cm.fp)
+    f1 = _safe_div(2 * cm.tp, 2 * cm.tp + cm.fp + cm.fn)
+    acc = _safe_div(cm.tp + cm.tn, cm.total)
+    return {
+        "precision": prec,
+        "recall": rec,
+        "specificity": spec,
+        "f1": f1,
+        "accuracy": acc,
+    }
+
+
+def roc_auc(y_true, scores, *, positive=1) -> float:
+    """Area under the ROC curve via the rank statistic (ties averaged).
+
+    Not in the paper's tables, but standard for medical screening; exposed
+    for the extended examples and ablations.
+    """
+    y_true = column_or_1d(y_true, name="y_true")
+    scores = np.asarray(scores, dtype=np.float64)
+    check_consistent_length(y_true, scores, names=("y_true", "scores"))
+    pos = y_true == positive
+    n_pos = int(pos.sum())
+    n_neg = int((~pos).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # average ranks over tied scores
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + 1 + j + 1)
+        i = j + 1
+    rank_sum = ranks[pos].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def brier_score(y_true, proba_pos, *, positive=1) -> float:
+    """Mean squared error of the positive-class probability.
+
+    The natural quality measure for the §III-B *score* use case: a risk
+    score shown to clinicians should be calibrated, not just well-ranked.
+    """
+    y_true = column_or_1d(y_true, name="y_true")
+    proba_pos = np.asarray(proba_pos, dtype=np.float64)
+    check_consistent_length(y_true, proba_pos, names=("y_true", "proba_pos"))
+    if y_true.size == 0:
+        raise ValueError("cannot compute a Brier score on empty inputs")
+    if np.any((proba_pos < 0) | (proba_pos > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    target = (y_true == positive).astype(np.float64)
+    return float(np.mean((proba_pos - target) ** 2))
+
+
+def calibration_bins(
+    y_true,
+    proba_pos,
+    *,
+    n_bins: int = 10,
+    positive=1,
+) -> Dict[str, np.ndarray]:
+    """Reliability-curve data: per-bin mean prediction vs. observed rate.
+
+    Returns ``{"bin_centers", "mean_predicted", "observed_rate", "counts"}``
+    with NaN for empty bins.  Used to eyeball/assert calibration of the
+    risk scores in the clinical examples.
+    """
+    y_true = column_or_1d(y_true, name="y_true")
+    proba_pos = np.asarray(proba_pos, dtype=np.float64)
+    check_consistent_length(y_true, proba_pos, names=("y_true", "proba_pos"))
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    if np.any((proba_pos < 0) | (proba_pos > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(proba_pos, edges[1:-1]), 0, n_bins - 1)
+    target = (y_true == positive).astype(np.float64)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    with np.errstate(invalid="ignore"):
+        mean_pred = np.bincount(idx, weights=proba_pos, minlength=n_bins) / counts
+        observed = np.bincount(idx, weights=target, minlength=n_bins) / counts
+    return {
+        "bin_centers": (edges[:-1] + edges[1:]) / 2.0,
+        "mean_predicted": mean_pred,
+        "observed_rate": observed,
+        "counts": counts.astype(np.int64),
+    }

@@ -1,0 +1,101 @@
+"""Statistical comparison utilities for the experiment tables.
+
+The paper compares models by raw accuracy; when reproducing on a
+different substrate it is worth knowing whether observed gaps are
+meaningful, so EXPERIMENTS.md quotes bootstrap confidence intervals and
+McNemar tests computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_consistent_length, column_or_1d
+
+
+def bootstrap_accuracy_ci(
+    y_true,
+    y_pred,
+    *,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    seed: SeedLike = 0,
+) -> Tuple[float, float, float]:
+    """Percentile-bootstrap CI for accuracy: ``(point, lo, hi)``."""
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred, names=("y_true", "y_pred"))
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    correct = (y_true == y_pred).astype(np.float64)
+    point = float(correct.mean())
+    rng = as_generator(seed)
+    idx = rng.integers(0, correct.size, size=(n_boot, correct.size))
+    samples = correct[idx].mean(axis=1)
+    lo, hi = np.quantile(samples, [alpha / 2, 1 - alpha / 2])
+    return point, float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class McNemarResult:
+    """Paired-classifier comparison on one test set."""
+
+    b: int  # model A right, model B wrong
+    c: int  # model A wrong, model B right
+    statistic: float
+    p_value: float
+
+    @property
+    def discordant(self) -> int:
+        return self.b + self.c
+
+
+def mcnemar_test(y_true, pred_a, pred_b, *, exact_threshold: int = 25) -> McNemarResult:
+    """McNemar's test for two classifiers on the same samples.
+
+    Uses the exact binomial test when the discordant count is small
+    (``< exact_threshold``), else the continuity-corrected chi-square.
+    """
+    y_true = column_or_1d(y_true, name="y_true")
+    pred_a = column_or_1d(pred_a, name="pred_a")
+    pred_b = column_or_1d(pred_b, name="pred_b")
+    check_consistent_length(y_true, pred_a, pred_b, names=("y_true", "pred_a", "pred_b"))
+    a_right = pred_a == y_true
+    b_right = pred_b == y_true
+    b_count = int(np.sum(a_right & ~b_right))
+    c_count = int(np.sum(~a_right & b_right))
+    n = b_count + c_count
+    if n == 0:
+        return McNemarResult(b=0, c=0, statistic=0.0, p_value=1.0)
+    if n < exact_threshold:
+        p = float(stats.binomtest(min(b_count, c_count), n, 0.5).pvalue)
+        return McNemarResult(b=b_count, c=c_count, statistic=float(min(b_count, c_count)), p_value=p)
+    stat = (abs(b_count - c_count) - 1) ** 2 / n
+    p = float(stats.chi2.sf(stat, df=1))
+    return McNemarResult(b=b_count, c=c_count, statistic=float(stat), p_value=p)
+
+
+def paired_fold_ttest(scores_a: np.ndarray, scores_b: np.ndarray) -> Tuple[float, float]:
+    """Paired t-test over per-fold scores; returns ``(t, p)``.
+
+    Fold scores are correlated so this is an optimistic test (Nadeau &
+    Bengio); used descriptively in EXPERIMENTS.md, not for claims.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape or scores_a.ndim != 1:
+        raise ValueError("score vectors must be 1-d and equal length")
+    if scores_a.size < 2:
+        raise ValueError("need at least 2 folds")
+    diff = scores_a - scores_b
+    if np.allclose(diff, 0.0):
+        return 0.0, 1.0
+    res = stats.ttest_rel(scores_a, scores_b)
+    return float(res.statistic), float(res.pvalue)

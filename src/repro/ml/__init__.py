@@ -1,0 +1,52 @@
+"""From-scratch ML estimators (S5-S11) replacing the paper's sklearn stack.
+
+Every model used in the paper's Tables III-V:
+
+* :class:`DecisionTreeClassifier`, :class:`RandomForestClassifier`
+* :class:`XGBClassifier`, :class:`LGBMClassifier`, :class:`CatBoostClassifier`
+  (three growth policies over one Newton-boosting engine)
+* :class:`KNeighborsClassifier`
+* :class:`LogisticRegression`, :class:`SGDClassifier`
+* :class:`SVC` (SMO)
+* :class:`SequentialNN` (the paper's 2x32 ReLU network)
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, NotFittedError, clone
+from repro.ml.preprocessing import StandardScaler, MinMaxScaler, LabelEncoder
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.ensemble import (
+    RandomForestClassifier,
+    VotingClassifier,
+    GradientBoostingClassifier,
+    XGBClassifier,
+    LGBMClassifier,
+    CatBoostClassifier,
+)
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.linear import LogisticRegression, SGDClassifier
+from repro.ml.svm import SVC
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.neural import SequentialNN
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "NotFittedError",
+    "clone",
+    "StandardScaler",
+    "MinMaxScaler",
+    "LabelEncoder",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "VotingClassifier",
+    "GradientBoostingClassifier",
+    "XGBClassifier",
+    "LGBMClassifier",
+    "CatBoostClassifier",
+    "KNeighborsClassifier",
+    "LogisticRegression",
+    "SGDClassifier",
+    "SVC",
+    "OneVsRestClassifier",
+    "SequentialNN",
+]

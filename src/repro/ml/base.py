@@ -1,0 +1,118 @@
+"""Estimator base contract (S5-S11 substrate).
+
+A miniature re-implementation of the scikit-learn estimator protocol, so
+the paper's model grid (§III-A) can iterate over HDC and ML models
+uniformly:
+
+* hyper-parameters are constructor arguments stored verbatim on ``self``;
+* ``get_params`` / ``set_params`` introspect the constructor signature;
+* :func:`clone` builds an unfitted copy (used by cross-validation so every
+  fold trains a fresh model);
+* fitted state lives in trailing-underscore attributes;
+* classifiers expose ``fit`` / ``predict`` / ``predict_proba`` / ``score``
+  and normalise arbitrary class labels to contiguous indices internally.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_X_y, column_or_1d
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/transform is called before fit."""
+
+
+class BaseEstimator:
+    """Parameter introspection shared by every estimator."""
+
+    @classmethod
+    def _param_names(cls) -> List[str]:
+        sig = inspect.signature(cls.__init__)
+        names = [
+            p.name
+            for p in sig.parameters.values()
+            if p.name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+        return sorted(names)
+
+    def get_params(self) -> Dict[str, Any]:
+        """Hyper-parameters as a dict (constructor arguments only)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Update hyper-parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"invalid parameter {key!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+    def _check_fitted(self, attr: str) -> None:
+        if not hasattr(self, attr):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit(X, y) first"
+            )
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Unfitted copy with identical hyper-parameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+class ClassifierMixin:
+    """Shared classifier behaviour: label normalisation and scoring."""
+
+    classes_: np.ndarray
+
+    def _encode_labels(self, y) -> np.ndarray:
+        """Map arbitrary labels to 0..n_classes-1, recording ``classes_``."""
+        y = column_or_1d(y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if self.classes_.size < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least 2 classes, got "
+                f"{self.classes_.size}"
+            )
+        return encoded.astype(np.int64)
+
+    def _decode_labels(self, indices: np.ndarray) -> np.ndarray:
+        return self.classes_[indices]
+
+    def predict(self, X) -> np.ndarray:  # default via probabilities
+        proba = self.predict_proba(X)  # type: ignore[attr-defined]
+        return self._decode_labels(np.argmax(proba, axis=1))
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = column_or_1d(y)
+        pred = self.predict(X)
+        return float(np.mean(pred == y))
+
+
+def validate_fit_args(
+    X, y, *, dtype=np.float64, min_samples: int = 2
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard (X, y) validation used by every ``fit``."""
+    return check_X_y(X, y, dtype=dtype, min_samples=min_samples)
+
+
+class TransformerMixin:
+    """fit_transform convenience for preprocessing objects."""
+
+    def fit_transform(self, X, y: Optional[np.ndarray] = None) -> np.ndarray:
+        if y is None:
+            return self.fit(X).transform(X)  # type: ignore[attr-defined]
+        return self.fit(X, y).transform(X)  # type: ignore[attr-defined]

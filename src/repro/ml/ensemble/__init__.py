@@ -1,0 +1,19 @@
+"""Ensemble learners (S6-S7): random forest and boosted-tree variants."""
+
+from repro.ml.ensemble.forest import RandomForestClassifier
+from repro.ml.ensemble.voting import VotingClassifier
+from repro.ml.ensemble.gbdt import (
+    GradientBoostingClassifier,
+    XGBClassifier,
+    LGBMClassifier,
+    CatBoostClassifier,
+)
+
+__all__ = [
+    "RandomForestClassifier",
+    "VotingClassifier",
+    "GradientBoostingClassifier",
+    "XGBClassifier",
+    "LGBMClassifier",
+    "CatBoostClassifier",
+]

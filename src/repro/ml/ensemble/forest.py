@@ -1,0 +1,208 @@
+"""Random forest classifier (S6) — Breiman bagging over binned CART trees.
+
+The paper finds Random Forest (+ hypervectors) to be its strongest model
+and speculates that bagging benefits from the added dimensionality; this
+implementation keeps the two Breiman ingredients explicit: bootstrap row
+sampling per tree and per-node feature subsampling (default ``sqrt``).
+
+Binning is shared: features are quantised once, every tree grows on the
+same uint8 code matrix, and trees are fitted through
+:func:`repro.parallel.parallel_map` (thread backend — the histogram
+kernels are NumPy-bound and release the GIL).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
+from repro.ml.tree._binning import Binner
+from repro.ml.tree._splitter import (
+    best_classification_split,
+    best_classification_split_binary,
+)
+from repro.ml.tree._tree import TreeGrower, TreeStructure
+from repro.ml.tree.decision_tree import resolve_max_features
+from repro.parallel import parallel_map
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.validation import check_array, check_positive_int
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Bagged ensemble of binned CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (paper's references use sklearn's default 100).
+    criterion, max_depth, min_samples_split, min_samples_leaf, max_bins:
+        Per-tree CART controls (see :class:`DecisionTreeClassifier`).
+    max_features:
+        Per-split feature subsample; default ``"sqrt"`` (Breiman).
+    bootstrap:
+        Draw each tree's rows with replacement (n out of n).  ``False``
+        uses the full sample for every tree (then only feature subsampling
+        decorrelates trees).
+    oob_score:
+        If True, compute the out-of-bag accuracy estimate ``oob_score_``.
+    n_jobs:
+        Worker count for tree fitting.
+    random_state:
+        Master seed; trees get independent spawned streams.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[None, str, int, float] = "sqrt",
+        max_bins: int = 64,
+        bootstrap: bool = True,
+        oob_score: bool = False,
+        n_jobs: Optional[int] = 1,
+        random_state: SeedLike = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.bootstrap = bootstrap
+        self.oob_score = oob_score
+        self.n_jobs = n_jobs
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "RandomForestClassifier":
+        check_positive_int(self.n_estimators, "n_estimators")
+        X, y = validate_fit_args(X, y)
+        y_idx = self._encode_labels(y)
+        n, f = X.shape
+        self.n_features_in_ = f
+        self.binner_ = Binner(max_bins=self.max_bins).fit(X)
+        codes = self.binner_.transform(X)
+        n_bins = int(self.binner_.n_bins_.max())
+        n_classes = self.classes_.size
+        k_features = resolve_max_features(self.max_features, f)
+        all_features = np.arange(f, dtype=np.int64)
+        rngs = spawn_generators(self.random_state, self.n_estimators)
+        codes_f32 = codes.astype(np.float32) if n_bins <= 2 else None
+
+        def fit_one(rng: np.random.Generator) -> tuple:
+            if self.bootstrap:
+                sample_idx = rng.integers(0, n, size=n, dtype=np.int64)
+            else:
+                sample_idx = np.arange(n, dtype=np.int64)
+
+            def split_fn(idx: np.ndarray, depth: int):
+                node_y = y_idx[idx]
+                if (node_y == node_y[0]).all():
+                    return None
+                feats = (
+                    all_features
+                    if k_features == f
+                    else np.asarray(
+                        rng.choice(f, size=k_features, replace=False), dtype=np.int64
+                    )
+                )
+                if codes_f32 is not None:
+                    # Gather rows and candidate columns in one shot so the
+                    # sqrt-subsampled case never materialises all columns.
+                    sub = (
+                        codes_f32[idx]
+                        if feats.size == f
+                        else codes_f32[idx[:, None], feats]
+                    )
+                    return best_classification_split_binary(
+                        sub,
+                        node_y,
+                        feats,
+                        n_classes=n_classes,
+                        criterion=self.criterion,
+                        min_samples_leaf=self.min_samples_leaf,
+                    )
+                return best_classification_split(
+                    codes[idx],
+                    node_y,
+                    feats,
+                    n_classes=n_classes,
+                    n_bins=n_bins,
+                    criterion=self.criterion,
+                    min_samples_leaf=self.min_samples_leaf,
+                )
+
+            def leaf_value_fn(idx: np.ndarray) -> np.ndarray:
+                counts = np.bincount(y_idx[idx], minlength=n_classes).astype(np.float64)
+                return counts / max(counts.sum(), 1.0)
+
+            grower = TreeGrower(
+                codes,
+                split_fn,
+                leaf_value_fn,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+            )
+            return grower.grow(sample_idx), sample_idx
+
+        results = parallel_map(fit_one, rngs, n_jobs=self.n_jobs)
+        self.trees_: list[TreeStructure] = [t for t, _ in results]
+        if self.oob_score:
+            self._compute_oob(codes, y_idx, [s for _, s in results])
+        return self
+
+    def _compute_oob(self, codes: np.ndarray, y_idx: np.ndarray, samples: list) -> None:
+        n = codes.shape[0]
+        n_classes = self.classes_.size
+        votes = np.zeros((n, n_classes), dtype=np.float64)
+        seen = np.zeros(n, dtype=bool)
+        for tree, sample_idx in zip(self.trees_, samples):
+            oob_mask = np.ones(n, dtype=bool)
+            oob_mask[sample_idx] = False
+            if not oob_mask.any():
+                continue
+            votes[oob_mask] += tree.predict_value(codes[oob_mask])
+            seen |= oob_mask
+        if not seen.any():
+            raise RuntimeError(
+                "no out-of-bag samples; increase n_estimators or disable oob_score"
+            )
+        pred = np.argmax(votes[seen], axis=1)
+        self.oob_score_ = float(np.mean(pred == y_idx[seen]))
+        self.oob_decision_function_ = votes
+
+    # ------------------------------------------------------------------
+    def _codes_for(self, X) -> np.ndarray:
+        self._check_fitted("trees_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, forest fitted with {self.n_features_in_}"
+            )
+        return self.binner_.transform(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average of per-tree leaf class distributions (soft voting)."""
+        codes = self._codes_for(X)
+        acc = np.zeros((codes.shape[0], self.classes_.size), dtype=np.float64)
+        blocks = parallel_map(
+            lambda tree: tree.predict_value(codes), self.trees_, n_jobs=self.n_jobs
+        )
+        for block in blocks:
+            acc += block
+        return acc / len(self.trees_)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        self._check_fitted("trees_")
+        imp = np.zeros(self.n_features_in_, dtype=np.float64)
+        for tree in self.trees_:
+            imp += tree.feature_importances(self.n_features_in_)
+        total = imp.sum()
+        return imp / total if total > 0 else imp

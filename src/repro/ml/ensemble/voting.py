@@ -1,0 +1,107 @@
+"""Soft/hard voting ensembles (extension beyond the paper).
+
+The paper evaluates HDC and ML models side by side; the natural next step
+its conclusion gestures at ("further tuning and exploration") is to
+*combine* them.  :class:`VotingClassifier` lets the examples and ablations
+fuse, e.g., the Hamming model's distance evidence with a Random Forest's
+leaf probabilities over the same hypervectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, clone
+from repro.utils.validation import column_or_1d
+
+
+class VotingClassifier(BaseEstimator, ClassifierMixin):
+    """Combine fitted votes of heterogeneous classifiers.
+
+    Parameters
+    ----------
+    estimators:
+        ``(name, estimator)`` pairs; each is cloned and fitted on the
+        same ``(X, y)``.
+    voting:
+        ``"soft"`` (average predicted probabilities — requires
+        ``predict_proba`` on every member) or ``"hard"`` (majority of
+        predicted labels; ties resolve to the lowest class, as sklearn).
+    weights:
+        Optional per-estimator weights (probability average or vote
+        counts).
+    """
+
+    def __init__(
+        self,
+        estimators: Sequence[Tuple[str, BaseEstimator]],
+        voting: str = "soft",
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.estimators = list(estimators)
+        self.voting = voting
+        self.weights = list(weights) if weights is not None else None
+
+    def _validated_weights(self) -> np.ndarray:
+        if self.weights is None:
+            return np.ones(len(self.estimators))
+        w = np.asarray(self.weights, dtype=np.float64)
+        if w.shape != (len(self.estimators),):
+            raise ValueError(
+                f"weights length {w.shape} != n_estimators {len(self.estimators)}"
+            )
+        if np.any(w < 0) or w.sum() == 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        return w
+
+    def fit(self, X, y) -> "VotingClassifier":
+        if not self.estimators:
+            raise ValueError("need at least one (name, estimator) pair")
+        names = [name for name, _ in self.estimators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate estimator names: {names}")
+        if self.voting not in ("soft", "hard"):
+            raise ValueError(f"voting must be 'soft' or 'hard', got {self.voting!r}")
+        self._validated_weights()
+        y = column_or_1d(y)
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least 2 classes")
+        self.fitted_: List[Tuple[str, BaseEstimator]] = []
+        for name, est in self.estimators:
+            model = clone(est)
+            model.fit(X, y)
+            if not np.array_equal(model.classes_, self.classes_):
+                raise ValueError(
+                    f"estimator {name!r} saw classes {model.classes_}, "
+                    f"ensemble saw {self.classes_}"
+                )
+            self.fitted_.append((name, model))
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("fitted_")
+        w = self._validated_weights()
+        if self.voting == "soft":
+            acc = np.zeros((np.asarray(X).shape[0], self.classes_.size))
+            for weight, (_, model) in zip(w, self.fitted_):
+                acc += weight * model.predict_proba(X)
+            return acc / w.sum()
+        # hard voting: indicator votes normalised to a distribution
+        votes = np.zeros((np.asarray(X).shape[0], self.classes_.size))
+        lookup = {c: i for i, c in enumerate(self.classes_)}
+        for weight, (_, model) in zip(w, self.fitted_):
+            pred = model.predict(X)
+            idx = np.array([lookup[p] for p in pred])
+            votes[np.arange(len(idx)), idx] += weight
+        return votes / w.sum()
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))
+
+    @property
+    def named_estimators_(self) -> Dict[str, BaseEstimator]:
+        self._check_fitted("fitted_")
+        return dict(self.fitted_)

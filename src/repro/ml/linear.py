@@ -1,0 +1,246 @@
+"""Linear classifiers (S9): logistic regression and SGD.
+
+* :class:`LogisticRegression` — L2-regularised maximum likelihood via
+  L-BFGS (``scipy.optimize.minimize`` with an analytic gradient); the
+  sklearn model the paper's notebooks call with default settings.
+* :class:`SGDClassifier` — stochastic gradient descent over hinge
+  (linear SVM) or log loss with sklearn's "optimal" learning-rate
+  schedule.  This is the model the paper highlights: hypervector input
+  lifted its Pima-M training accuracy by >10 points (Table III) and its
+  test F1 from 0.681 to 0.797 (Table IV) — the headline "HDC rescues a
+  weak model" result.
+
+Both operate happily in 10,000 dimensions: gradients are single GEMV/GEMM
+expressions over the data matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Binary L2-regularised logistic regression fitted with L-BFGS.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularisation strength (sklearn convention: the data term
+        is multiplied by ``C``; larger C = weaker regularisation).
+    max_iter:
+        L-BFGS iteration cap.
+    tol:
+        Gradient-norm convergence tolerance.
+    fit_intercept:
+        Learn an unpenalised intercept term.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        max_iter: int = 1000,
+        tol: float = 1e-6,
+        fit_intercept: bool = True,
+    ) -> None:
+        self.C = C
+        self.max_iter = max_iter
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LogisticRegression":
+        check_in_range(self.C, "C", 0.0, np.inf, inclusive="neither")
+        check_positive_int(self.max_iter, "max_iter")
+        X, y = validate_fit_args(X, y)
+        y_idx = self._encode_labels(y)
+        if self.classes_.size != 2:
+            raise ValueError("LogisticRegression here is binary-only (paper's tasks)")
+        target = y_idx.astype(np.float64)
+        n, f = X.shape
+        self.n_features_in_ = f
+
+        def objective(wb: np.ndarray):
+            w = wb[:f]
+            b = wb[f] if self.fit_intercept else 0.0
+            z = X @ w + b
+            # log-loss via logaddexp for stability
+            loss = self.C * np.sum(np.logaddexp(0.0, z) - target * z) + 0.5 * w @ w
+            p = _sigmoid(z)
+            gw = self.C * (X.T @ (p - target)) + w
+            if self.fit_intercept:
+                gb = self.C * np.sum(p - target)
+                return loss, np.concatenate([gw, [gb]])
+            return loss, gw
+
+        x0 = np.zeros(f + (1 if self.fit_intercept else 0))
+        res = minimize(
+            objective,
+            x0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "gtol": self.tol},
+        )
+        self.coef_ = res.x[:f]
+        self.intercept_ = float(res.x[f]) if self.fit_intercept else 0.0
+        self.n_iter_ = int(res.nit)
+        self.converged_ = bool(res.success)
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model fitted with {self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        p = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p, p])
+
+
+class SGDClassifier(BaseEstimator, ClassifierMixin):
+    """Linear model trained by per-sample stochastic gradient descent.
+
+    Parameters
+    ----------
+    loss:
+        ``"hinge"`` (sklearn default: a linear SVM) or ``"log_loss"``.
+    alpha:
+        L2 penalty multiplier.
+    max_iter:
+        Epochs over the shuffled training set.
+    tol:
+        Stop when the epoch-average loss improves by less than ``tol``
+        (sklearn's n_iter_no_change=5 patience is reproduced).
+    learning_rate / eta0:
+        ``"optimal"`` reproduces sklearn's ``1 / (alpha (t + t0))``
+        schedule with Bottou's heuristic ``t0``; ``"constant"`` uses
+        ``eta0`` throughout.
+    shuffle / random_state:
+        Whether and how the sample order is reshuffled every epoch.
+    """
+
+    def __init__(
+        self,
+        loss: str = "hinge",
+        alpha: float = 1e-4,
+        max_iter: int = 1000,
+        tol: float = 1e-3,
+        learning_rate: str = "optimal",
+        eta0: float = 0.01,
+        shuffle: bool = True,
+        n_iter_no_change: int = 5,
+        random_state: SeedLike = None,
+    ) -> None:
+        self.loss = loss
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+        self.learning_rate = learning_rate
+        self.eta0 = eta0
+        self.shuffle = shuffle
+        self.n_iter_no_change = n_iter_no_change
+        self.random_state = random_state
+
+    def _eta(self, t: int) -> float:
+        if self.learning_rate == "constant":
+            return self.eta0
+        # Bottou's "optimal" schedule as used by sklearn.
+        typw = np.sqrt(1.0 / np.sqrt(self.alpha))
+        initial_eta0 = typw / max(1.0, self._dloss_at(-typw))
+        t0 = 1.0 / (initial_eta0 * self.alpha)
+        return 1.0 / (self.alpha * (t0 + t))
+
+    def _dloss_at(self, z: float) -> float:
+        # |dloss/dz| at margin z, used only to calibrate the schedule.
+        if self.loss == "hinge":
+            return 1.0 if z < 1 else 0.0
+        return float(_sigmoid(np.asarray([z]))[0])
+
+    def fit(self, X, y) -> "SGDClassifier":
+        if self.loss not in ("hinge", "log_loss"):
+            raise ValueError(f"loss must be 'hinge' or 'log_loss', got {self.loss!r}")
+        if self.learning_rate not in ("optimal", "constant"):
+            raise ValueError(
+                f"learning_rate must be 'optimal' or 'constant', got {self.learning_rate!r}"
+            )
+        check_in_range(self.alpha, "alpha", 0.0, np.inf, inclusive="neither")
+        X, y = validate_fit_args(X, y)
+        y_idx = self._encode_labels(y)
+        if self.classes_.size != 2:
+            raise ValueError("SGDClassifier here is binary-only (paper's tasks)")
+        sign = np.where(y_idx == 1, 1.0, -1.0)  # hinge works on +-1 targets
+        n, f = X.shape
+        self.n_features_in_ = f
+        rng = as_generator(self.random_state)
+        w = np.zeros(f)
+        b = 0.0
+        t = 1
+        best_loss = np.inf
+        stall = 0
+        order = np.arange(n)
+        for epoch in range(self.max_iter):
+            if self.shuffle:
+                rng.shuffle(order)
+            epoch_loss = 0.0
+            for i in order:
+                eta = self._eta(t)
+                xi = X[i]
+                margin = sign[i] * (xi @ w + b)
+                # L2 shrink (leaves the intercept unpenalised, like sklearn)
+                w *= max(0.0, 1.0 - eta * self.alpha)
+                if self.loss == "hinge":
+                    epoch_loss += max(0.0, 1.0 - margin)
+                    if margin < 1.0:
+                        w += eta * sign[i] * xi
+                        b += eta * sign[i]
+                else:
+                    epoch_loss += float(np.logaddexp(0.0, -margin))
+                    g = _sigmoid(np.asarray([-margin]))[0]
+                    w += eta * g * sign[i] * xi
+                    b += eta * g * sign[i]
+                t += 1
+            epoch_loss /= n
+            if epoch_loss > best_loss - self.tol:
+                stall += 1
+                if stall >= self.n_iter_no_change:
+                    break
+            else:
+                stall = 0
+            best_loss = min(best_loss, epoch_loss)
+        self.coef_ = w
+        self.intercept_ = b
+        self.n_iter_ = epoch + 1
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model fitted with {self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels((self.decision_function(X) >= 0).astype(np.int64))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Sigmoid-squashed margins (a calibration-free approximation)."""
+        p = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p, p])

@@ -1,0 +1,63 @@
+"""One-vs-rest multiclass wrapper.
+
+The paper's tasks are binary, so the boosted/linear/SVM/NN estimators in
+this library implement the binary case natively.  Downstream users with
+multiclass labels (e.g. a three-way healthy / prediabetic / diabetic
+staging, the natural extension of §III-B's risk bands) can lift any
+binary classifier with :class:`OneVsRestClassifier`: one clone per class,
+scores normalised into a distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, clone
+from repro.utils.validation import column_or_1d
+
+
+class OneVsRestClassifier(BaseEstimator, ClassifierMixin):
+    """Fit one binary ``estimator`` clone per class (class vs. rest).
+
+    ``predict_proba`` stacks each member's positive-class probability and
+    renormalises; ``predict`` takes the argmax.  Works with every
+    classifier in :mod:`repro.ml` (anything exposing ``predict_proba``).
+    """
+
+    def __init__(self, estimator: BaseEstimator) -> None:
+        self.estimator = estimator
+
+    def fit(self, X, y) -> "OneVsRestClassifier":
+        y = column_or_1d(y)
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least 2 classes")
+        self.estimators_: List[BaseEstimator] = []
+        for cls in self.classes_:
+            member = clone(self.estimator)
+            member.fit(X, (y == cls).astype(np.int64))
+            self.estimators_.append(member)
+        return self
+
+    def _positive_scores(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        cols = []
+        for member in self.estimators_:
+            proba = member.predict_proba(X)
+            pos = list(member.classes_).index(1)
+            cols.append(proba[:, pos])
+        return np.column_stack(cols)
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self._positive_scores(X)
+        totals = scores.sum(axis=1, keepdims=True)
+        # A row where every member says "rest" falls back to uniform.
+        uniform = np.full_like(scores, 1.0 / scores.shape[1])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(totals > 0, scores / np.maximum(totals, 1e-300), uniform)
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(np.argmax(self._positive_scores(X), axis=1))

@@ -1,0 +1,229 @@
+"""Sequential dense neural network (S11) — the paper's §II-D model.
+
+A small Keras-like stack: ``Dense`` layers with ReLU hidden activations, a
+sigmoid output, binary cross-entropy loss, Adam, mini-batches, and early
+stopping when the monitored loss fails to improve for ``patience``
+consecutive epochs (the paper: two dense layers of 32 nodes, 1000 epochs,
+patience 20).
+
+Everything is NumPy; forward/backward passes are expressed as GEMMs over
+whole mini-batches, so a 10,000-bit hypervector input only changes the
+first layer's matrix shape — which is exactly the paper's observation that
+per-epoch time was similar for raw features and hypervectors (the 32x32
+core dominates neither; the input GEMM is a single BLAS call either way).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class Dense:
+    """Fully-connected layer with optional ReLU."""
+
+    def __init__(self, n_in: int, n_out: int, relu: bool, rng: np.random.Generator) -> None:
+        # He initialisation for ReLU layers, Glorot for the linear output.
+        scale = np.sqrt(2.0 / n_in) if relu else np.sqrt(1.0 / n_in)
+        self.W = rng.normal(0.0, scale, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.relu = relu
+        # Adam state
+        self.mW = np.zeros_like(self.W)
+        self.vW = np.zeros_like(self.W)
+        self.mb = np.zeros_like(self.b)
+        self.vb = np.zeros_like(self.b)
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        self._X = X
+        z = X @ self.W + self.b
+        if self.relu:
+            self._mask = z > 0
+            return np.where(self._mask, z, 0.0)
+        return z
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self.relu:
+            grad_out = grad_out * self._mask
+        self.gW = self._X.T @ grad_out
+        self.gb = grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def adam_step(self, lr: float, t: int, beta1=0.9, beta2=0.999, eps=1e-8) -> None:
+        for p, g, m, v in (
+            (self.W, self.gW, self.mW, self.vW),
+            (self.b, self.gb, self.mb, self.vb),
+        ):
+            m *= beta1
+            m += (1 - beta1) * g
+            v *= beta2
+            v += (1 - beta2) * np.square(g)
+            mhat = m / (1 - beta1**t)
+            vhat = v / (1 - beta2**t)
+            p -= lr * mhat / (np.sqrt(vhat) + eps)
+
+
+class SequentialNN(BaseEstimator, ClassifierMixin):
+    """The paper's Sequential NN: hidden ReLU stack → sigmoid output.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths (paper: ``(32, 32)``).
+    epochs:
+        Maximum training epochs (paper: 1000).
+    patience:
+        Early-stopping patience in epochs on the monitored loss
+        (paper: 20).  ``None`` disables early stopping.
+    monitor:
+        ``"val"`` monitors validation loss when ``validation_fraction > 0``,
+        else training loss; ``"train"`` always monitors training loss.
+    batch_size:
+        Mini-batch size (full batch if ``None`` or larger than n).
+    lr:
+        Adam learning rate.
+    validation_fraction:
+        Held-out fraction for the monitored validation loss.
+    random_state:
+        Seed for init, shuffling and the validation split.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (32, 32),
+        epochs: int = 1000,
+        patience: Optional[int] = 20,
+        monitor: str = "val",
+        batch_size: Optional[int] = 32,
+        lr: float = 1e-3,
+        validation_fraction: float = 0.0,
+        random_state: SeedLike = None,
+    ) -> None:
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.patience = patience
+        self.monitor = monitor
+        self.batch_size = batch_size
+        self.lr = lr
+        self.validation_fraction = validation_fraction
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "SequentialNN":
+        check_positive_int(self.epochs, "epochs")
+        check_in_range(self.lr, "lr", 0.0, 1.0, inclusive="neither")
+        check_in_range(
+            self.validation_fraction, "validation_fraction", 0.0, 0.9, inclusive="low"
+        )
+        if self.monitor not in ("val", "train"):
+            raise ValueError(f"monitor must be 'val' or 'train', got {self.monitor!r}")
+        X, y = validate_fit_args(X, y)
+        y_idx = self._encode_labels(y)
+        if self.classes_.size != 2:
+            raise ValueError("SequentialNN here is binary-only (paper's tasks)")
+        target = y_idx.astype(np.float64)
+        rng = as_generator(self.random_state)
+        n, f = X.shape
+        self.n_features_in_ = f
+
+        # Optional internal validation split for early stopping.
+        if self.validation_fraction > 0.0 and self.monitor == "val":
+            n_val = max(1, int(round(self.validation_fraction * n)))
+            perm = rng.permutation(n)
+            val_idx, tr_idx = perm[:n_val], perm[n_val:]
+            X_tr, y_tr = X[tr_idx], target[tr_idx]
+            X_val, y_val = X[val_idx], target[val_idx]
+        else:
+            X_tr, y_tr = X, target
+            X_val, y_val = None, None
+
+        sizes = (f,) + self.hidden + (1,)
+        self.layers_: List[Dense] = [
+            Dense(sizes[i], sizes[i + 1], relu=(i + 1 < len(sizes) - 1), rng=rng)
+            for i in range(len(sizes) - 1)
+        ]
+
+        n_tr = X_tr.shape[0]
+        batch = n_tr if self.batch_size is None else min(self.batch_size, n_tr)
+        best_loss = np.inf
+        stall = 0
+        t_step = 0
+        self.history_: List[Tuple[float, Optional[float]]] = []
+        best_weights = None
+        for epoch in range(self.epochs):
+            order = rng.permutation(n_tr)
+            for start in range(0, n_tr, batch):
+                idx = order[start : start + batch]
+                t_step += 1
+                self._train_batch(X_tr[idx], y_tr[idx], t_step)
+            train_loss = self._loss(X_tr, y_tr)
+            val_loss = self._loss(X_val, y_val) if X_val is not None else None
+            self.history_.append((train_loss, val_loss))
+            monitored = val_loss if val_loss is not None else train_loss
+            if self.patience is not None:
+                if monitored < best_loss - 1e-6:
+                    best_loss = monitored
+                    stall = 0
+                    best_weights = [(l.W.copy(), l.b.copy()) for l in self.layers_]
+                else:
+                    stall += 1
+                    if stall >= self.patience:
+                        break
+        if best_weights is not None:
+            for layer, (W, b) in zip(self.layers_, best_weights):
+                layer.W, layer.b = W, b
+        self.n_epochs_ = len(self.history_)
+        return self
+
+    def _train_batch(self, Xb: np.ndarray, yb: np.ndarray, t_step: int) -> None:
+        z = Xb
+        for layer in self.layers_:
+            z = layer.forward(z)
+        p = _sigmoid(z[:, 0])
+        # dL/dz for sigmoid+BCE is (p - y) / batch
+        grad = ((p - yb) / Xb.shape[0])[:, None]
+        for layer in reversed(self.layers_):
+            grad = layer.backward(grad)
+        for layer in self.layers_:
+            layer.adam_step(self.lr, t_step)
+
+    def _raw(self, X: np.ndarray) -> np.ndarray:
+        z = X
+        for layer in self.layers_:
+            z = layer.forward(z)
+        return z[:, 0]
+
+    def _loss(self, X: Optional[np.ndarray], y: Optional[np.ndarray]) -> float:
+        if X is None:
+            return np.nan
+        z = self._raw(X)
+        # BCE on logits via logaddexp (stable for |z| large).
+        return float(np.mean(np.logaddexp(0.0, z) - y * z))
+
+    # ------------------------------------------------------------------
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("layers_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model fitted with {self.n_features_in_}"
+            )
+        return self._raw(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        p = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p, p])

@@ -1,0 +1,51 @@
+"""Minimal pipeline: standardise-then-classify wrapper.
+
+The Kaggle/reference notebooks the paper normalises against standardise
+raw clinical features before the scale-sensitive models (KNN, SGD, SVC,
+logistic regression, the NN).  Hypervector inputs are 0/1 and are passed
+to models unscaled, so scaling is expressed as an estimator wrapper that
+the experiment grid applies only on the raw-feature side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, clone
+from repro.ml.preprocessing import StandardScaler
+
+
+class ScaledClassifier(BaseEstimator, ClassifierMixin):
+    """Fit a StandardScaler and a fresh clone of ``estimator`` on top.
+
+    Cloning semantics: ``get_params`` exposes the wrapped (unfitted)
+    estimator, so :func:`repro.ml.base.clone` of the wrapper produces an
+    independent pipeline; ``fit`` never mutates the template estimator.
+    """
+
+    def __init__(self, estimator: BaseEstimator) -> None:
+        self.estimator = estimator
+
+    def fit(self, X, y) -> "ScaledClassifier":
+        self.scaler_ = StandardScaler().fit(X)
+        self.estimator_ = clone(self.estimator)
+        self.estimator_.fit(self.scaler_.transform(X), y)
+        self.classes_ = self.estimator_.classes_
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimator_")
+        return self.estimator_.predict(self.scaler_.transform(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("estimator_")
+        return self.estimator_.predict_proba(self.scaler_.transform(X))
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("estimator_")
+        inner = self.estimator_
+        if not hasattr(inner, "decision_function"):
+            raise AttributeError(
+                f"{type(inner).__name__} has no decision_function"
+            )
+        return inner.decision_function(self.scaler_.transform(X))

@@ -1,0 +1,109 @@
+"""Preprocessing transformers (substrate for S9-S11).
+
+The paper's linear/NN models are scale-sensitive; the reference notebooks
+it follows standardise raw features before SGD/SVC/LogisticRegression.
+Hypervector inputs are already 0/1 and are passed through unscaled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.utils.validation import check_array, column_or_1d
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Zero-mean, unit-variance scaling per column.
+
+    Constant columns get scale 1 so they transform to exactly zero instead
+    of dividing by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_array(X, name="X")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler fitted with {self.n_features_in_}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X, name="X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Scale each column to ``[feature_range[0], feature_range[1]]``."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)) -> None:
+        self.feature_range = feature_range
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        lo, hi = self.feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must be increasing, got {self.feature_range}")
+        X = check_array(X, name="X")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self.scale_ = (hi - lo) / span
+        self.min_ = lo - self.data_min_ * self.scale_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("scale_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler fitted with {self.n_features_in_}"
+            )
+        return X * self.scale_ + self.min_
+
+
+class LabelEncoder(BaseEstimator):
+    """Map arbitrary hashable labels to 0..K-1 and back."""
+
+    def fit(self, y) -> "LabelEncoder":
+        y = column_or_1d(y)
+        self.classes_ = np.unique(y)
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        self._check_fitted("classes_")
+        y = column_or_1d(y)
+        idx = np.searchsorted(self.classes_, y)
+        bad = (idx >= self.classes_.size) | (self.classes_[np.minimum(idx, self.classes_.size - 1)] != y)
+        if np.any(bad):
+            raise ValueError(f"y contains unseen labels: {np.unique(np.asarray(y)[bad])}")
+        return idx.astype(np.int64)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, idx) -> np.ndarray:
+        self._check_fitted("classes_")
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.classes_.size):
+            raise ValueError("index out of range for fitted classes")
+        return self.classes_[idx]

@@ -1,0 +1,257 @@
+"""Kernel support-vector classifier (S10) fitted with SMO.
+
+A from-scratch implementation of Platt's Sequential Minimal Optimization
+with the standard working-set heuristics (max |E_i - E_j| second-choice
+selection, KKT-violation outer loop), supporting linear, RBF and
+polynomial kernels.  ``gamma="scale"`` reproduces sklearn's default
+``1 / (n_features * X.var())`` — important here because the paper feeds
+both 8-feature raw matrices and 10,000-bit hypervectors to the same model.
+
+Probability outputs use Platt scaling: a 1-d logistic fit on the decision
+values (Newton iterations), the same post-hoc calibration sklearn wraps
+around libsvm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class SVC(BaseEstimator, ClassifierMixin):
+    """Binary C-SVM with SMO in the dual.
+
+    Parameters
+    ----------
+    C:
+        Box constraint (soft-margin trade-off).
+    kernel:
+        ``"rbf"`` (default), ``"linear"`` or ``"poly"``.
+    gamma:
+        Kernel width: ``"scale"``, ``"auto"`` or a float.
+    degree, coef0:
+        Polynomial kernel parameters.
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        Consecutive full passes without any alpha update before stopping.
+    max_iter:
+        Hard cap on SMO sweeps (defensive; SMO converges long before).
+    probability:
+        Fit Platt scaling on the training decision values so
+        ``predict_proba`` is available.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma="scale",
+        degree: int = 3,
+        coef0: float = 0.0,
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 200,
+        probability: bool = True,
+        random_state: SeedLike = 0,
+    ) -> None:
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.probability = probability
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def _gamma_value(self, X: np.ndarray) -> float:
+        if self.gamma == "scale":
+            var = float(X.var())
+            return 1.0 / (X.shape[1] * var) if var > 0 else 1.0
+        if self.gamma == "auto":
+            return 1.0 / X.shape[1]
+        g = float(self.gamma)
+        if g <= 0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+        return g
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return A @ B.T
+        if self.kernel == "poly":
+            return (self._gamma_ * (A @ B.T) + self.coef0) ** self.degree
+        if self.kernel == "rbf":
+            sq = (
+                np.einsum("ij,ij->i", A, A)[:, None]
+                + np.einsum("ij,ij->i", B, B)[None, :]
+                - 2.0 * (A @ B.T)
+            )
+            return np.exp(-self._gamma_ * np.maximum(sq, 0.0))
+        raise ValueError(f"unknown kernel {self.kernel!r}")
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "SVC":
+        check_in_range(self.C, "C", 0.0, np.inf, inclusive="neither")
+        check_positive_int(self.max_iter, "max_iter")
+        X, y = validate_fit_args(X, y)
+        y_idx = self._encode_labels(y)
+        if self.classes_.size != 2:
+            raise ValueError("SVC here is binary-only (paper's tasks)")
+        t = np.where(y_idx == 1, 1.0, -1.0)
+        n, f = X.shape
+        self.n_features_in_ = f
+        self._gamma_ = self._gamma_value(X)
+        K = self._kernel_matrix(X, X)
+
+        alpha = np.zeros(n)
+        # E cache: decision (including the running bias) minus target.
+        # The bias must be maintained *during* optimisation: KKT checks
+        # against a bias-free decision stall far from the dual optimum.
+        self._b_work = 0.0
+        E = -t.copy()
+        rng = as_generator(self.random_state)
+        passes = 0
+        sweeps = 0
+        while passes < self.max_passes and sweeps < self.max_iter:
+            changed = 0
+            for i in range(n):
+                Ei = E[i]
+                # KKT check at tolerance tol
+                if not (
+                    (t[i] * Ei < -self.tol and alpha[i] < self.C)
+                    or (t[i] * Ei > self.tol and alpha[i] > 0)
+                ):
+                    continue
+                # Second-choice heuristic: maximise |Ei - Ej|.
+                j = int(np.argmax(np.abs(E - Ei)))
+                if j == i or not self._take_step(i, j, alpha, t, K, E):
+                    j = int(rng.integers(0, n - 1))
+                    j = j + 1 if j >= i else j
+                    if not self._take_step(i, j, alpha, t, K, E):
+                        continue
+                changed += 1
+            sweeps += 1
+            passes = passes + 1 if changed == 0 else 0
+        self.n_iter_ = sweeps
+
+        sv = alpha > 1e-8
+        self.support_ = np.flatnonzero(sv)
+        self.support_vectors_ = X[sv]
+        self.dual_coef_ = (alpha * t)[sv]
+        # Refine the bias from margin SVs (0 < alpha < C) when available;
+        # otherwise keep the working bias from the SMO loop.
+        margin = sv & (alpha < self.C - 1e-8)
+        if margin.any():
+            raw = K[margin][:, sv] @ self.dual_coef_
+            self.intercept_ = float(np.mean(t[margin] - raw))
+        else:
+            self.intercept_ = float(self._b_work)
+
+        if self.probability:
+            self._fit_platt(self._decision_from_kernel(K[:, sv]), y_idx)
+        return self
+
+    def _take_step(self, i, j, alpha, t, K, E) -> bool:
+        if i == j:
+            return False
+        ai_old, aj_old = alpha[i], alpha[j]
+        if t[i] != t[j]:
+            L = max(0.0, aj_old - ai_old)
+            H = min(self.C, self.C + aj_old - ai_old)
+        else:
+            L = max(0.0, ai_old + aj_old - self.C)
+            H = min(self.C, ai_old + aj_old)
+        if L >= H:
+            return False
+        eta = K[i, i] + K[j, j] - 2.0 * K[i, j]
+        if eta <= 1e-12:
+            return False
+        aj = aj_old + t[j] * (E[i] - E[j]) / eta
+        aj = float(np.clip(aj, L, H))
+        if abs(aj - aj_old) < 1e-12 * (aj + aj_old + 1e-12):
+            return False
+        ai = ai_old + t[i] * t[j] * (aj_old - aj)
+        alpha[i], alpha[j] = ai, aj
+        di, dj = ai - ai_old, aj - aj_old
+        # Platt's bias update: keep b consistent so KKT checks stay honest.
+        b_old = self._b_work
+        b1 = b_old - E[i] - t[i] * di * K[i, i] - t[j] * dj * K[i, j]
+        b2 = b_old - E[j] - t[i] * di * K[i, j] - t[j] * dj * K[j, j]
+        if 0.0 < ai < self.C:
+            b_new = b1
+        elif 0.0 < aj < self.C:
+            b_new = b2
+        else:
+            b_new = 0.5 * (b1 + b2)
+        self._b_work = b_new
+        # Rank-2 error-cache update + bias shift (vectorised).
+        E += (
+            t[i] * di * K[:, i]
+            + t[j] * dj * K[:, j]
+            + (b_new - b_old)
+        )
+        return True
+
+    def _decision_from_kernel(self, K_sv: np.ndarray) -> np.ndarray:
+        return K_sv @ self.dual_coef_ + self.intercept_
+
+    def _fit_platt(self, scores: np.ndarray, y_idx: np.ndarray) -> None:
+        """Newton fit of P(y=1|s) = sigmoid(a*s + c)."""
+        a, c = -1.0, 0.0
+        target = y_idx.astype(np.float64)
+        for _ in range(50):
+            z = a * scores + c
+            p = _sigmoid(z)
+            g_a = np.sum((p - target) * scores)
+            g_c = np.sum(p - target)
+            w = np.maximum(p * (1 - p), 1e-10)
+            h_aa = np.sum(w * scores * scores) + 1e-10
+            h_cc = np.sum(w) + 1e-10
+            h_ac = np.sum(w * scores)
+            det = h_aa * h_cc - h_ac**2
+            if abs(det) < 1e-12:
+                break
+            da = (h_cc * g_a - h_ac * g_c) / det
+            dc = (h_aa * g_c - h_ac * g_a) / det
+            a -= da
+            c -= dc
+            if abs(da) < 1e-10 and abs(dc) < 1e-10:
+                break
+        self._platt_a_, self._platt_c_ = a, c
+
+    # ------------------------------------------------------------------
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("support_vectors_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model fitted with {self.n_features_in_}"
+            )
+        K = self._kernel_matrix(X, self.support_vectors_)
+        return self._decision_from_kernel(K)
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels((self.decision_function(X) >= 0).astype(np.int64))
+
+    def predict_proba(self, X) -> np.ndarray:
+        if not self.probability:
+            raise RuntimeError("SVC fitted with probability=False")
+        self._check_fitted("_platt_a_")
+        s = self.decision_function(X)
+        p = _sigmoid(self._platt_a_ * s + self._platt_c_)
+        return np.column_stack([1.0 - p, p])

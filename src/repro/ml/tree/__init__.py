@@ -1,0 +1,31 @@
+"""Decision-tree learning (S5) and the shared binned split engine."""
+
+from repro.ml.tree.decision_tree import DecisionTreeClassifier, resolve_max_features
+from repro.ml.tree._binning import Binner, is_binary_matrix, bin_binary
+from repro.ml.tree._splitter import (
+    Split,
+    best_classification_split,
+    best_gradient_split,
+    class_histograms,
+    gradient_histograms,
+    node_impurity,
+    leaf_value_newton,
+)
+from repro.ml.tree._tree import TreeStructure, TreeGrower
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "resolve_max_features",
+    "Binner",
+    "is_binary_matrix",
+    "bin_binary",
+    "Split",
+    "best_classification_split",
+    "best_gradient_split",
+    "class_histograms",
+    "gradient_histograms",
+    "node_impurity",
+    "leaf_value_newton",
+    "TreeStructure",
+    "TreeGrower",
+]

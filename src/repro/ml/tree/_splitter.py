@@ -1,0 +1,314 @@
+"""Vectorised histogram split search (substrate for S5-S7).
+
+All tree learners in this library share one split engine.  For a tree
+node holding sample indices ``idx`` the engine:
+
+1. gathers the binned codes ``codes[idx][:, features]``;
+2. accumulates *histograms* with a single ``np.bincount`` per class (or
+   per gradient/hessian channel) over flattened ``feature*B + code``
+   indices — no Python loop over features or samples;
+3. prefix-sums the histograms along the bin axis, evaluating every
+   ``(feature, threshold)`` candidate simultaneously with broadcast
+   arithmetic.
+
+This is the LightGBM strategy; with binary (hypervector) columns the
+binning is lossless, so the "histogram approximation" is exact there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Split:
+    """A chosen split: go left iff ``code <= bin`` on ``feature``."""
+
+    feature: int
+    bin: int
+    gain: float
+    n_left: int
+    n_right: int
+
+
+def class_histograms(
+    codes: np.ndarray,
+    y: np.ndarray,
+    features: np.ndarray,
+    n_classes: int,
+    n_bins: int,
+) -> np.ndarray:
+    """Per-class bin histograms, shape ``(n_classes, n_features_sel, n_bins)``.
+
+    Parameters
+    ----------
+    codes : (n_node, n_features_total) uint8
+        Binned rows of the node (already gathered).
+    y : (n_node,) int64
+        Class indices of the node's samples.
+    features : (n_features_sel,) int64
+        Candidate feature columns (supports max_features subsampling).
+    """
+    sub = codes[:, features].astype(np.int64, copy=False)
+    offsets = np.arange(features.size, dtype=np.int64) * n_bins
+    flat = sub + offsets  # (n_node, n_sel)
+    out = np.empty((n_classes, features.size, n_bins), dtype=np.float64)
+    for c in range(n_classes):
+        rows = flat[y == c]
+        out[c] = np.bincount(
+            rows.ravel(), minlength=features.size * n_bins
+        ).reshape(features.size, n_bins)
+    return out
+
+
+def _impurity_from_counts(counts: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity per candidate from class counts laid out on axis 0.
+
+    ``counts`` has shape (n_classes, ...); returns impurity of shape (...).
+    """
+    total = counts.sum(axis=0)
+    safe_total = np.maximum(total, _EPS)
+    p = counts / safe_total
+    if criterion == "gini":
+        imp = 1.0 - np.square(p).sum(axis=0)
+    elif criterion == "entropy":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logp = np.where(p > 0, np.log2(np.maximum(p, _EPS)), 0.0)
+        imp = -(p * logp).sum(axis=0)
+    else:
+        raise ValueError(f"criterion must be 'gini' or 'entropy', got {criterion!r}")
+    return np.where(total > 0, imp, 0.0)
+
+
+def node_impurity(class_counts: np.ndarray, criterion: str = "gini") -> float:
+    """Impurity of a node given its class count vector."""
+    return float(_impurity_from_counts(class_counts.astype(np.float64), criterion))
+
+
+def best_classification_split(
+    codes: np.ndarray,
+    y: np.ndarray,
+    features: np.ndarray,
+    *,
+    n_classes: int,
+    n_bins: int,
+    criterion: str = "gini",
+    min_samples_leaf: int = 1,
+) -> Optional[Split]:
+    """Best impurity-decrease split over all (feature, bin) candidates.
+
+    Returns ``None`` when no candidate satisfies ``min_samples_leaf`` or
+    every candidate leaves impurity unchanged.
+    """
+    n_node = codes.shape[0]
+    hist = class_histograms(codes, y, features, n_classes, n_bins)
+    # Cumulative class counts: candidate b sends codes <= b left.
+    left = np.cumsum(hist, axis=2)[:, :, :-1]  # (C, F, B-1)
+    total = hist.sum(axis=2, keepdims=True)  # (C, F, 1)
+    right = total - left
+    n_left = left.sum(axis=0)  # (F, B-1)
+    n_right = right.sum(axis=0)
+    parent_counts = total[:, 0, 0]
+    parent_imp = node_impurity(parent_counts, criterion)
+
+    imp_left = _impurity_from_counts(left, criterion)
+    imp_right = _impurity_from_counts(right, criterion)
+    child_imp = (n_left * imp_left + n_right * imp_right) / n_node
+    gain = parent_imp - child_imp
+
+    valid = (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
+    gain = np.where(valid, gain, -np.inf)
+    flat_best = int(np.argmax(gain))
+    f_sel, b = divmod(flat_best, gain.shape[1])
+    best_gain = float(gain[f_sel, b])
+    if not np.isfinite(best_gain) or best_gain <= _EPS:
+        return None
+    return Split(
+        feature=int(features[f_sel]),
+        bin=int(b),
+        gain=best_gain,
+        n_left=int(n_left[f_sel, b]),
+        n_right=int(n_right[f_sel, b]),
+    )
+
+
+def gradient_histograms(
+    codes: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    features: np.ndarray,
+    n_bins: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradient/hessian/count histograms for second-order boosting.
+
+    Returns ``(G, H, N)``, each of shape ``(n_features_sel, n_bins)``.
+    """
+    sub = codes[:, features].astype(np.int64, copy=False)
+    offsets = np.arange(features.size, dtype=np.int64) * n_bins
+    flat = (sub + offsets).ravel()
+    size = features.size * n_bins
+    G = np.bincount(flat, weights=np.repeat(grad, features.size), minlength=size)
+    H = np.bincount(flat, weights=np.repeat(hess, features.size), minlength=size)
+    N = np.bincount(flat, minlength=size)
+    shape = (features.size, n_bins)
+    return G.reshape(shape), H.reshape(shape), N.reshape(shape).astype(np.int64)
+
+
+def best_gradient_split(
+    codes: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    features: np.ndarray,
+    *,
+    n_bins: int,
+    reg_lambda: float = 1.0,
+    min_gain: float = 0.0,
+    min_samples_leaf: int = 1,
+    min_child_weight: float = 1e-3,
+) -> Optional[Split]:
+    """XGBoost-style structure-score split on grad/hess histograms.
+
+    gain = 1/2 [ G_L^2/(H_L+λ) + G_R^2/(H_R+λ) − G^2/(H+λ) ] − min_gain
+    """
+    G, H, N = gradient_histograms(codes, grad, hess, features, n_bins)
+    GL = np.cumsum(G, axis=1)[:, :-1]
+    HL = np.cumsum(H, axis=1)[:, :-1]
+    NL = np.cumsum(N, axis=1)[:, :-1]
+    Gtot = G.sum(axis=1, keepdims=True)
+    Htot = H.sum(axis=1, keepdims=True)
+    Ntot = N.sum(axis=1, keepdims=True)
+    GR = Gtot - GL
+    HR = Htot - HL
+    NR = Ntot - NL
+
+    # With reg_lambda == 0 an empty side has denominator 0; those
+    # candidates are invalid anyway (min_child_weight), so divide safely.
+    den_L = np.maximum(HL + reg_lambda, _EPS)
+    den_R = np.maximum(HR + reg_lambda, _EPS)
+    den_P = np.maximum(Htot + reg_lambda, _EPS)
+    gain = 0.5 * (
+        np.square(GL) / den_L + np.square(GR) / den_R - np.square(Gtot) / den_P
+    )
+    valid = (
+        (NL >= min_samples_leaf)
+        & (NR >= min_samples_leaf)
+        & (HL >= min_child_weight)
+        & (HR >= min_child_weight)
+    )
+    gain = np.where(valid, gain, -np.inf)
+    flat_best = int(np.argmax(gain))
+    f_sel, b = divmod(flat_best, gain.shape[1])
+    best_gain = float(gain[f_sel, b])
+    if not np.isfinite(best_gain) or best_gain <= min_gain + _EPS:
+        return None
+    return Split(
+        feature=int(features[f_sel]),
+        bin=int(b),
+        gain=best_gain,
+        n_left=int(NL[f_sel, b]),
+        n_right=int(NR[f_sel, b]),
+    )
+
+
+def best_classification_split_binary(
+    X_float: np.ndarray,
+    y: np.ndarray,
+    features: np.ndarray,
+    *,
+    n_classes: int,
+    criterion: str = "gini",
+    min_samples_leaf: int = 1,
+) -> Optional[Split]:
+    """Binary-feature fast path: one row-reduction per class, no binning.
+
+    For 0/1 columns (hypervector input) there is a single candidate
+    threshold per feature, and the class histogram for "value == 1" is
+    just a per-class column sum of the gathered float rows — a BLAS-grade
+    reduction instead of a bincount over n x F flattened indices.
+    """
+    n_node = X_float.shape[0]
+    sub = X_float[:, features] if features.size != X_float.shape[1] else X_float
+    # counts[c, f] = #samples of class c with feature value 1
+    ones = np.empty((n_classes, sub.shape[1]), dtype=np.float64)
+    totals = np.empty(n_classes, dtype=np.float64)
+    for c in range(n_classes):
+        rows = sub[y == c]
+        ones[c] = rows.sum(axis=0, dtype=np.float64)
+        totals[c] = rows.shape[0]
+    zeros = totals[:, None] - ones
+    # "go left" means code <= 0, i.e. value == 0.
+    n_left = zeros.sum(axis=0)
+    n_right = ones.sum(axis=0)
+    parent_imp = node_impurity(totals, criterion)
+    imp_left = _impurity_from_counts(zeros, criterion)
+    imp_right = _impurity_from_counts(ones, criterion)
+    gain = parent_imp - (n_left * imp_left + n_right * imp_right) / n_node
+    valid = (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
+    gain = np.where(valid, gain, -np.inf)
+    f_sel = int(np.argmax(gain))
+    best_gain = float(gain[f_sel])
+    if not np.isfinite(best_gain) or best_gain <= _EPS:
+        return None
+    return Split(
+        feature=int(features[f_sel]),
+        bin=0,
+        gain=best_gain,
+        n_left=int(n_left[f_sel]),
+        n_right=int(n_right[f_sel]),
+    )
+
+
+def best_gradient_split_binary(
+    X_float: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    features: np.ndarray,
+    *,
+    reg_lambda: float = 1.0,
+    min_gain: float = 0.0,
+    min_samples_leaf: int = 1,
+    min_child_weight: float = 1e-3,
+) -> Optional[Split]:
+    """Binary-feature fast path for boosting: three GEMVs per node."""
+    sub = X_float[:, features] if features.size != X_float.shape[1] else X_float
+    G1 = (grad @ sub).astype(np.float64)
+    H1 = (hess @ sub).astype(np.float64)
+    N1 = sub.sum(axis=0, dtype=np.float64)
+    Gt = float(grad.sum())
+    Ht = float(hess.sum())
+    Nt = float(sub.shape[0])
+    G0, H0, N0 = Gt - G1, Ht - H1, Nt - N1
+    den0 = np.maximum(H0 + reg_lambda, _EPS)
+    den1 = np.maximum(H1 + reg_lambda, _EPS)
+    denP = max(Ht + reg_lambda, _EPS)
+    gain = 0.5 * (np.square(G0) / den0 + np.square(G1) / den1 - Gt * Gt / denP)
+    valid = (
+        (N0 >= min_samples_leaf)
+        & (N1 >= min_samples_leaf)
+        & (H0 >= min_child_weight)
+        & (H1 >= min_child_weight)
+    )
+    gain = np.where(valid, gain, -np.inf)
+    f_sel = int(np.argmax(gain))
+    best_gain = float(gain[f_sel])
+    if not np.isfinite(best_gain) or best_gain <= min_gain + _EPS:
+        return None
+    return Split(
+        feature=int(features[f_sel]),
+        bin=0,
+        gain=best_gain,
+        n_left=int(N0[f_sel]),
+        n_right=int(N1[f_sel]),
+    )
+
+
+def leaf_value_newton(
+    grad_sum: float, hess_sum: float, *, reg_lambda: float = 1.0, learning_rate: float = 1.0
+) -> float:
+    """Second-order leaf weight ``-G / (H + λ)`` scaled by the shrinkage."""
+    return float(-learning_rate * grad_sum / (hess_sum + reg_lambda))

@@ -1,0 +1,186 @@
+"""Array-backed tree structure shared by every tree learner (S5-S7).
+
+A fitted tree is four parallel int32 arrays (feature, threshold bin, left
+child, right child) plus a per-node value matrix.  Prediction never touches
+Python objects: ``apply`` routes all rows level-by-level with vectorised
+gathers, so its cost is O(depth) NumPy ops regardless of sample count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.ml.tree._splitter import Split
+
+_LEAF = np.int32(-1)
+
+
+@dataclass
+class _NodeRecord:
+    """Work-list entry during growth."""
+
+    idx: np.ndarray  # sample indices reaching this node
+    depth: int
+    parent: int  # parent node id, -1 for root
+    is_left: bool
+
+
+class TreeStructure:
+    """Immutable fitted tree: navigation arrays + node values."""
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold_bin: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        n_node_samples: np.ndarray,
+    ) -> None:
+        self.feature = feature
+        self.threshold_bin = threshold_bin
+        self.left = left
+        self.right = right
+        self.value = value
+        self.n_node_samples = n_node_samples
+
+    @property
+    def node_count(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.left == _LEAF))
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.node_count, dtype=np.int32)
+        for node in range(self.node_count):
+            for child in (self.left[node], self.right[node]):
+                if child != _LEAF:
+                    depth[child] = depth[node] + 1
+        return int(depth.max(initial=0))
+
+    def apply(self, codes: np.ndarray) -> np.ndarray:
+        """Leaf index for every row of binned ``codes`` (vectorised)."""
+        if codes.ndim != 2:
+            raise ValueError(f"codes must be 2-d, got shape {codes.shape}")
+        n = codes.shape[0]
+        node = np.zeros(n, dtype=np.int32)
+        active = self.left[node] != _LEAF
+        while np.any(active):
+            cur = node[active]
+            feat = self.feature[cur]
+            thresh = self.threshold_bin[cur]
+            go_left = codes[active, feat] <= thresh
+            node[active] = np.where(go_left, self.left[cur], self.right[cur])
+            active = self.left[node] != _LEAF
+        return node
+
+    def predict_value(self, codes: np.ndarray) -> np.ndarray:
+        """Node value (class distribution or leaf weight) per row."""
+        return self.value[self.apply(codes)]
+
+    def feature_importances(self, n_features: int) -> np.ndarray:
+        """Split-count importances normalised to sum 1 (0s if stump)."""
+        imp = np.zeros(n_features, dtype=np.float64)
+        internal = self.left != _LEAF
+        feats, counts = np.unique(self.feature[internal], return_counts=True)
+        imp[feats] = counts
+        total = imp.sum()
+        return imp / total if total > 0 else imp
+
+
+class TreeGrower:
+    """Depth-first tree growth around pluggable split / leaf-value callbacks.
+
+    Parameters
+    ----------
+    split_fn:
+        ``split_fn(idx, depth) -> Optional[Split]``; ``None`` makes a leaf.
+    leaf_value_fn:
+        ``leaf_value_fn(idx) -> 1-d value array`` stored on every node (so
+        internal nodes also carry values — useful for missing-child
+        fallbacks and probability smoothing).
+    codes:
+        Binned sample matrix used to route rows at split time.
+    max_depth / min_samples_split:
+        Structural stopping rules (None = unlimited depth).
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        split_fn: Callable[[np.ndarray, int], Optional[Split]],
+        leaf_value_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+    ) -> None:
+        self.codes = codes
+        self.split_fn = split_fn
+        self.leaf_value_fn = leaf_value_fn
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+
+    def grow(self, root_idx: np.ndarray) -> TreeStructure:
+        feature: List[int] = []
+        threshold: List[int] = []
+        left: List[int] = []
+        right: List[int] = []
+        values: List[np.ndarray] = []
+        n_samples: List[int] = []
+
+        def new_node(idx: np.ndarray) -> int:
+            node_id = len(feature)
+            feature.append(-1)
+            threshold.append(-1)
+            left.append(-1)
+            right.append(-1)
+            values.append(self.leaf_value_fn(idx))
+            n_samples.append(int(idx.shape[0]))
+            return node_id
+
+        # Depth-first with an explicit stack; LIFO order keeps memory at
+        # O(depth) live index arrays.
+        root_id = new_node(root_idx)
+        stack: List[tuple] = [(root_id, root_idx, 0)]
+        while stack:
+            node_id, idx, depth = stack.pop()
+            if self._should_stop(idx, depth):
+                continue
+            split = self.split_fn(idx, depth)
+            if split is None:
+                continue
+            go_left = self.codes[idx, split.feature] <= split.bin
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if left_idx.size == 0 or right_idx.size == 0:  # pragma: no cover
+                continue  # defensive: splitter guarantees both non-empty
+            feature[node_id] = split.feature
+            threshold[node_id] = split.bin
+            left_id = new_node(left_idx)
+            right_id = new_node(right_idx)
+            left[node_id] = left_id
+            right[node_id] = right_id
+            stack.append((right_id, right_idx, depth + 1))
+            stack.append((left_id, left_idx, depth + 1))
+
+        return TreeStructure(
+            feature=np.asarray(feature, dtype=np.int32),
+            threshold_bin=np.asarray(threshold, dtype=np.int32),
+            left=np.asarray(left, dtype=np.int32),
+            right=np.asarray(right, dtype=np.int32),
+            value=np.stack(values),
+            n_node_samples=np.asarray(n_samples, dtype=np.int64),
+        )
+
+    def _should_stop(self, idx: np.ndarray, depth: int) -> bool:
+        if idx.shape[0] < self.min_samples_split:
+            return True
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        return False

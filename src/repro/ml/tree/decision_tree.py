@@ -1,0 +1,208 @@
+"""CART decision-tree classifier (S5) — scikit-learn substitute.
+
+Histogram-CART: features are quantile-binned once (losslessly for the
+binary hypervector columns), then every node evaluates all candidate
+(feature, threshold) pairs simultaneously on class-count histograms.
+Supports the hyper-parameters the paper's reference notebooks tune:
+``max_depth``, ``min_samples_split``, ``min_samples_leaf``,
+``max_features``, ``criterion``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
+from repro.ml.tree._binning import Binner
+from repro.ml.tree._splitter import (
+    best_classification_split,
+    best_classification_split_binary,
+)
+from repro.ml.tree._tree import TreeGrower, TreeStructure
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_positive_int
+
+
+def resolve_max_features(max_features, n_features: int) -> int:
+    """Translate sklearn-style ``max_features`` into a concrete count."""
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        raise ValueError(
+            f"max_features string must be 'sqrt' or 'log2', got {max_features!r}"
+        )
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError(f"float max_features must be in (0, 1], got {max_features}")
+        return max(1, int(round(max_features * n_features)))
+    count = check_positive_int(max_features, "max_features")
+    if count > n_features:
+        raise ValueError(
+            f"max_features={count} exceeds feature count {n_features}"
+        )
+    return count
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """Binned CART classifier.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` (default) or ``"entropy"``.
+    max_depth:
+        Maximum tree depth; ``None`` grows until pure/min-sample limits.
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    min_samples_leaf:
+        Minimum samples in each child; candidates violating it are skipped.
+    max_features:
+        Features examined per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int count or a float fraction.  When fewer than all
+        features are used the subset is re-drawn *per node* (Breiman).
+    max_bins:
+        Histogram resolution for continuous features (binary columns are
+        always exact).
+    random_state:
+        Seed for per-node feature subsampling.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[None, str, int, float] = None,
+        max_bins: int = 64,
+        random_state: SeedLike = None,
+    ) -> None:
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y, *, sample_indices: Optional[np.ndarray] = None) -> "DecisionTreeClassifier":
+        """Fit on ``(X, y)``; ``sample_indices`` restricts to a bootstrap."""
+        X, y = validate_fit_args(X, y)
+        y_idx = self._encode_labels(y)
+        self.n_features_in_ = X.shape[1]
+        self.binner_ = Binner(max_bins=self.max_bins).fit(X)
+        codes = self.binner_.transform(X)
+        self.tree_ = self._grow(codes, y_idx, sample_indices)
+        return self
+
+    def _grow(
+        self,
+        codes: np.ndarray,
+        y_idx: np.ndarray,
+        sample_indices: Optional[np.ndarray],
+        *,
+        n_bins: Optional[int] = None,
+    ) -> TreeStructure:
+        """Grow a tree on prebinned codes (also the forest entry point)."""
+        check_positive_int(self.min_samples_split, "min_samples_split", minimum=2)
+        check_positive_int(self.min_samples_leaf, "min_samples_leaf")
+        if self.max_depth is not None:
+            check_positive_int(self.max_depth, "max_depth")
+        n_classes = self.classes_.size
+        bins = n_bins if n_bins is not None else int(self.binner_.n_bins_.max())
+        n_features = codes.shape[1]
+        k_features = resolve_max_features(self.max_features, n_features)
+        rng = as_generator(self.random_state)
+        all_features = np.arange(n_features, dtype=np.int64)
+        # Pure-binary matrices (hypervector input) take the GEMV fast path:
+        # one float32 copy up front, per-node row sums instead of bincounts.
+        codes_f32 = codes.astype(np.float32) if bins <= 2 else None
+
+        def split_fn(idx: np.ndarray, depth: int):
+            node_y = y_idx[idx]
+            if node_y.size == 0 or (node_y == node_y[0]).all():
+                return None  # pure node
+            feats = (
+                all_features
+                if k_features == n_features
+                else np.asarray(
+                    rng.choice(n_features, size=k_features, replace=False),
+                    dtype=np.int64,
+                )
+            )
+            if codes_f32 is not None:
+                return best_classification_split_binary(
+                    codes_f32[idx],
+                    node_y,
+                    feats,
+                    n_classes=n_classes,
+                    criterion=self.criterion,
+                    min_samples_leaf=self.min_samples_leaf,
+                )
+            return best_classification_split(
+                codes[idx],
+                node_y,
+                feats,
+                n_classes=n_classes,
+                n_bins=bins,
+                criterion=self.criterion,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+
+        def leaf_value_fn(idx: np.ndarray) -> np.ndarray:
+            counts = np.bincount(y_idx[idx], minlength=n_classes).astype(np.float64)
+            return counts / max(counts.sum(), 1.0)
+
+        grower = TreeGrower(
+            codes,
+            split_fn,
+            leaf_value_fn,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+        )
+        root_idx = (
+            np.arange(codes.shape[0], dtype=np.int64)
+            if sample_indices is None
+            else np.asarray(sample_indices, dtype=np.int64)
+        )
+        return grower.grow(root_idx)
+
+    # ------------------------------------------------------------------
+    def _codes_for(self, X) -> np.ndarray:
+        self._check_fitted("tree_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree fitted with {self.n_features_in_}"
+            )
+        return self.binner_.transform(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class distribution of the reached leaf."""
+        codes = self._codes_for(X)  # validates fitted state first
+        return self.tree_.predict_value(codes)
+
+    def apply(self, X) -> np.ndarray:
+        """Leaf id per sample (used in tests and ensemble diagnostics)."""
+        codes = self._codes_for(X)  # validates fitted state first
+        return self.tree_.apply(codes)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        self._check_fitted("tree_")
+        return self.tree_.feature_importances(self.n_features_in_)
+
+    def get_depth(self) -> int:
+        self._check_fitted("tree_")
+        return self.tree_.max_depth()
+
+    def get_n_leaves(self) -> int:
+        self._check_fitted("tree_")
+        return self.tree_.n_leaves

@@ -1,0 +1,120 @@
+"""Ordered parallel map with pluggable thread/process backends.
+
+Design notes
+------------
+* **Ordering** — results are returned in input order regardless of
+  completion order, so callers (forest fitting, CV folds) stay
+  deterministic.
+* **Serial fast path** — with one worker (or tiny inputs) we run inline;
+  no pool is spun up, which keeps single-core machines and tests fast and
+  makes tracebacks direct.
+* **Backend choice** — ``threads`` (default) suits NumPy-bound work that
+  releases the GIL; ``processes`` suits pure-Python CPU work.  Both can be
+  forced globally through ``REPRO_BACKEND`` and ``REPRO_WORKERS``.
+* **Error propagation** — the first worker exception is re-raised in the
+  caller with its original type; remaining futures are cancelled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_VALID_BACKENDS = ("threads", "processes", "serial")
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Resolved parallel-execution configuration."""
+
+    workers: int
+    backend: str
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in _VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_VALID_BACKENDS}, got {self.backend!r}"
+            )
+
+
+def effective_workers(n_jobs: Optional[int] = None) -> int:
+    """Resolve a worker count.
+
+    ``None``/0 → the ``REPRO_WORKERS`` env var if set, else cpu count;
+    negative → ``max(1, cpu + 1 + n_jobs)`` (sklearn-style ``-1`` = all).
+    """
+    if n_jobs is None or n_jobs == 0:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None:
+            try:
+                return max(1, int(env))
+            except ValueError as exc:
+                raise ValueError(f"REPRO_WORKERS must be an int, got {env!r}") from exc
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+def resolve_config(n_jobs: Optional[int] = None, backend: Optional[str] = None) -> WorkerConfig:
+    """Combine explicit arguments with environment defaults."""
+    resolved_backend = backend or os.environ.get("REPRO_BACKEND", "threads")
+    return WorkerConfig(workers=effective_workers(n_jobs), backend=resolved_backend)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    chunk_threshold: int = 2,
+) -> List[R]:
+    """Apply ``fn`` to every item, in order, possibly in parallel.
+
+    Parameters
+    ----------
+    fn:
+        Callable applied to each item.  Must be picklable for the
+        ``processes`` backend.
+    items:
+        Input sequence (materialised once).
+    n_jobs:
+        Worker count request; see :func:`effective_workers`.
+    backend:
+        ``"threads"``, ``"processes"`` or ``"serial"``; defaults to the
+        ``REPRO_BACKEND`` env var, else threads.
+    chunk_threshold:
+        Inputs with fewer items than this run serially — a pool would only
+        add latency.
+
+    Returns
+    -------
+    list
+        ``[fn(x) for x in items]``, in input order.
+    """
+    seq: Sequence[T] = list(items)
+    cfg = resolve_config(n_jobs, backend)
+    if cfg.backend == "serial" or cfg.workers == 1 or len(seq) < chunk_threshold:
+        return [fn(x) for x in seq]
+
+    executor_cls = ThreadPoolExecutor if cfg.backend == "threads" else ProcessPoolExecutor
+    workers = min(cfg.workers, len(seq))
+    with executor_cls(max_workers=workers) as pool:
+        futures = [pool.submit(fn, x) for x in seq]
+        results: List[R] = []
+        try:
+            for fut in futures:
+                results.append(fut.result())
+        except BaseException:
+            for fut in futures:
+                fut.cancel()
+            raise
+    return results

@@ -1,0 +1,26 @@
+"""Shared utilities: RNG management, argument validation, timing."""
+
+from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.validation import (
+    check_array,
+    check_X_y,
+    check_consistent_length,
+    check_positive_int,
+    check_in_range,
+    column_or_1d,
+)
+from repro.utils.timing import Timer, format_duration
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "check_array",
+    "check_X_y",
+    "check_consistent_length",
+    "check_positive_int",
+    "check_in_range",
+    "column_or_1d",
+    "Timer",
+    "format_duration",
+]

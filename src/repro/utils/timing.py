@@ -1,0 +1,93 @@
+"""Light-weight wall-clock timing used by the runtime benchmarks (R1).
+
+The paper's §III-A reports per-epoch NN timings and a >10x slowdown for
+boosted models on hypervector input; :class:`Timer` is the measurement
+primitive behind ``benchmarks/bench_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating repeated measurements.
+
+    Example
+    -------
+    >>> t = Timer("fit")
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.count
+    1
+    >>> t.total >= 0.0
+    True
+    """
+
+    name: str = "timer"
+    samples: List[float] = field(default_factory=list)
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise RuntimeError("Timer.__exit__ without __enter__")
+        self.samples.append(time.perf_counter() - self._start)
+        self._start = None
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"Timer {self.name!r} has no samples")
+        return self.total / self.count
+
+    @property
+    def std(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((s - m) ** 2 for s in self.samples) / (len(self.samples) - 1))
+
+    def time_call(self, fn: Callable, *args, **kwargs):
+        """Time one invocation of ``fn`` and return its result."""
+        with self:
+            return fn(*args, **kwargs)
+
+    def summary(self) -> str:
+        if not self.samples:
+            return f"{self.name}: no samples"
+        return (
+            f"{self.name}: mean={format_duration(self.mean)} "
+            f"std={format_duration(self.std)} n={self.count}"
+        )
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration with an appropriate unit."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

@@ -1,0 +1,127 @@
+"""Input validation helpers shared by every estimator and encoder.
+
+These mirror (a small subset of) scikit-learn's ``check_array``/``check_X_y``
+contract so the from-scratch estimators in :mod:`repro.ml` fail loudly and
+uniformly on malformed input instead of producing NaN-laden results deep
+inside a NumPy kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def check_array(
+    X,
+    *,
+    ndim: int = 2,
+    dtype=np.float64,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+    name: str = "X",
+) -> np.ndarray:
+    """Coerce ``X`` to a contiguous ndarray and validate its shape/content.
+
+    Parameters
+    ----------
+    X : array-like
+        Input data.
+    ndim : int
+        Required dimensionality (1 or 2).
+    dtype : numpy dtype or None
+        Target dtype; ``None`` keeps the input dtype.
+    allow_nan : bool
+        If False (default), reject NaN/inf values.
+    min_samples : int
+        Minimum number of rows (axis 0).
+    name : str
+        Name used in error messages.
+    """
+    arr = np.asarray(X) if dtype is None else np.asarray(X, dtype=dtype)
+    if arr.ndim != ndim:
+        if ndim == 2 and arr.ndim == 1:
+            raise ValueError(
+                f"{name} must be 2-dimensional; got 1-d array of shape {arr.shape}. "
+                f"Reshape with X.reshape(-1, 1) for a single feature."
+            )
+        raise ValueError(f"{name} must be {ndim}-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] < min_samples:
+        raise ValueError(
+            f"{name} needs at least {min_samples} sample(s), got {arr.shape[0]}"
+        )
+    if ndim == 2 and arr.shape[1] == 0:
+        raise ValueError(f"{name} has 0 features")
+    if not allow_nan and np.issubdtype(arr.dtype, np.floating):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(
+                f"{name} contains NaN or infinity; clean or impute the data first "
+                f"(see repro.data.impute)"
+            )
+    return np.ascontiguousarray(arr)
+
+
+def column_or_1d(y, *, name: str = "y") -> np.ndarray:
+    """Flatten a column vector to 1-d; reject anything genuinely 2-d."""
+    arr = np.asarray(y)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr.ravel()
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def check_consistent_length(*arrays, names: Optional[Tuple[str, ...]] = None) -> None:
+    """Assert all arrays share the same first-axis length."""
+    lengths = [np.asarray(a).shape[0] for a in arrays]
+    if len(set(lengths)) > 1:
+        label = ", ".join(
+            f"{n}={l}" for n, l in zip(names or [f"array{i}" for i in range(len(lengths))], lengths)
+        )
+        raise ValueError(f"Inconsistent sample counts: {label}")
+
+
+def check_X_y(
+    X,
+    y,
+    *,
+    dtype=np.float64,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Joint validation for supervised estimators."""
+    X = check_array(X, dtype=dtype, allow_nan=allow_nan, min_samples=min_samples)
+    y = column_or_1d(y)
+    check_consistent_length(X, y, names=("X", "y"))
+    return X, y
+
+
+def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
+    """Validate an integer hyper-parameter."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_in_range(value, name: str, low: float, high: float, *, inclusive: str = "both") -> float:
+    """Validate a float hyper-parameter against a closed/open interval."""
+    v = float(value)
+    lo_ok = v >= low if inclusive in ("both", "low") else v > low
+    hi_ok = v <= high if inclusive in ("both", "high") else v < high
+    if not (lo_ok and hi_ok):
+        bracket = {"both": "[]", "low": "[)", "high": "(]", "neither": "()"}[inclusive]
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return v
+
+
+def check_binary_labels(y: np.ndarray, *, name: str = "y") -> np.ndarray:
+    """Validate that labels form a binary {0,1} problem, returning int64 labels."""
+    classes = np.unique(y)
+    if classes.size > 2:
+        raise ValueError(f"{name} has {classes.size} classes; this task is binary")
+    return y.astype(np.int64, copy=False)

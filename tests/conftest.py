@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic datasets and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pima import generate_pima, load_pima_m, load_pima_r
+from repro.data.sylhet import generate_sylhet
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def pima_base():
+    """Full synthetic Pima table (session-scoped: generation is pure)."""
+    return generate_pima(seed=2023)
+
+
+@pytest.fixture(scope="session")
+def pima_r(pima_base):
+    return load_pima_r(base=pima_base)
+
+
+@pytest.fixture(scope="session")
+def pima_m(pima_base):
+    return load_pima_m(base=pima_base)
+
+
+@pytest.fixture(scope="session")
+def sylhet():
+    return generate_sylhet(seed=2023)
+
+
+@pytest.fixture
+def toy_binary_problem(rng):
+    """Small separable-ish 2-class problem for estimator tests."""
+    n = 240
+    X = rng.normal(size=(n, 6))
+    logits = 1.3 * X[:, 0] - 0.9 * X[:, 1] + 0.5 * X[:, 2] + rng.normal(0, 0.4, n)
+    y = (logits > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def toy_holdout(rng):
+    """Train/test pair drawn from the same toy distribution."""
+    def make(n):
+        X = rng.normal(size=(n, 6))
+        y = (1.3 * X[:, 0] - 0.9 * X[:, 1] + 0.5 * X[:, 2] > 0).astype(int)
+        return X, y
+
+    return make(300), make(200)

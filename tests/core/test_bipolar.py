@@ -1,0 +1,145 @@
+"""Tests for the bipolar (±1) hypervector algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import bipolar
+from repro.core.distance import pairwise_hamming
+from repro.core.encoding import LevelEncoder
+from repro.core.hypervector import random_packed
+
+
+class TestBasics:
+    def test_random_values(self):
+        v = bipolar.random_bipolar(4, 200, seed=0)
+        assert v.shape == (4, 200)
+        assert set(np.unique(v).tolist()) == {-1, 1}
+
+    def test_random_balanced(self):
+        v = bipolar.random_bipolar(1, 10_000, seed=0)[0]
+        assert abs(v.mean()) < 0.05
+
+    def test_check_rejects_other_values(self):
+        with pytest.raises(ValueError, match="-1"):
+            bipolar.check_bipolar(np.array([0, 1, -1]))
+
+    def test_check_rejects_floats(self):
+        with pytest.raises(TypeError):
+            bipolar.check_bipolar(np.array([1.0, -1.0]))
+
+
+class TestBind:
+    def test_self_inverse(self):
+        a = bipolar.random_bipolar(1, 256, seed=1)[0]
+        b = bipolar.random_bipolar(1, 256, seed=2)[0]
+        assert np.array_equal(bipolar.bind(bipolar.bind(a, b), b), a)
+
+    def test_binding_decorrelates(self):
+        a = bipolar.random_bipolar(1, 10_000, seed=1)[0]
+        b = bipolar.random_bipolar(1, 10_000, seed=2)[0]
+        bound = bipolar.bind(a, b)
+        assert abs(bipolar.cosine_similarity(bound, a)) < 0.05
+
+
+class TestBundle:
+    def test_majority_semantics(self):
+        vecs = np.array([[1, 1, -1], [1, -1, -1], [-1, 1, -1]], dtype=np.int8)
+        assert bipolar.bundle(vecs).tolist() == [1, 1, -1]
+
+    def test_tie_rules(self):
+        vecs = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        assert bipolar.bundle(vecs, tie="one").tolist() == [1, 1]
+        assert bipolar.bundle(vecs, tie="zero").tolist() == [-1, -1]
+
+    def test_bundle_close_to_members(self):
+        vecs = bipolar.random_bipolar(5, 10_000, seed=0)
+        b = bipolar.bundle(vecs)
+        for i in range(5):
+            assert bipolar.cosine_similarity(b, vecs[i]) > 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bipolar.bundle(np.zeros((0, 8), dtype=np.int8) + 1)
+
+    def test_bad_tie(self):
+        with pytest.raises(ValueError, match="tie"):
+            bipolar.bundle(bipolar.random_bipolar(2, 8, 0), tie="coin")
+
+    def test_matches_binary_majority(self, rng):
+        """Sign-of-sum on ±1 == majority vote on bits, including ties->one."""
+        from repro.core.bundling import majority_dense
+
+        bits = (rng.random((4, 300)) < 0.5).astype(np.uint8)
+        bits_bundle = majority_dense(bits, tie="one")
+        bi = (2 * bits.astype(np.int8) - 1)
+        bi_bundle = bipolar.bundle(bi, tie="one")
+        assert np.array_equal((bi_bundle > 0).astype(np.uint8), bits_bundle)
+
+
+class TestSimilarity:
+    def test_self_similarity_one(self):
+        a = bipolar.random_bipolar(1, 512, seed=0)[0]
+        assert bipolar.cosine_similarity(a, a) == 1.0
+
+    def test_negation_minus_one(self):
+        a = bipolar.random_bipolar(1, 512, seed=0)[0]
+        assert bipolar.cosine_similarity(a, -a) == -1.0
+
+    def test_pairwise_matches_rowwise(self):
+        A = bipolar.random_bipolar(6, 256, seed=1)
+        M = bipolar.pairwise_cosine(A)
+        for i in range(6):
+            for j in range(6):
+                assert M[i, j] == pytest.approx(
+                    bipolar.cosine_similarity(A[i], A[j])
+                )
+
+    def test_pairwise_dim_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            bipolar.pairwise_cosine(
+                bipolar.random_bipolar(2, 64, 0), bipolar.random_bipolar(2, 128, 0)
+            )
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        packed = random_packed(5, 300, seed=0)
+        bi = bipolar.from_packed(packed, 300)
+        back = bipolar.to_packed(bi)
+        assert np.array_equal(back, packed)
+
+    def test_cosine_hamming_identity(self):
+        """cos = 1 - 2 h/dim must hold exactly under the conversion."""
+        dim = 1000
+        packed = random_packed(4, dim, seed=3)
+        bi = bipolar.from_packed(packed, dim)
+        ham = pairwise_hamming(packed)
+        cos = bipolar.pairwise_cosine(bi)
+        assert np.allclose(cos, 1.0 - 2.0 * ham / dim)
+
+    def test_hamming_from_cosine(self):
+        dim = 1000
+        packed = random_packed(3, dim, seed=4)
+        bi = bipolar.from_packed(packed, dim)
+        cos = bipolar.pairwise_cosine(bi)
+        assert np.array_equal(
+            bipolar.hamming_from_cosine(cos, dim), pairwise_hamming(packed)
+        )
+
+
+class TestBipolarLevelEncoder:
+    def test_geometry_carries_over(self):
+        dim = 2000
+        enc = bipolar.BipolarLevelEncoder(dim=dim, seed=0).fit([0.0, 1.0])
+        lo = enc.encode(0.0)
+        hi = enc.encode(1.0)
+        mid = enc.encode(0.5)
+        # extremes orthogonal (cos ~ 0), midpoint halfway (cos ~ 0.5)
+        assert abs(bipolar.cosine_similarity(lo, hi)) < 0.01
+        assert bipolar.cosine_similarity(lo, mid) == pytest.approx(0.5, abs=0.01)
+
+    def test_batch_matches_scalar(self):
+        enc = bipolar.BipolarLevelEncoder(dim=512, seed=1).fit([0.0, 2.0])
+        batch = enc.encode_batch([0.0, 1.0, 2.0])
+        for i, v in enumerate([0.0, 1.0, 2.0]):
+            assert np.array_equal(batch[i], enc.encode(v))

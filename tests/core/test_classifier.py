@@ -1,0 +1,146 @@
+"""Unit tests for the HDC classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HammingClassifier, PrototypeClassifier, coerce_packed
+from repro.core.hypervector import n_words, pack_bits, random_packed, unpack_bits
+from repro.core.records import RecordEncoder
+from repro.ml.base import NotFittedError, clone
+
+
+@pytest.fixture
+def encoded_problem(rng):
+    """Encoded toy problem with clear class structure."""
+    n = 120
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    enc = RecordEncoder(dim=2048, seed=0).fit(X)
+    return enc.transform(X), enc.transform_dense(X), y
+
+
+class TestCoercePacked:
+    def test_packed_passthrough(self):
+        packed = random_packed(5, 256, seed=0)
+        out = coerce_packed(packed, 256)
+        assert np.array_equal(out, packed)
+
+    def test_dense_gets_packed(self, rng):
+        dense = (rng.random((5, 256)) < 0.5).astype(np.uint8)
+        out = coerce_packed(dense, 256)
+        assert out.shape == (5, n_words(256))
+        assert np.array_equal(unpack_bits(out, 256), dense)
+
+    def test_dense_nonbinary_rejected(self, rng):
+        dense = rng.normal(size=(5, 256))
+        with pytest.raises(ValueError, match="0/1"):
+            coerce_packed(dense, 256)
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError, match="width"):
+            coerce_packed(np.zeros((3, 10)), 256)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            coerce_packed(np.zeros(4, dtype=np.uint64), 256)
+
+
+class TestHammingClassifier:
+    def test_training_accuracy_perfect_1nn(self, encoded_problem):
+        packed, _, y = encoded_problem
+        clf = HammingClassifier(dim=2048).fit(packed, y)
+        assert clf.score(packed, y) == 1.0  # each point is its own neighbour
+
+    def test_accepts_dense_input(self, encoded_problem):
+        packed, dense, y = encoded_problem
+        clf = HammingClassifier(dim=2048).fit(dense, y)
+        assert clf.score(dense, y) == 1.0
+
+    def test_generalisation_above_chance(self, rng):
+        n = 200
+        X = rng.normal(size=(n, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        enc = RecordEncoder(dim=4096, seed=0).fit(X)
+        H = enc.transform(X)
+        clf = HammingClassifier(dim=4096).fit(H[:150], y[:150])
+        assert clf.score(H[150:], y[150:]) > 0.7
+
+    def test_knn_voting(self, encoded_problem):
+        packed, _, y = encoded_problem
+        clf = HammingClassifier(dim=2048, n_neighbors=5).fit(packed, y)
+        pred = clf.predict(packed)
+        assert pred.shape == y.shape
+        assert np.mean(pred == y) > 0.8
+
+    def test_predict_proba_rows_sum_to_one(self, encoded_problem):
+        packed, _, y = encoded_problem
+        clf = HammingClassifier(dim=2048, n_neighbors=3).fit(packed, y)
+        p = clf.predict_proba(packed[:10])
+        assert p.shape == (10, 2)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_label_decoding_nonint_labels(self, encoded_problem):
+        packed, _, y = encoded_problem
+        labels = np.where(y == 1, "sick", "healthy")
+        clf = HammingClassifier(dim=2048).fit(packed, labels)
+        assert set(clf.predict(packed[:5])) <= {"sick", "healthy"}
+
+    def test_unfitted_raises(self, encoded_problem):
+        packed, _, _ = encoded_problem
+        with pytest.raises(NotFittedError):
+            HammingClassifier(dim=2048).predict(packed)
+
+    def test_length_mismatch(self, encoded_problem):
+        packed, _, y = encoded_problem
+        with pytest.raises(ValueError, match="rows"):
+            HammingClassifier(dim=2048).fit(packed, y[:-3])
+
+    def test_n_neighbors_exceeds_train(self, encoded_problem):
+        packed, _, y = encoded_problem
+        with pytest.raises(ValueError, match="n_neighbors"):
+            HammingClassifier(dim=2048, n_neighbors=999).fit(packed, y)
+
+    def test_single_class_rejected(self, encoded_problem):
+        packed, _, _ = encoded_problem
+        with pytest.raises(ValueError, match="classes"):
+            HammingClassifier(dim=2048).fit(packed, np.zeros(packed.shape[0]))
+
+    def test_clone_roundtrip(self):
+        clf = HammingClassifier(dim=512, n_neighbors=3, metric="euclidean")
+        c2 = clone(clf)
+        assert c2.get_params() == clf.get_params()
+
+    def test_euclidean_metric_equivalent_ranking(self, encoded_problem):
+        packed, _, y = encoded_problem
+        ham = HammingClassifier(dim=2048, metric="hamming").fit(packed, y)
+        euc = HammingClassifier(dim=2048, metric="euclidean").fit(packed, y)
+        assert np.array_equal(ham.predict(packed), euc.predict(packed))
+
+
+class TestPrototypeClassifier:
+    def test_learns_structure(self, encoded_problem):
+        packed, _, y = encoded_problem
+        clf = PrototypeClassifier(dim=2048).fit(packed, y)
+        assert clf.score(packed, y) > 0.75
+
+    def test_prototypes_shape(self, encoded_problem):
+        packed, _, y = encoded_problem
+        clf = PrototypeClassifier(dim=2048).fit(packed, y)
+        assert clf.prototypes_.shape == (2, n_words(2048))
+
+    def test_predict_proba_monotone_in_distance(self, encoded_problem):
+        packed, _, y = encoded_problem
+        clf = PrototypeClassifier(dim=2048).fit(packed, y)
+        p = clf.predict_proba(packed)
+        pred_from_proba = clf.classes_[np.argmax(p, axis=1)]
+        assert np.array_equal(pred_from_proba, clf.predict(packed))
+
+    def test_length_mismatch(self, encoded_problem):
+        packed, _, y = encoded_problem
+        with pytest.raises(ValueError, match="rows"):
+            PrototypeClassifier(dim=2048).fit(packed, y[:-1])
+
+    def test_unfitted(self, encoded_problem):
+        packed, _, _ = encoded_problem
+        with pytest.raises(NotFittedError):
+            PrototypeClassifier(dim=2048).predict(packed)

@@ -1,0 +1,201 @@
+"""Unit tests for the §II-B encoders."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import (
+    BinaryEncoder,
+    CategoricalEncoder,
+    EncoderNotFittedError,
+    LevelEncoder,
+)
+from repro.core.hypervector import Hypervector, popcount
+
+
+def hv(packed, dim):
+    return Hypervector(packed, dim)
+
+
+class TestLevelEncoder:
+    def test_requires_fit(self):
+        with pytest.raises(EncoderNotFittedError):
+            LevelEncoder(dim=128).encode(1.0)
+
+    def test_min_maps_to_seed(self):
+        enc = LevelEncoder(dim=1000, seed=0).fit([2.0, 12.0])
+        assert np.array_equal(enc.encode(2.0), enc.seed_vector_)
+
+    def test_below_min_clips_to_seed(self):
+        enc = LevelEncoder(dim=1000, seed=0).fit([2.0, 12.0])
+        assert np.array_equal(enc.encode(-100.0), enc.seed_vector_)
+
+    def test_above_max_clips_to_max(self):
+        enc = LevelEncoder(dim=1000, seed=0).fit([2.0, 12.0])
+        assert np.array_equal(enc.encode(99.0), enc.encode(12.0))
+
+    def test_clip_false_rejects_outside(self):
+        enc = LevelEncoder(dim=1000, seed=0, clip=False).fit([0.0, 1.0])
+        with pytest.raises(ValueError, match="outside fitted range"):
+            enc.encode(2.0)
+
+    def test_max_is_orthogonal_to_min(self):
+        dim = 10_000
+        enc = LevelEncoder(dim=dim, seed=3).fit([0.0, 10.0])
+        d = hv(enc.encode(0.0), dim).hamming(hv(enc.encode(10.0), dim))
+        assert d == dim // 2
+
+    def test_flip_count_formula(self):
+        # x = k (t - min) / (2 (max - min))
+        enc = LevelEncoder(dim=10_000, seed=3).fit([0.0, 10.0])
+        assert enc.flip_count(0.0) == 0
+        assert enc.flip_count(5.0) == 2500
+        assert enc.flip_count(10.0) == 5000
+
+    def test_distance_linear_in_value(self):
+        dim = 8000
+        enc = LevelEncoder(dim=dim, seed=7).fit([0.0, 1.0])
+        base = hv(enc.encode(0.0), dim)
+        dists = [base.hamming(hv(enc.encode(t), dim)) for t in (0.25, 0.5, 0.75, 1.0)]
+        assert np.allclose(dists, [1000, 2000, 3000, 4000], atol=2)
+
+    def test_nested_levels_monotone(self):
+        """d(enc(s), enc(t)) must grow with |s - t| (nested flips)."""
+        dim = 4000
+        enc = LevelEncoder(dim=dim, seed=1).fit([0.0, 1.0])
+        a = hv(enc.encode(0.3), dim)
+        d_near = a.hamming(hv(enc.encode(0.4), dim))
+        d_far = a.hamming(hv(enc.encode(0.9), dim))
+        assert d_near < d_far
+
+    def test_density_preserved(self):
+        dim = 10_000
+        enc = LevelEncoder(dim=dim, seed=5).fit([0.0, 1.0])
+        for t in (0.0, 0.3, 0.77, 1.0):
+            assert abs(popcount(enc.encode(t)) - dim // 2) <= 1
+
+    def test_constant_feature_maps_everything_to_seed(self):
+        enc = LevelEncoder(dim=512, seed=0).fit([4.0, 4.0, 4.0])
+        assert np.array_equal(enc.encode(4.0), enc.seed_vector_)
+        assert np.array_equal(enc.encode(123.0), enc.seed_vector_)
+
+    def test_batch_matches_scalar(self):
+        enc = LevelEncoder(dim=1024, seed=9).fit([0.0, 5.0])
+        values = [0.0, 1.2, 2.5, 3.3, 5.0]
+        batch = enc.encode_batch(values)
+        for i, v in enumerate(values):
+            assert np.array_equal(batch[i], enc.encode(v)), v
+
+    def test_batch_empty(self):
+        enc = LevelEncoder(dim=256, seed=9).fit([0.0, 5.0])
+        assert enc.encode_batch([]).shape == (0, 4)
+
+    def test_levels_quantisation(self):
+        enc = LevelEncoder(dim=1024, seed=2, levels=3).fit([0.0, 1.0])
+        # 3 levels -> values snap to {0, 0.5, 1.0}
+        assert np.array_equal(enc.encode(0.2), enc.encode(0.0))
+        assert np.array_equal(enc.encode(0.6), enc.encode(0.5))
+        assert not np.array_equal(enc.encode(0.0), enc.encode(0.5))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            LevelEncoder(dim=128).fit([0.0, np.nan])
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            LevelEncoder(dim=128).fit([])
+
+    def test_different_seeds_different_seed_vectors(self):
+        e1 = LevelEncoder(dim=512, seed=1).fit([0, 1])
+        e2 = LevelEncoder(dim=512, seed=2).fit([0, 1])
+        assert not np.array_equal(e1.seed_vector_, e2.seed_vector_)
+
+    def test_reproducible(self):
+        e1 = LevelEncoder(dim=512, seed=1).fit([0, 1])
+        e2 = LevelEncoder(dim=512, seed=1).fit([0, 1])
+        assert np.array_equal(e1.encode(0.37), e2.encode(0.37))
+
+
+class TestBinaryEncoder:
+    def test_zero_one_orthogonal(self):
+        dim = 10_000
+        enc = BinaryEncoder(dim=dim, seed=0).fit()
+        d = hv(enc.encode(0), dim).hamming(hv(enc.encode(1), dim))
+        assert d == dim // 2
+
+    def test_density_preserved(self):
+        dim = 10_000
+        enc = BinaryEncoder(dim=dim, seed=0).fit()
+        assert abs(popcount(enc.encode(1)) - dim // 2) <= 1
+
+    def test_rejects_nonbinary_value(self):
+        enc = BinaryEncoder(dim=128, seed=0).fit()
+        with pytest.raises(ValueError):
+            enc.encode(2)
+
+    def test_fit_validates_observed_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            BinaryEncoder(dim=128, seed=0).fit([0, 1, 3])
+
+    def test_batch_lookup(self):
+        enc = BinaryEncoder(dim=256, seed=1).fit()
+        batch = enc.encode_batch([0, 1, 1, 0])
+        assert np.array_equal(batch[0], enc.zero_vector_)
+        assert np.array_equal(batch[1], enc.one_vector_)
+        assert np.array_equal(batch[3], enc.zero_vector_)
+
+    def test_batch_rejects_fractional(self):
+        enc = BinaryEncoder(dim=256, seed=1).fit()
+        with pytest.raises(ValueError, match="non-integer"):
+            enc.encode_batch([0.5])
+
+    def test_batch_rejects_out_of_domain(self):
+        enc = BinaryEncoder(dim=256, seed=1).fit()
+        with pytest.raises(ValueError):
+            enc.encode_batch([0, 2])
+
+    def test_requires_fit(self):
+        with pytest.raises(EncoderNotFittedError):
+            BinaryEncoder(dim=128).encode(0)
+
+
+class TestCategoricalEncoder:
+    def test_distinct_categories_near_orthogonal(self):
+        dim = 10_000
+        enc = CategoricalEncoder(dim=dim, seed=0).fit(["a", "b", "c"])
+        dab = hv(enc.encode("a"), dim).normalized_hamming(hv(enc.encode("b"), dim))
+        assert abs(dab - 0.5) < 0.05
+
+    def test_same_category_identical(self):
+        enc = CategoricalEncoder(dim=512, seed=0).fit([1, 2, 1, 2])
+        assert np.array_equal(enc.encode(1), enc.encode(1))
+
+    def test_numpy_scalar_normalisation(self):
+        enc = CategoricalEncoder(dim=256, seed=0).fit(np.array([1.0, 2.0]))
+        assert np.array_equal(enc.encode(1), enc.encode(np.float64(1.0)))
+
+    def test_unseen_category_raises(self):
+        enc = CategoricalEncoder(dim=256, seed=0).fit(["x"])
+        with pytest.raises(KeyError, match="unseen"):
+            enc.encode("y")
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalEncoder(dim=128).fit([])
+
+    def test_categories_listing(self):
+        enc = CategoricalEncoder(dim=128, seed=0).fit(["b", "a", "b"])
+        assert set(enc.categories_) == {"a", "b"}
+
+    def test_encode_batch_shape(self):
+        enc = CategoricalEncoder(dim=256, seed=0).fit([0, 1, 2])
+        assert enc.encode_batch([0, 2, 1, 1]).shape == (4, 4)
+
+
+class TestEncoderValidation:
+    def test_dim_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LevelEncoder(dim=1)
+
+    def test_levels_must_be_ge_2(self):
+        with pytest.raises(ValueError):
+            LevelEncoder(dim=128, levels=1)

@@ -1,0 +1,105 @@
+"""Tests for the saliency/attribution module."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.explain import (
+    Saliency,
+    cohort_reference,
+    occlusion_saliency,
+    substitution_saliency,
+)
+from repro.core.records import RecordEncoder
+
+
+@pytest.fixture(scope="module")
+def fitted_problem():
+    """A problem where exactly feature 0 carries the label signal."""
+    rng = np.random.default_rng(3)
+    n = 250
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] > 0).astype(int)
+    enc = RecordEncoder(dim=4096, seed=0).fit(X)
+    clf = PrototypeClassifier(dim=4096).fit(enc.transform(X), y)
+    return X, y, enc, clf
+
+
+class TestOcclusion:
+    def test_informative_feature_dominates(self, fitted_problem):
+        X, y, enc, clf = fitted_problem
+        # A strongly positive record: feature 0 well above 0.
+        x = np.array([2.0, 0.0, 0.0, 0.0])
+        sal = occlusion_saliency(enc, clf, x)
+        top_name, top_score = sal.ranked()[0]
+        assert top_name == "f0"
+        assert top_score > 0  # removing it lowers P(positive)
+
+    def test_scores_shape(self, fitted_problem):
+        X, y, enc, clf = fitted_problem
+        sal = occlusion_saliency(enc, clf, X[0])
+        assert sal.scores.shape == (4,)
+        assert len(sal.feature_names) == 4
+        assert 0.0 <= sal.base_probability <= 1.0
+
+    def test_requires_1d(self, fitted_problem):
+        X, _, enc, clf = fitted_problem
+        with pytest.raises(ValueError, match="single record"):
+            occlusion_saliency(enc, clf, X[:2])
+
+    def test_str_rendering(self, fitted_problem):
+        X, _, enc, clf = fitted_problem
+        text = str(occlusion_saliency(enc, clf, X[0]))
+        assert "base P(positive)" in text
+        assert "f0" in text
+
+
+class TestSubstitution:
+    def test_counterfactual_direction(self, fitted_problem):
+        X, y, enc, clf = fitted_problem
+        ref = cohort_reference(X, y, healthy_label=0)
+        x = np.array([2.5, 0.0, 0.0, 0.0])  # elevated on the causal feature
+        sal = substitution_saliency(enc, clf, x, ref)
+        scores = dict(zip(sal.feature_names, sal.scores))
+        # Normalising the causal feature must reduce risk the most.
+        assert scores["f0"] == max(scores.values())
+        assert scores["f0"] > 0
+
+    def test_noise_features_near_zero(self, fitted_problem):
+        X, y, enc, clf = fitted_problem
+        ref = cohort_reference(X, y)
+        x = np.array([2.5, 0.3, -0.2, 0.1])
+        sal = substitution_saliency(enc, clf, x, ref)
+        scores = dict(zip(sal.feature_names, sal.scores))
+        for name in ("f1", "f2", "f3"):
+            assert abs(scores[name]) < abs(scores["f0"])
+
+    def test_identity_reference_zero_scores(self, fitted_problem):
+        X, _, enc, clf = fitted_problem
+        x = X[0]
+        sal = substitution_saliency(enc, clf, x, x.copy())
+        assert np.allclose(sal.scores, 0.0)
+
+    def test_shape_validation(self, fitted_problem):
+        X, _, enc, clf = fitted_problem
+        with pytest.raises(ValueError, match="reference shape"):
+            substitution_saliency(enc, clf, X[0], np.zeros(3))
+
+
+class TestCohortReference:
+    def test_is_healthy_median(self, fitted_problem):
+        X, y, _, _ = fitted_problem
+        ref = cohort_reference(X, y, healthy_label=0)
+        assert np.allclose(ref, np.median(X[y == 0], axis=0))
+
+    def test_missing_label(self, fitted_problem):
+        X, y, _, _ = fitted_problem
+        with pytest.raises(ValueError, match="no rows"):
+            cohort_reference(X, y, healthy_label=9)
+
+
+class TestSaliencyContainer:
+    def test_ranked_order(self):
+        sal = Saliency(["a", "b", "c"], np.array([0.1, -0.5, 0.2]), 0.7)
+        names = [n for n, _ in sal.ranked()]
+        assert names == ["b", "c", "a"]

@@ -1,0 +1,240 @@
+"""Unit tests for the bit-packed hypervector engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import (
+    Hypervector,
+    bit_positions,
+    exact_half_dense,
+    flip_bits,
+    n_words,
+    not_packed,
+    pack_bits,
+    popcount,
+    random_packed,
+    stack,
+    tail_mask,
+    unpack_bits,
+    xor_packed,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("dim", [1, 7, 63, 64, 65, 100, 128, 130, 1000, 10_000])
+    def test_roundtrip(self, rng, dim):
+        bits = (rng.random((4, dim)) < 0.5).astype(np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (4, n_words(dim))
+        assert packed.dtype == np.uint64
+        assert np.array_equal(unpack_bits(packed, dim), bits)
+
+    def test_padding_bits_are_zero(self, rng):
+        dim = 70  # 2 words, 58 padding bits
+        bits = np.ones((3, dim), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert np.all(packed[:, -1] <= tail_mask(dim))
+
+    def test_pack_accepts_bool_and_int(self):
+        bits_bool = np.array([[True, False, True, True]])
+        bits_int = np.array([[1, 0, 1, 1]])
+        assert np.array_equal(pack_bits(bits_bool), pack_bits(bits_int))
+
+    def test_nonzero_counts_as_one(self):
+        assert np.array_equal(
+            unpack_bits(pack_bits(np.array([[2, 0, 5]])), 3), [[1, 0, 1]]
+        )
+
+    def test_pack_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.uint8(1))
+
+    def test_pack_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dim"):
+            pack_bits(np.zeros((2, 8)), dim=16)
+
+    def test_unpack_word_count_mismatch(self):
+        with pytest.raises(ValueError, match="n_words"):
+            unpack_bits(np.zeros((2, 3), dtype=np.uint64), 64)
+
+    def test_n_words(self):
+        assert n_words(1) == 1
+        assert n_words(64) == 1
+        assert n_words(65) == 2
+        assert n_words(10_000) == 157
+
+    def test_n_words_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            n_words(0)
+
+
+class TestBitOps:
+    def test_popcount_matches_dense(self, rng):
+        bits = (rng.random((6, 200)) < 0.3).astype(np.uint8)
+        packed = pack_bits(bits)
+        assert np.array_equal(popcount(packed), bits.sum(axis=1))
+
+    def test_xor_is_dense_xor(self, rng):
+        a = (rng.random((3, 150)) < 0.5).astype(np.uint8)
+        b = (rng.random((3, 150)) < 0.5).astype(np.uint8)
+        out = unpack_bits(xor_packed(pack_bits(a), pack_bits(b)), 150)
+        assert np.array_equal(out, a ^ b)
+
+    def test_not_respects_padding(self):
+        dim = 70
+        packed = pack_bits(np.zeros((1, dim), dtype=np.uint8))[0]
+        inverted = not_packed(packed, dim)
+        assert popcount(inverted) == dim  # not 128
+
+    def test_flip_bits_toggles_exactly(self, rng):
+        dim = 128
+        base = random_packed(1, dim, seed=1)[0]
+        positions = np.array([0, 5, 64, 127])
+        flipped = flip_bits(base, dim, positions)
+        diff = unpack_bits(xor_packed(base, flipped)[None, :], dim)[0]
+        assert set(np.flatnonzero(diff)) == set(positions.tolist())
+
+    def test_flip_bits_out_of_range(self):
+        base = random_packed(1, 64, seed=1)[0]
+        with pytest.raises(ValueError):
+            flip_bits(base, 64, np.array([64]))
+
+    def test_flip_duplicate_positions_cancel(self):
+        # XOR semantics: np.bitwise_xor.at applies each toggle, so a
+        # duplicated position flips twice = no-op.
+        base = random_packed(1, 64, seed=2)[0]
+        out = flip_bits(base, 64, np.array([3, 3]))
+        assert np.array_equal(out, base)
+
+    def test_bit_positions_partition(self, rng):
+        dim = 300
+        v = random_packed(1, dim, seed=3)[0]
+        ones = bit_positions(v, dim, 1)
+        zeros = bit_positions(v, dim, 0)
+        assert len(ones) + len(zeros) == dim
+        assert set(ones.tolist()).isdisjoint(zeros.tolist())
+
+    def test_bit_positions_rejects_bad_value(self):
+        v = random_packed(1, 64, seed=3)[0]
+        with pytest.raises(ValueError):
+            bit_positions(v, 64, 2)
+
+
+class TestRandomGeneration:
+    def test_density_half(self):
+        packed = random_packed(20, 10_000, seed=0)
+        densities = popcount(packed) / 10_000
+        assert np.all(np.abs(densities - 0.5) < 0.03)
+
+    def test_density_custom(self):
+        packed = random_packed(20, 10_000, seed=0, density=0.1)
+        densities = popcount(packed) / 10_000
+        assert np.all(np.abs(densities - 0.1) < 0.02)
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError):
+            random_packed(1, 64, density=1.5)
+
+    def test_reproducible(self):
+        a = random_packed(5, 1000, seed=42)
+        b = random_packed(5, 1000, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_exact_half_dense(self):
+        for dim in (10, 63, 64, 100, 10_000):
+            v = exact_half_dense(dim, seed=1)
+            assert popcount(v) == dim // 2
+
+    def test_exact_half_dense_differs_across_seeds(self):
+        assert not np.array_equal(exact_half_dense(256, 1), exact_half_dense(256, 2))
+
+
+class TestHypervectorClass:
+    def test_random_density(self):
+        hv = Hypervector.random(10_000, seed=0)
+        assert abs(hv.density() - 0.5) < 0.03
+
+    def test_from_bits_and_back(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        hv = Hypervector.from_bits(bits)
+        assert hv.to_bits().tolist() == bits
+        assert len(hv) == 7
+
+    def test_zeros_ones(self):
+        assert Hypervector.zeros(100).count_ones() == 0
+        assert Hypervector.ones(100).count_ones() == 100
+
+    def test_xor_self_is_zero(self):
+        hv = Hypervector.random(256, seed=5)
+        assert (hv ^ hv).count_ones() == 0
+
+    def test_invert_distance(self):
+        hv = Hypervector.random(256, seed=5)
+        assert hv.hamming(~hv) == 256
+
+    def test_hamming_symmetry_and_identity(self):
+        a = Hypervector.random(512, seed=1)
+        b = Hypervector.random(512, seed=2)
+        assert a.hamming(b) == b.hamming(a)
+        assert a.hamming(a) == 0
+
+    def test_normalized_hamming(self):
+        a = Hypervector.random(512, seed=1)
+        assert a.normalized_hamming(~a) == 1.0
+
+    def test_random_vectors_near_orthogonal(self):
+        a = Hypervector.random(10_000, seed=1)
+        b = Hypervector.random(10_000, seed=2)
+        assert abs(a.normalized_hamming(b) - 0.5) < 0.03
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Hypervector.random(64, 1).hamming(Hypervector.random(128, 1))
+
+    def test_getitem(self):
+        hv = Hypervector.from_bits([1, 0, 1])
+        assert (hv[0], hv[1], hv[2]) == (1, 0, 1)
+        assert hv[-1] == 1
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            Hypervector.from_bits([1, 0])[2]
+
+    def test_iter_matches_bits(self):
+        hv = Hypervector.random(70, seed=3)
+        assert list(hv) == hv.to_bits().tolist()
+
+    def test_equality_and_hash(self):
+        a = Hypervector.random(128, seed=9)
+        b = Hypervector(a.packed.copy(), 128)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Hypervector.random(128, seed=10)
+
+    def test_flip_method(self):
+        hv = Hypervector.zeros(64)
+        assert hv.flip(np.array([1, 3])).count_ones() == 2
+
+    def test_constructor_rejects_dirty_padding(self):
+        packed = np.full(2, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        with pytest.raises(ValueError, match="padding"):
+            Hypervector(packed, 70)
+
+    def test_constructor_rejects_wrong_words(self):
+        with pytest.raises(ValueError):
+            Hypervector(np.zeros(3, dtype=np.uint64), 64)
+
+    def test_stack(self):
+        hvs = [Hypervector.random(128, seed=i) for i in range(4)]
+        packed = stack(hvs)
+        assert packed.shape == (4, 2)
+        for i, hv in enumerate(hvs):
+            assert np.array_equal(packed[i], hv.packed)
+
+    def test_stack_empty(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+    def test_stack_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            stack([Hypervector.random(64, 0), Hypervector.random(128, 0)])

@@ -1,0 +1,117 @@
+"""Unit tests for the associative item memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import Hypervector, random_packed
+from repro.core.itemmemory import ItemMemory
+
+
+@pytest.fixture
+def memory():
+    mem = ItemMemory(dim=512)
+    for i in range(6):
+        mem.store(f"item{i}", Hypervector.random(512, seed=i))
+    return mem
+
+
+class TestStore:
+    def test_len_and_contains(self, memory):
+        assert len(memory) == 6
+        assert "item3" in memory
+        assert "missing" not in memory
+
+    def test_get_roundtrip(self):
+        mem = ItemMemory(dim=128)
+        hv = Hypervector.random(128, seed=1)
+        mem.store("a", hv)
+        assert mem.get("a") == hv
+
+    def test_get_unknown(self, memory):
+        with pytest.raises(KeyError):
+            memory.get("nope")
+
+    def test_overwrite(self):
+        mem = ItemMemory(dim=128)
+        a = Hypervector.random(128, seed=1)
+        b = Hypervector.random(128, seed=2)
+        mem.store("k", a)
+        mem.store("k", b)
+        assert len(mem) == 1
+        assert mem.get("k") == b
+
+    def test_store_batch(self):
+        mem = ItemMemory(dim=256)
+        packed = random_packed(4, 256, seed=0)
+        mem.store_batch(["a", "b", "c", "d"], packed)
+        assert len(mem) == 4
+        assert np.array_equal(mem.get("b").packed, packed[1])
+
+    def test_store_batch_overwrites_and_appends(self):
+        mem = ItemMemory(dim=256)
+        p1 = random_packed(2, 256, seed=0)
+        mem.store_batch(["a", "b"], p1)
+        p2 = random_packed(2, 256, seed=1)
+        mem.store_batch(["b", "c"], p2)
+        assert len(mem) == 3
+        assert np.array_equal(mem.get("b").packed, p2[0])
+
+    def test_batch_shape_validation(self):
+        mem = ItemMemory(dim=256)
+        with pytest.raises(ValueError):
+            mem.store_batch(["a"], random_packed(2, 256, seed=0))
+
+    def test_dim_validation(self, memory):
+        with pytest.raises(ValueError, match="mismatch"):
+            memory.store("bad", Hypervector.random(64, seed=0))
+
+    def test_raw_packed_shape_validation(self, memory):
+        with pytest.raises(ValueError):
+            memory.store("bad", np.zeros(3, dtype=np.uint64))
+
+    def test_dim_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ItemMemory(0)
+
+
+class TestCleanup:
+    def test_exact_match(self, memory):
+        key, dist = memory.cleanup(memory.get("item2"))
+        assert key == "item2"
+        assert dist == 0
+
+    def test_noisy_recovery(self, memory, rng):
+        original = memory.get("item4")
+        noisy = original.flip(rng.choice(512, size=60, replace=False))
+        key, dist = memory.cleanup(noisy)
+        assert key == "item4"
+        assert dist == 60
+
+    def test_cleanup_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            ItemMemory(64).cleanup(Hypervector.random(64, seed=0))
+
+    def test_nearest_k(self, memory):
+        results = memory.nearest(memory.get("item0"), k=3)
+        assert len(results) == 3
+        assert results[0] == ("item0", 0)
+        assert results[1][1] <= results[2][1]
+
+    def test_nearest_k_clamps(self, memory):
+        assert len(memory.nearest(memory.get("item0"), k=99)) == 6
+
+    def test_nearest_k_validation(self, memory):
+        with pytest.raises(ValueError):
+            memory.nearest(memory.get("item0"), k=0)
+
+    def test_distances_order(self, memory):
+        d = memory.distances(memory.get("item1"))
+        assert d.shape == (6,)
+        assert d[1] == 0
+
+    def test_tie_resolves_to_earliest(self):
+        mem = ItemMemory(dim=64)
+        hv = Hypervector.random(64, seed=9)
+        mem.store("first", hv)
+        mem.store("second", hv)
+        assert mem.cleanup(hv)[0] == "first"

@@ -1,0 +1,126 @@
+"""Tests for the online/incremental HDC classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.online import OnlineHDClassifier
+from repro.core.records import RecordEncoder
+from repro.ml.base import NotFittedError
+
+
+@pytest.fixture
+def encoded_problem(rng):
+    n = 150
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    enc = RecordEncoder(dim=2048, seed=0).fit(X)
+    return enc.transform(X), y
+
+
+class TestBatchEquivalence:
+    def test_fit_matches_prototype_classifier(self, encoded_problem):
+        """One batch fit must equal the batch PrototypeClassifier exactly."""
+        packed, y = encoded_problem
+        online = OnlineHDClassifier(dim=2048).fit(packed, y)
+        batch = PrototypeClassifier(dim=2048).fit(packed, y)
+        assert np.array_equal(online.predict(packed), batch.predict(packed))
+
+    def test_incremental_equals_batch(self, encoded_problem):
+        """fit(a)+partial_fit(b) == fit(a+b)."""
+        packed, y = encoded_problem
+        half = len(y) // 2
+        inc = OnlineHDClassifier(dim=2048).fit(packed[:half], y[:half])
+        inc.partial_fit(packed[half:], y[half:])
+        full = OnlineHDClassifier(dim=2048).fit(packed, y)
+        assert np.array_equal(inc.predict(packed), full.predict(packed))
+
+    def test_order_invariance(self, encoded_problem):
+        packed, y = encoded_problem
+        perm = np.random.default_rng(1).permutation(len(y))
+        a = OnlineHDClassifier(dim=2048).fit(packed, y)
+        b = OnlineHDClassifier(dim=2048).fit(packed[perm], y[perm])
+        assert np.array_equal(a.predict(packed), b.predict(packed))
+
+
+class TestIncrementalBehaviour:
+    def test_partial_fit_requires_fit(self, encoded_problem):
+        packed, y = encoded_problem
+        with pytest.raises(NotFittedError):
+            OnlineHDClassifier(dim=2048).partial_fit(packed, y)
+
+    def test_unseen_label_rejected(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048).fit(packed, y)
+        with pytest.raises(ValueError, match="not present"):
+            clf.partial_fit(packed[:3], np.array([7, 7, 7]))
+
+    def test_class_counts_track(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048).fit(packed, y)
+        counts = clf.class_counts_
+        assert counts.sum() == len(y)
+        assert counts[clf.classes_.tolist().index(1)] == int(y.sum())
+
+    def test_prototype_requires_all_classes_seen(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048)
+        clf.classes_ = np.array([0, 1])
+        clf._counts = np.zeros((2, 2048), dtype=np.int64)
+        clf._n = np.zeros(2, dtype=np.int64)
+        clf.partial_fit(packed[y == 1], y[y == 1])
+        with pytest.raises(NotFittedError, match="no records"):
+            clf.predict(packed)
+
+    def test_proba_valid(self, encoded_problem):
+        packed, y = encoded_problem
+        p = OnlineHDClassifier(dim=2048).fit(packed, y).predict_proba(packed)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestRetraining:
+    def test_retrain_reduces_training_errors(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048).fit(packed, y)
+        before = clf.score(packed, y)
+        clf.retrain(packed, y, epochs=8)
+        after = clf.score(packed, y)
+        assert after >= before
+        # error log must be non-increasing overall
+        assert clf.retrain_errors_[-1] <= clf.retrain_errors_[0]
+
+    def test_retrain_stops_when_clean(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048).fit(packed, y)
+        clf.retrain(packed, y, epochs=50)
+        if clf.retrain_errors_[-1] == 0:
+            assert len(clf.retrain_errors_) <= 50
+
+    def test_retrain_validation(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048).fit(packed, y)
+        with pytest.raises(ValueError, match="mismatch"):
+            clf.retrain(packed, y[:-1])
+
+    def test_retrain_epochs_positive(self, encoded_problem):
+        packed, y = encoded_problem
+        clf = OnlineHDClassifier(dim=2048).fit(packed, y)
+        with pytest.raises(ValueError):
+            clf.retrain(packed, y, epochs=0)
+
+
+class TestValidation:
+    def test_tie_rule_validated(self):
+        with pytest.raises(ValueError, match="tie"):
+            OnlineHDClassifier(dim=64, tie="coin")
+
+    def test_single_class_rejected(self, encoded_problem):
+        packed, _ = encoded_problem
+        with pytest.raises(ValueError, match="classes"):
+            OnlineHDClassifier(dim=2048).fit(packed, np.zeros(packed.shape[0]))
+
+    def test_length_mismatch(self, encoded_problem):
+        packed, y = encoded_problem
+        with pytest.raises(ValueError, match="rows"):
+            OnlineHDClassifier(dim=2048).fit(packed, y[:-1])

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the HDC core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.bundling import majority_dense, majority_vote
+from repro.core.distance import pairwise_hamming
+from repro.core.encoding import LevelEncoder
+from repro.core.hypervector import (
+    Hypervector,
+    pack_bits,
+    popcount,
+    unpack_bits,
+    xor_packed,
+)
+
+DIMS = st.integers(min_value=1, max_value=300)
+
+
+@st.composite
+def bit_matrix(draw, max_rows=8, max_dim=300, min_rows=1):
+    rows = draw(st.integers(min_rows, max_rows))
+    dim = draw(st.integers(1, max_dim))
+    data = draw(
+        hnp.arrays(np.uint8, (rows, dim), elements=st.integers(0, 1))
+    )
+    return data
+
+
+class TestPackingProperties:
+    @given(bits=bit_matrix())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_roundtrip(self, bits):
+        packed = pack_bits(bits)
+        assert np.array_equal(unpack_bits(packed, bits.shape[1]), bits)
+
+    @given(bits=bit_matrix())
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_equals_sum(self, bits):
+        assert np.array_equal(popcount(pack_bits(bits)), bits.sum(axis=1))
+
+    @given(bits=bit_matrix(max_rows=4))
+    @settings(max_examples=40, deadline=None)
+    def test_xor_involution(self, bits):
+        """a XOR b XOR b == a (binding is its own inverse)."""
+        if bits.shape[0] < 2:
+            return
+        a, b = pack_bits(bits[:1]), pack_bits(bits[1:2])
+        assert np.array_equal(xor_packed(xor_packed(a, b), b), a)
+
+
+class TestHammingProperties:
+    @given(bits=bit_matrix(max_rows=6, min_rows=2))
+    @settings(max_examples=50, deadline=None)
+    def test_metric_axioms(self, bits):
+        D = pairwise_hamming(pack_bits(bits))
+        n = bits.shape[0]
+        # identity, symmetry, non-negativity
+        assert np.array_equal(np.diag(D), np.zeros(n, dtype=np.int64))
+        assert np.array_equal(D, D.T)
+        assert np.all(D >= 0)
+        # triangle inequality (small n so full check is cheap)
+        for i in range(n):
+            for j in range(n):
+                assert np.all(D[i, j] <= D[i] + D[:, j])
+
+    @given(bits=bit_matrix(max_rows=2, min_rows=2))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_bounded_by_dim(self, bits):
+        D = pairwise_hamming(pack_bits(bits))
+        assert D.max() <= bits.shape[1]
+
+    @given(bits=bit_matrix(max_rows=1))
+    @settings(max_examples=30, deadline=None)
+    def test_complement_at_max_distance(self, bits):
+        dim = bits.shape[1]
+        a = pack_bits(bits)
+        b = pack_bits(1 - bits)
+        assert pairwise_hamming(a, b)[0, 0] == dim
+
+
+class TestMajorityProperties:
+    @given(bits=bit_matrix(max_rows=7, min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_majority_bounded_by_inputs(self, bits):
+        """Majority output bit must appear in at least one input."""
+        out = majority_dense(bits)
+        any_one = bits.max(axis=0)
+        all_one = bits.min(axis=0)
+        assert np.all(out <= any_one)
+        assert np.all(out >= all_one)
+
+    @given(bits=bit_matrix(max_rows=7, min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_majority_permutation_invariant(self, bits):
+        perm = np.random.default_rng(0).permutation(bits.shape[0])
+        assert np.array_equal(majority_dense(bits), majority_dense(bits[perm]))
+
+    @given(bits=bit_matrix(max_rows=5, min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_packed_matches_dense(self, bits):
+        dim = bits.shape[1]
+        packed = majority_vote(pack_bits(bits), dim)
+        assert np.array_equal(
+            unpack_bits(packed[None, :], dim)[0], majority_dense(bits)
+        )
+
+    @given(bits=bit_matrix(max_rows=3, min_rows=3))
+    @settings(max_examples=40, deadline=None)
+    def test_bundle_distance_bound(self, bits):
+        """d(bundle, member) <= sum of pairwise distances (loose sanity)."""
+        dim = bits.shape[1]
+        bundle = majority_vote(pack_bits(bits), dim)
+        member = pack_bits(bits[:1])[0]
+        d = pairwise_hamming(bundle[None, :], member[None, :])[0, 0]
+        assert d <= dim
+
+
+class TestLevelEncoderProperties:
+    @given(
+        dim=st.integers(32, 512),
+        seed=st.integers(0, 1000),
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=10,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distance_monotone_in_value_order(self, dim, seed, values):
+        enc = LevelEncoder(dim=dim, seed=seed).fit(values)
+        lo = min(values)
+        ordered = sorted(values)
+        base = Hypervector(enc.encode(lo), dim)
+        dists = [base.hamming(Hypervector(enc.encode(v), dim)) for v in ordered]
+        assert all(d1 <= d2 for d1, d2 in zip(dists, dists[1:]))
+
+    @given(dim=st.integers(32, 512), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_extremes_half_distance(self, dim, seed):
+        enc = LevelEncoder(dim=dim, seed=seed).fit([0.0, 1.0])
+        a = Hypervector(enc.encode(0.0), dim)
+        b = Hypervector(enc.encode(1.0), dim)
+        assert a.hamming(b) == round(dim * 0.5 / 2) * 2 or a.hamming(b) == dim // 2
+
+    @given(
+        dim=st.integers(32, 512),
+        seed=st.integers(0, 100),
+        t=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_density_always_near_half(self, dim, seed, t):
+        enc = LevelEncoder(dim=dim, seed=seed).fit([0.0, 1.0])
+        ones = int(popcount(enc.encode(t)))
+        assert abs(ones - dim // 2) <= 1

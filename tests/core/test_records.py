@@ -1,0 +1,189 @@
+"""Unit tests for the record-encoding pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import BinaryEncoder, CategoricalEncoder, LevelEncoder
+from repro.core.records import FeatureSpec, RecordEncoder, infer_feature_specs
+
+
+@pytest.fixture
+def mixed_X(rng):
+    n = 80
+    age = rng.uniform(20, 80, n)
+    flag = (rng.random(n) < 0.4).astype(float)
+    lab = rng.gamma(2.0, 50.0, n)
+    return np.column_stack([age, flag, lab])
+
+
+class TestFeatureSpec:
+    def test_valid_kinds(self):
+        for kind in ("linear", "binary", "categorical"):
+            FeatureSpec("x", kind)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FeatureSpec("x", "ordinal")
+
+    def test_levels_only_for_linear(self):
+        with pytest.raises(ValueError, match="levels"):
+            FeatureSpec("x", "binary", levels=4)
+
+
+class TestInference:
+    def test_binary_detection(self, mixed_X):
+        specs = infer_feature_specs(mixed_X)
+        assert [s.kind for s in specs] == ["linear", "binary", "linear"]
+
+    def test_custom_names(self, mixed_X):
+        specs = infer_feature_specs(mixed_X, names=["age", "flag", "lab"])
+        assert [s.name for s in specs] == ["age", "flag", "lab"]
+
+    def test_name_count_mismatch(self, mixed_X):
+        with pytest.raises(ValueError, match="names"):
+            infer_feature_specs(mixed_X, names=["a"])
+
+    def test_two_valued_nonbinary_is_linear(self, rng):
+        X = np.where(rng.random((50, 1)) < 0.5, 3.0, 7.0)
+        assert infer_feature_specs(X)[0].kind == "linear"
+
+
+class TestRecordEncoder:
+    def test_fit_assigns_encoder_types(self, mixed_X):
+        enc = RecordEncoder(dim=256, seed=0).fit(mixed_X)
+        assert isinstance(enc.encoders_[0], LevelEncoder)
+        assert isinstance(enc.encoders_[1], BinaryEncoder)
+        assert isinstance(enc.encoders_[2], LevelEncoder)
+
+    def test_explicit_specs(self, mixed_X):
+        specs = [
+            FeatureSpec("age", "linear"),
+            FeatureSpec("flag", "categorical"),
+            FeatureSpec("lab", "linear"),
+        ]
+        enc = RecordEncoder(specs, dim=256, seed=0).fit(mixed_X)
+        assert isinstance(enc.encoders_[1], CategoricalEncoder)
+
+    def test_spec_count_mismatch(self, mixed_X):
+        with pytest.raises(ValueError, match="specs"):
+            RecordEncoder([FeatureSpec("a")], dim=128).fit(mixed_X)
+
+    def test_transform_shapes(self, mixed_X):
+        enc = RecordEncoder(dim=256, seed=0).fit(mixed_X)
+        packed = enc.transform(mixed_X)
+        dense = enc.transform_dense(mixed_X)
+        assert packed.shape == (80, 4)
+        assert dense.shape == (80, 256)
+        assert set(np.unique(dense).tolist()) <= {0, 1}
+
+    def test_feature_layer_shape(self, mixed_X):
+        enc = RecordEncoder(dim=256, seed=0).fit(mixed_X)
+        feats = enc.encode_features(mixed_X)
+        assert feats.shape == (80, 3, 4)
+
+    def test_transform_before_fit(self, mixed_X):
+        with pytest.raises(RuntimeError, match="fitted"):
+            RecordEncoder(dim=128).transform(mixed_X)
+
+    def test_column_count_mismatch_at_transform(self, mixed_X):
+        enc = RecordEncoder(dim=128, seed=0).fit(mixed_X)
+        with pytest.raises(ValueError, match="columns"):
+            enc.transform(mixed_X[:, :2])
+
+    def test_deterministic_given_seed(self, mixed_X):
+        a = RecordEncoder(dim=256, seed=5).fit_transform(mixed_X)
+        b = RecordEncoder(dim=256, seed=5).fit_transform(mixed_X)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_changes_encoding(self, mixed_X):
+        a = RecordEncoder(dim=256, seed=5).fit_transform(mixed_X)
+        b = RecordEncoder(dim=256, seed=6).fit_transform(mixed_X)
+        assert not np.array_equal(a, b)
+
+    def test_feature_seeds_are_independent(self, mixed_X):
+        """The paper: each feature must have its own seed hypervector."""
+        enc = RecordEncoder(dim=1024, seed=0).fit(mixed_X)
+        s0 = enc.encoders_[0].seed_vector_
+        s2 = enc.encoders_[2].seed_vector_
+        # Independent random vectors are near-orthogonal, not equal.
+        from repro.core.hypervector import popcount, xor_packed
+
+        assert popcount(xor_packed(s0, s2)) > 1024 * 0.4
+
+    def test_similar_rows_encode_close(self, rng):
+        """Record-level proximity: nearby feature values → nearby bundles."""
+        X = np.array([[10.0, 0.0], [10.5, 0.0], [99.0, 1.0]])
+        fit_X = np.vstack([X, [[0.0, 1.0], [100.0, 0.0]]])
+        enc = RecordEncoder(dim=4096, seed=1).fit(fit_X)
+        H = enc.transform(X)
+        from repro.core.distance import pairwise_hamming
+
+        D = pairwise_hamming(H)
+        assert D[0, 1] < D[0, 2]
+
+    def test_properties(self, mixed_X):
+        enc = RecordEncoder(dim=256, seed=0).fit(mixed_X)
+        assert enc.n_features_in_ == 3
+        assert len(enc.feature_names_) == 3
+
+    def test_describe(self, mixed_X):
+        enc = RecordEncoder(dim=256, seed=0).fit(mixed_X)
+        text = enc.describe()
+        assert "linear" in text and "range=" in text
+
+    def test_tie_rule_passthrough(self, mixed_X):
+        one = RecordEncoder(dim=256, seed=0, tie="one").fit_transform(mixed_X)
+        zero = RecordEncoder(dim=256, seed=0, tie="zero").fit_transform(mixed_X)
+        # Odd feature count (3) means no ties; results must coincide.
+        assert np.array_equal(one, zero)
+
+    def test_tie_rule_matters_for_even_features(self, rng):
+        X = rng.normal(size=(20, 4))
+        one = RecordEncoder(dim=1024, seed=0, tie="one").fit_transform(X)
+        zero = RecordEncoder(dim=1024, seed=0, tie="zero").fit_transform(X)
+        assert not np.array_equal(one, zero)
+
+    def test_unseen_values_clip_not_crash(self, mixed_X):
+        enc = RecordEncoder(dim=256, seed=0).fit(mixed_X)
+        extreme = mixed_X.copy()
+        extreme[:, 0] = 1e6
+        enc.transform(extreme)  # must not raise
+
+
+class TestIdBinding:
+    def test_bind_ids_changes_encoding(self, mixed_X):
+        plain = RecordEncoder(dim=1024, seed=0).fit_transform(mixed_X)
+        bound = RecordEncoder(dim=1024, seed=0, bind_ids=True).fit_transform(mixed_X)
+        assert not np.array_equal(plain, bound)
+
+    def test_bind_ids_preserves_record_geometry(self, rng):
+        """XOR with a constant per column is an isometry of each feature
+        layer, so record-level distances stay statistically equivalent."""
+        from repro.core.distance import pairwise_hamming
+
+        X = rng.normal(size=(40, 3))
+        plain = RecordEncoder(dim=4096, seed=1).fit_transform(X)
+        bound = RecordEncoder(dim=4096, seed=1, bind_ids=True).fit_transform(X)
+        Dp = pairwise_hamming(plain).astype(float)
+        Db = pairwise_hamming(bound).astype(float)
+        iu = np.triu_indices(40, 1)
+        corr = np.corrcoef(Dp[iu], Db[iu])[0, 1]
+        assert corr > 0.8
+
+    def test_bind_ids_classification_comparable(self, rng):
+        from repro.core.classifier import HammingClassifier
+
+        X = rng.normal(size=(120, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        accs = {}
+        for bind in (False, True):
+            enc = RecordEncoder(dim=2048, seed=2, bind_ids=bind).fit(X)
+            H = enc.transform(X)
+            clf = HammingClassifier(dim=2048).fit(H[:90], y[:90])
+            accs[bind] = clf.score(H[90:], y[90:])
+        assert abs(accs[False] - accs[True]) < 0.2
+
+    def test_id_vectors_deterministic(self, mixed_X):
+        a = RecordEncoder(dim=512, seed=3, bind_ids=True).fit(mixed_X)
+        b = RecordEncoder(dim=512, seed=3, bind_ids=True).fit(mixed_X)
+        assert np.array_equal(a.id_vectors_, b.id_vectors_)

@@ -1,0 +1,97 @@
+"""Tests for the HypervectorSpace facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.spaces import HypervectorSpace
+
+
+@pytest.fixture
+def space():
+    return HypervectorSpace(dim=512, seed=42)
+
+
+class TestCreation:
+    def test_token_stability(self, space):
+        assert space.random("glucose") == space.random("glucose")
+
+    def test_token_independence(self, space):
+        a = space.random("glucose")
+        b = space.random("age")
+        assert 0.4 < a.normalized_hamming(b) < 0.6
+
+    def test_cross_run_reproducibility(self):
+        a = HypervectorSpace(dim=512, seed=1).random("x")
+        b = HypervectorSpace(dim=512, seed=1).random("x")
+        assert a == b
+
+    def test_seed_matters(self):
+        a = HypervectorSpace(dim=512, seed=1).random("x")
+        b = HypervectorSpace(dim=512, seed=2).random("x")
+        assert a != b
+
+    def test_anonymous_vectors_distinct(self, space):
+        assert space.random() != space.random()
+
+    def test_batch_shape(self, space):
+        batch = space.random_batch(5, token="b")
+        assert batch.shape == (5, 8)
+
+    def test_level_encoder_fitted(self, space):
+        enc = space.level_encoder(0.0, 10.0, token="lab")
+        assert enc.flip_count(10.0) == 256
+
+    def test_level_encoder_range_validation(self, space):
+        with pytest.raises(ValueError):
+            space.level_encoder(5.0, 5.0)
+
+    def test_binary_and_categorical_encoders(self, space):
+        be = space.binary_encoder(token="flag")
+        ce = space.categorical_encoder(["a", "b"], token="cat")
+        assert be.encode(0).shape == (8,)
+        assert ce.encode("a").shape == (8,)
+
+    def test_item_memory_dim(self, space):
+        mem = space.item_memory()
+        mem.store("k", space.random("k"))
+        assert mem.cleanup(space.random("k"))[0] == "k"
+
+
+class TestAlgebra:
+    def test_bind_unbind_roundtrip(self, space):
+        a, b = space.random("a"), space.random("b")
+        assert space.unbind(space.bind(a, b), b) == a
+
+    def test_bind_decorrelates(self, space):
+        a, b = space.random("a"), space.random("b")
+        bound = space.bind(a, b)
+        assert 0.35 < bound.normalized_hamming(a) < 0.65
+
+    def test_bundle_near_members(self):
+        space = HypervectorSpace(dim=10_000, seed=0)
+        members = [space.random(i) for i in range(5)]
+        bundle = space.bundle(members)
+        for m in members:
+            assert space.similarity(bundle, m) > 0.6
+
+    def test_bundle_empty(self, space):
+        with pytest.raises(ValueError):
+            space.bundle([])
+
+    def test_bundle_wrong_width(self, space):
+        other = HypervectorSpace(dim=128, seed=0)
+        with pytest.raises(ValueError):
+            space.bundle([other.random("x").packed])
+
+    def test_distance_and_similarity(self, space):
+        a = space.random("a")
+        assert space.distance(a, a) == 0
+        assert space.similarity(a, a) == 1.0
+        assert space.similarity(a, ~a) == 0.0
+
+    def test_accepts_raw_packed(self, space):
+        a = space.random("a")
+        assert space.distance(a.packed, a) == 0
+
+    def test_repr(self, space):
+        assert "dim=512" in repr(space)

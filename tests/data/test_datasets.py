@@ -1,0 +1,48 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import FeatureSpec
+from repro.data.datasets import Dataset
+
+
+def make(n=10, f=3):
+    return Dataset(
+        name="d",
+        X=np.arange(n * f, dtype=float).reshape(n, f),
+        y=np.arange(n) % 2,
+        feature_names=[f"c{i}" for i in range(f)],
+        specs=[FeatureSpec(f"c{i}") for i in range(f)],
+    )
+
+
+class TestDataset:
+    def test_counts(self):
+        ds = make(10)
+        assert ds.n_samples == 10
+        assert ds.n_features == 3
+        assert ds.n_positive == 5
+        assert ds.n_negative == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="y shape"):
+            Dataset("d", np.zeros((4, 2)), np.zeros(3), ["a", "b"], [FeatureSpec("a"), FeatureSpec("b")])
+
+    def test_names_validation(self):
+        with pytest.raises(ValueError, match="feature_names"):
+            Dataset("d", np.zeros((4, 2)), np.zeros(4), ["a"], [FeatureSpec("a"), FeatureSpec("b")])
+
+    def test_specs_validation(self):
+        with pytest.raises(ValueError, match="specs"):
+            Dataset("d", np.zeros((4, 2)), np.zeros(4), ["a", "b"], [FeatureSpec("a")])
+
+    def test_subset_copies(self):
+        ds = make(10)
+        sub = ds.subset(np.array([0, 2, 4]), name="sub")
+        assert sub.n_samples == 3 and sub.name == "sub"
+        sub.X[0, 0] = -1
+        assert ds.X[0, 0] != -1
+
+    def test_class_summary(self):
+        assert "10 rows" in make(10).class_summary()

@@ -1,0 +1,91 @@
+"""Tests for the Diabetes Pedigree Function (§II-A.1 formula)."""
+
+import pytest
+
+from repro.data.dpf import GENE_SHARE, Relative, compute_dpf
+
+
+class TestRelative:
+    def test_known_relations(self):
+        assert Relative("parent", True, 50).k() == 0.5
+        assert Relative("grandparent", False, 70).k() == 0.25
+        assert Relative("cousin", True, 40).k() == 0.125
+
+    def test_explicit_gene_share_overrides(self):
+        assert Relative("parent", True, 50, gene_share=0.25).k() == 0.25
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError, match="unknown relation"):
+            Relative("neighbour", True, 50).k()
+
+    def test_gene_share_validation(self):
+        with pytest.raises(ValueError):
+            Relative("parent", True, 50, gene_share=1.5).k()
+
+    def test_age_validation(self):
+        with pytest.raises(ValueError, match="implausible"):
+            Relative("parent", True, 250)
+
+
+class TestComputeDpf:
+    def test_formula_by_hand(self):
+        # One diabetic parent diagnosed at 48, one clear sibling at 60:
+        # num = 0.5*(88-48)+20 = 40 ; den = 0.5*(60-14)+50 = 73
+        rels = [Relative("parent", True, 48), Relative("sibling", False, 60)]
+        assert compute_dpf(rels) == pytest.approx(40 / 73)
+
+    def test_no_relatives_baseline(self):
+        # empty numerator -> 20, empty denominator -> 50
+        assert compute_dpf([]) == pytest.approx(0.4)
+
+    def test_only_diabetic_relatives(self):
+        rels = [Relative("parent", True, 40)]
+        # num = 0.5*48+20 = 44; den = 50
+        assert compute_dpf(rels) == pytest.approx(44 / 50)
+
+    def test_only_clear_relatives(self):
+        rels = [Relative("parent", False, 70)]
+        # num = 20; den = 0.5*56+50 = 78
+        assert compute_dpf(rels) == pytest.approx(20 / 78)
+
+    def test_young_diabetic_relative_raises_score(self):
+        young = compute_dpf([Relative("parent", True, 30)])
+        old = compute_dpf([Relative("parent", True, 70)])
+        assert young > old
+
+    def test_old_clear_relative_lowers_score(self):
+        old_clear = compute_dpf(
+            [Relative("parent", True, 50), Relative("sibling", False, 75)]
+        )
+        young_clear = compute_dpf(
+            [Relative("parent", True, 50), Relative("sibling", False, 20)]
+        )
+        assert old_clear < young_clear
+
+    def test_closer_relatives_weigh_more(self):
+        parent = compute_dpf([Relative("parent", True, 45)])
+        cousin = compute_dpf([Relative("cousin", True, 45)])
+        assert parent > cousin
+
+    def test_result_in_dataset_range(self):
+        """Scores for plausible pedigrees fall inside Table I's DPF range."""
+        pedigrees = [
+            [],
+            [Relative("parent", True, 35), Relative("parent", False, 65)],
+            [Relative("parent", True, 30), Relative("sibling", True, 28)],
+            [
+                Relative("grandparent", True, 60),
+                Relative("sibling", False, 40),
+                Relative("cousin", False, 33),
+            ],
+        ]
+        for rels in pedigrees:
+            score = compute_dpf(rels)
+            assert 0.05 < score < 2.6
+
+
+class TestGeneShareTable:
+    def test_documented_relations_complete(self):
+        assert {"parent", "sibling", "half-sibling", "grandparent", "cousin"} <= set(
+            GENE_SHARE
+        )

@@ -1,0 +1,146 @@
+"""Tests for the longitudinal EHR simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.ehr import (
+    DIAGNOSIS_THRESHOLD,
+    PatientTrajectory,
+    cohort_to_matrix,
+    simulate_cohort,
+    simulate_trajectory,
+)
+from repro.data.pima import PIMA_FEATURES
+
+
+class TestTrajectory:
+    def test_shapes(self):
+        t = simulate_trajectory(0, n_visits=5, seed=0)
+        assert t.visits.shape == (5, 8)
+        assert t.risk.shape == (5,)
+        assert t.onset_labels.shape == (5,)
+        assert t.n_visits == 5
+
+    def test_reproducible(self):
+        a = simulate_trajectory(0, n_visits=4, drift=0.05, seed=3)
+        b = simulate_trajectory(0, n_visits=4, drift=0.05, seed=3)
+        assert np.array_equal(a.visits, b.visits)
+        assert np.array_equal(a.risk, b.risk)
+
+    def test_risk_bounded(self):
+        t = simulate_trajectory(0, n_visits=20, drift=0.2, seed=0)
+        assert np.all((t.risk >= 0.0) & (t.risk <= 1.0))
+
+    def test_positive_drift_raises_risk(self):
+        t = simulate_trajectory(0, n_visits=10, drift=0.08, noise=0.01, seed=1)
+        assert t.risk[-1] > t.risk[0]
+        assert t.trend() == "rising"
+
+    def test_negative_drift_lowers_risk(self):
+        t = simulate_trajectory(
+            0, n_visits=10, drift=-0.08, noise=0.01, start_risk=0.6, seed=1
+        )
+        assert t.trend() == "falling"
+
+    def test_onset_label_semantics(self):
+        """Label is 1 exactly when the threshold is crossed at/after the visit."""
+        t = simulate_trajectory(0, n_visits=12, drift=0.08, noise=0.0, start_risk=0.3, seed=0)
+        crossed = t.risk >= DIAGNOSIS_THRESHOLD
+        for i in range(t.n_visits):
+            assert t.onset_labels[i] == int(crossed[i:].any())
+
+    def test_labels_monotone_nonincreasing_for_monotone_risk(self):
+        """With noise=0 and positive drift, once labelled 0 never back to 1
+        — i.e. labels are non-increasing backwards in time."""
+        t = simulate_trajectory(0, n_visits=8, drift=0.05, noise=0.0, seed=0)
+        assert np.all(np.diff(t.onset_labels) >= 0) or np.all(t.onset_labels == t.onset_labels[0])
+
+    def test_age_and_pregnancies_monotone(self):
+        t = simulate_trajectory(0, n_visits=8, drift=0.0, seed=5)
+        age = t.visits[:, PIMA_FEATURES.index("age")]
+        preg = t.visits[:, PIMA_FEATURES.index("pregnancies")]
+        assert np.all(np.diff(age) >= 0)
+        assert np.all(np.diff(preg) >= 0)
+
+    def test_features_track_latent_risk(self):
+        """High-risk visits must show higher glucose on average."""
+        rng = np.random.default_rng(0)
+        lows, highs = [], []
+        g = PIMA_FEATURES.index("glucose")
+        for s in range(30):
+            lo = simulate_trajectory(0, n_visits=2, start_risk=0.1, noise=0.0, seed=s)
+            hi = simulate_trajectory(0, n_visits=2, start_risk=0.9, noise=0.0, seed=s)
+            lows.append(lo.visits[0, g])
+            highs.append(hi.visits[0, g])
+        assert np.mean(highs) > np.mean(lows) + 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_trajectory(0, n_visits=1)
+        with pytest.raises(ValueError):
+            simulate_trajectory(0, start_risk=1.5)
+        with pytest.raises(ValueError):
+            simulate_trajectory(0, noise=0.9)
+
+
+class TestCohort:
+    def test_size_and_reproducibility(self):
+        a = simulate_cohort(20, seed=1)
+        b = simulate_cohort(20, seed=1)
+        assert len(a) == 20
+        assert np.array_equal(a[3].visits, b[3].visits)
+
+    def test_course_mix(self):
+        cohort = simulate_cohort(
+            40, deteriorating_fraction=0.5, improving_fraction=0.25, seed=0
+        )
+        drifts = np.array([t.drift for t in cohort])
+        assert np.sum(drifts > 0) == 20
+        assert np.sum(drifts < 0) == 10
+        assert np.sum(drifts == 0) == 10
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            simulate_cohort(10, deteriorating_fraction=0.8, improving_fraction=0.5)
+
+    def test_to_matrix(self):
+        cohort = simulate_cohort(5, n_visits=4, seed=0)
+        X, y, pids, visit_idx = cohort_to_matrix(cohort)
+        assert X.shape == (20, 8)
+        assert y.shape == (20,)
+        assert set(pids.tolist()) == set(range(5))
+        assert visit_idx.max() == 3
+
+    def test_to_matrix_empty(self):
+        with pytest.raises(ValueError):
+            cohort_to_matrix([])
+
+
+class TestRiskScoreTransfer:
+    def test_prototype_score_tracks_latent_trend(self):
+        """A prototype model trained on cross-sectional Pima must produce
+        rising scores on deteriorating patients — §III-B's requirement."""
+        from repro.core import PrototypeClassifier, RecordEncoder
+        from repro.core.distance import pairwise_hamming
+        from repro.data.pima import load_pima_m
+
+        ds = load_pima_m(seed=2023)
+        enc = RecordEncoder(specs=ds.specs, dim=2048, seed=0).fit(ds.X)
+        proto = PrototypeClassifier(dim=2048).fit(enc.transform(ds.X), ds.y)
+        neg_idx = int(np.flatnonzero(proto.classes_ == 0)[0])
+        pos_idx = int(np.flatnonzero(proto.classes_ == 1)[0])
+
+        def score(row):
+            h = enc.transform(row[None, :])
+            d = pairwise_hamming(h, proto.prototypes_)[0].astype(float)
+            return d[neg_idx] / (d[neg_idx] + d[pos_idx])
+
+        correct = 0
+        cohort = [
+            simulate_trajectory(i, n_visits=6, drift=0.09, noise=0.01, seed=i)
+            for i in range(10)
+        ]
+        for t in cohort:
+            first, last = score(t.visits[0]), score(t.visits[-1])
+            correct += int(last > first)
+        assert correct >= 8  # direction detected for most patients

@@ -1,0 +1,124 @@
+"""Tests for missing-data treatments."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import FeatureSpec
+from repro.data.datasets import Dataset
+from repro.data.impute import (
+    drop_incomplete,
+    mean_impute,
+    median_impute_by_class,
+    missing_mask,
+)
+
+
+@pytest.fixture
+def toy_dataset():
+    X = np.array(
+        [
+            [1.0, 10.0],
+            [0.0, 20.0],   # missing col0
+            [3.0, 0.0],    # missing col1
+            [4.0, 40.0],
+            [5.0, 50.0],
+            [0.0, 0.0],    # missing both
+        ]
+    )
+    y = np.array([0, 0, 1, 1, 0, 1])
+    return Dataset(
+        name="toy",
+        X=X,
+        y=y,
+        feature_names=["a", "b"],
+        specs=[FeatureSpec("a"), FeatureSpec("b")],
+    )
+
+
+class TestMissingMask:
+    def test_mask_shape_and_values(self, toy_dataset):
+        mask = missing_mask(toy_dataset, ["a", "b"])
+        assert mask.shape == (6, 2)
+        assert mask[:, 0].tolist() == [False, True, False, False, False, True]
+
+    def test_unknown_column(self, toy_dataset):
+        with pytest.raises(KeyError, match="not in dataset"):
+            missing_mask(toy_dataset, ["c"])
+
+
+class TestDropIncomplete:
+    def test_removes_rows_with_any_zero(self, toy_dataset):
+        ds = drop_incomplete(toy_dataset, ["a", "b"])
+        assert ds.n_samples == 3
+        assert not missing_mask(ds, ["a", "b"]).any()
+
+    def test_name_suffix(self, toy_dataset):
+        assert drop_incomplete(toy_dataset, ["a"]).name == "toy_r"
+        assert drop_incomplete(toy_dataset, ["a"], name="custom").name == "custom"
+
+    def test_subset_of_columns(self, toy_dataset):
+        ds = drop_incomplete(toy_dataset, ["a"])
+        assert ds.n_samples == 4  # only col-a zeros removed
+
+    def test_all_rows_missing_raises(self):
+        ds = Dataset(
+            name="bad",
+            X=np.zeros((3, 1)),
+            y=np.array([0, 1, 0]),
+            feature_names=["a"],
+            specs=[FeatureSpec("a")],
+        )
+        with pytest.raises(ValueError, match="every row"):
+            drop_incomplete(ds, ["a"])
+
+    def test_original_untouched(self, toy_dataset):
+        before = toy_dataset.X.copy()
+        drop_incomplete(toy_dataset, ["a", "b"])
+        assert np.array_equal(toy_dataset.X, before)
+
+
+class TestMedianImpute:
+    def test_fills_with_class_median(self, toy_dataset):
+        ds = median_impute_by_class(toy_dataset, ["a"])
+        # class 0 observed a-values: 1, 5 -> median 3; row 1 is class 0
+        assert ds.X[1, 0] == pytest.approx(3.0)
+        # class 1 observed a-values: 3, 4 -> median 3.5; row 5 is class 1
+        assert ds.X[5, 0] == pytest.approx(3.5)
+
+    def test_observed_values_unchanged(self, toy_dataset):
+        ds = median_impute_by_class(toy_dataset, ["a", "b"])
+        assert ds.X[0, 0] == 1.0 and ds.X[3, 1] == 40.0
+
+    def test_no_missing_after(self, toy_dataset):
+        ds = median_impute_by_class(toy_dataset, ["a", "b"])
+        assert not missing_mask(ds, ["a", "b"]).any()
+
+    def test_all_missing_column_raises(self):
+        ds = Dataset(
+            name="bad",
+            X=np.zeros((3, 1)),
+            y=np.array([0, 1, 0]),
+            feature_names=["a"],
+            specs=[FeatureSpec("a")],
+        )
+        with pytest.raises(ValueError, match="no observed"):
+            median_impute_by_class(ds, ["a"])
+
+    def test_original_untouched(self, toy_dataset):
+        before = toy_dataset.X.copy()
+        median_impute_by_class(toy_dataset, ["a", "b"])
+        assert np.array_equal(toy_dataset.X, before)
+
+    def test_name(self, toy_dataset):
+        assert median_impute_by_class(toy_dataset, ["a"]).name == "toy_m"
+
+
+class TestMeanImpute:
+    def test_fills_with_global_mean(self, toy_dataset):
+        ds = mean_impute(toy_dataset, ["a"])
+        observed = [1.0, 3.0, 4.0, 5.0]
+        assert ds.X[1, 0] == pytest.approx(np.mean(observed))
+
+    def test_label_agnostic(self, toy_dataset):
+        ds = mean_impute(toy_dataset, ["a"])
+        assert ds.X[1, 0] == ds.X[5, 0]

@@ -1,0 +1,141 @@
+"""Tests for CSV interchange (real-dataset loaders)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_pima_csv, load_sylhet_csv, save_dataset_csv
+
+PIMA_HEADER = (
+    "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,"
+    "DiabetesPedigreeFunction,Age,Outcome"
+)
+
+SYLHET_HEADER = (
+    "Age,Gender,Polyuria,Polydipsia,sudden weight loss,weakness,Polyphagia,"
+    "Genital thrush,visual blurring,Itching,Irritability,delayed healing,"
+    "partial paresis,muscle stiffness,Alopecia,Obesity,class"
+)
+
+
+@pytest.fixture
+def pima_csv(tmp_path):
+    path = tmp_path / "diabetes.csv"
+    rows = [
+        "6,148,72,35,0,33.6,0.627,50,1",
+        "1,85,66,29,0,26.6,0.351,31,0",
+        "8,183,64,0,0,23.3,0.672,32,1",
+    ]
+    path.write_text(PIMA_HEADER + "\n" + "\n".join(rows) + "\n")
+    return path
+
+
+@pytest.fixture
+def sylhet_csv(tmp_path):
+    path = tmp_path / "diabetes_data_upload.csv"
+    rows = [
+        "40,Male,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Positive",
+        "58,Female,No,No,No,Yes,No,No,Yes,No,No,No,Yes,No,Yes,No,Negative",
+    ]
+    path.write_text(SYLHET_HEADER + "\n" + "\n".join(rows) + "\n")
+    return path
+
+
+class TestPimaCsv:
+    def test_load_shapes_and_order(self, pima_csv):
+        ds = load_pima_csv(pima_csv)
+        assert ds.X.shape == (3, 8)
+        # canonical order: pregnancies first, age last
+        assert ds.X[0, 0] == 6 and ds.X[0, 7] == 50
+        assert ds.y.tolist() == [1, 0, 1]
+
+    def test_zero_missing_preserved(self, pima_csv):
+        ds = load_pima_csv(pima_csv)
+        j = ds.feature_names.index("insulin")
+        assert np.all(ds.X[:, j] == 0.0)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pima_csv(tmp_path / "nope.csv")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,B\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_pima_csv(path)
+
+    def test_bad_value_reports_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(PIMA_HEADER + "\n6,oops,72,35,0,33.6,0.627,50,1\n")
+        with pytest.raises(ValueError, match="row 1"):
+            load_pima_csv(path)
+
+    def test_bad_outcome(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(PIMA_HEADER + "\n6,148,72,35,0,33.6,0.627,50,2\n")
+        with pytest.raises(ValueError, match="Outcome"):
+            load_pima_csv(path)
+
+    def test_empty_data(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(PIMA_HEADER + "\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_pima_csv(path)
+
+
+class TestSylhetCsv:
+    def test_load(self, sylhet_csv):
+        ds = load_sylhet_csv(sylhet_csv)
+        assert ds.X.shape == (2, 16)
+        assert ds.y.tolist() == [1, 0]
+        # gender coding: male=1, female=2
+        assert ds.X[0, 1] == 1.0 and ds.X[1, 1] == 2.0
+
+    def test_yes_no_mapping(self, sylhet_csv):
+        ds = load_sylhet_csv(sylhet_csv)
+        j = ds.feature_names.index("polydipsia")
+        assert ds.X[0, j] == 1.0 and ds.X[1, j] == 0.0
+
+    def test_bad_gender(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            SYLHET_HEADER
+            + "\n40,Other,No,No,No,No,No,No,No,No,No,No,No,No,No,No,Positive\n"
+        )
+        with pytest.raises(ValueError, match="Gender"):
+            load_sylhet_csv(path)
+
+    def test_bad_symptom(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            SYLHET_HEADER
+            + "\n40,Male,Maybe,No,No,No,No,No,No,No,No,No,No,No,No,No,Positive\n"
+        )
+        with pytest.raises(ValueError, match="Yes/No"):
+            load_sylhet_csv(path)
+
+    def test_bad_class(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            SYLHET_HEADER
+            + "\n40,Male,No,No,No,No,No,No,No,No,No,No,No,No,No,No,Unknown\n"
+        )
+        with pytest.raises(ValueError, match="class"):
+            load_sylhet_csv(path)
+
+    def test_case_insensitive_values(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text(
+            SYLHET_HEADER
+            + "\n40,MALE,YES,no,No,No,No,No,No,No,No,No,No,No,No,No,POSITIVE\n"
+        )
+        ds = load_sylhet_csv(path)
+        assert ds.y[0] == 1 and ds.X[0, 2] == 1.0
+
+
+class TestRoundtrip:
+    def test_save_and_reload_generic(self, tmp_path, sylhet):
+        path = tmp_path / "out.csv"
+        save_dataset_csv(sylhet, path)
+        text = path.read_text().strip().splitlines()
+        assert len(text) == sylhet.n_samples + 1
+        assert text[0].split(",")[-1] == "label"

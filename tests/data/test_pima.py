@@ -1,0 +1,114 @@
+"""Tests for the Pima dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.impute import missing_mask
+from repro.data.pima import (
+    PIMA_COMPLETE_NEGATIVE,
+    PIMA_COMPLETE_POSITIVE,
+    PIMA_FEATURES,
+    PIMA_MISSING_COLUMNS,
+    generate_pima,
+    load_pima_m,
+    load_pima_r,
+)
+
+
+class TestGeneratePima:
+    def test_shape_and_counts(self, pima_base):
+        assert pima_base.X.shape == (768, 8)
+        assert pima_base.n_positive == 268
+        assert pima_base.n_negative == 500
+
+    def test_feature_order(self, pima_base):
+        assert pima_base.feature_names == PIMA_FEATURES
+
+    def test_reproducible(self):
+        a = generate_pima(seed=5)
+        b = generate_pima(seed=5)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        assert not np.array_equal(generate_pima(seed=5).X, generate_pima(seed=6).X)
+
+    def test_missing_only_in_lab_columns(self, pima_base):
+        zero_cols = [
+            name
+            for j, name in enumerate(PIMA_FEATURES)
+            if np.any(pima_base.X[:, j] == 0.0) and name != "pregnancies"
+        ]
+        assert set(zero_cols) <= set(PIMA_MISSING_COLUMNS)
+
+    def test_no_missing_option(self):
+        ds = generate_pima(seed=1, inject_missing=False)
+        assert not missing_mask(ds, PIMA_MISSING_COLUMNS).any()
+
+    def test_custom_size(self):
+        ds = generate_pima(n_samples=100, n_positive=40, seed=0)
+        assert ds.n_samples == 100 and ds.n_positive == 40
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_pima(n_samples=10, n_positive=10)
+
+    def test_table1_calibration(self, pima_r):
+        """Per-class means within clinical tolerance of the paper's Table I."""
+        targets = {
+            1: {"age": 36, "pregnancies": 4, "glucose": 145, "bmi": 36,
+                "skin_thickness": 33, "insulin": 207, "dpf": 0.6, "blood_pressure": 74},
+            0: {"age": 28, "pregnancies": 3, "glucose": 111, "bmi": 32,
+                "skin_thickness": 27, "insulin": 130, "dpf": 0.47, "blood_pressure": 69},
+        }
+        for cls, feats in targets.items():
+            sub = pima_r.X[pima_r.y == cls]
+            for feat, target in feats.items():
+                j = pima_r.feature_names.index(feat)
+                mean = sub[:, j].mean()
+                assert abs(mean - target) / target < 0.15, (cls, feat, mean)
+
+    def test_positive_class_sicker(self, pima_r):
+        """Positives must have higher glucose/BMI/insulin (Table I ordering)."""
+        for feat in ("glucose", "bmi", "insulin", "age"):
+            j = pima_r.feature_names.index(feat)
+            assert pima_r.X[pima_r.y == 1, j].mean() > pima_r.X[pima_r.y == 0, j].mean()
+
+    def test_clinical_correlations_present(self, pima_r):
+        def corr(a, b):
+            i = pima_r.feature_names.index(a)
+            j = pima_r.feature_names.index(b)
+            return np.corrcoef(pima_r.X[:, i], pima_r.X[:, j])[0, 1]
+
+        assert corr("glucose", "insulin") > 0.3
+        assert corr("bmi", "skin_thickness") > 0.3
+        assert corr("age", "pregnancies") > 0.3
+
+
+class TestPimaVariants:
+    def test_pima_r_counts_match_paper(self, pima_r):
+        assert pima_r.n_positive == PIMA_COMPLETE_POSITIVE == 130
+        assert pima_r.n_negative == PIMA_COMPLETE_NEGATIVE == 262
+
+    def test_pima_r_complete(self, pima_r):
+        assert not missing_mask(pima_r, PIMA_MISSING_COLUMNS).any()
+
+    def test_pima_m_keeps_all_rows(self, pima_m, pima_base):
+        assert pima_m.n_samples == pima_base.n_samples
+        assert not missing_mask(pima_m, PIMA_MISSING_COLUMNS).any()
+
+    def test_pima_m_imputes_class_median(self, pima_base, pima_m):
+        j = pima_base.feature_names.index("insulin")
+        was_missing = pima_base.X[:, j] == 0.0
+        for cls in (0, 1):
+            observed = (~was_missing) & (pima_base.y == cls)
+            expected = np.median(pima_base.X[observed, j])
+            filled = pima_m.X[was_missing & (pima_m.y == cls), j]
+            assert np.allclose(filled, expected)
+
+    def test_variants_from_shared_base(self, pima_base):
+        r = load_pima_r(base=pima_base)
+        m = load_pima_m(base=pima_base)
+        assert r.name == "pima_r" and m.name == "pima_m"
+        # the complete rows must appear unchanged in both
+        assert r.n_samples < m.n_samples

@@ -1,0 +1,78 @@
+"""Tests for the Sylhet dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.sylhet import SYLHET_FEATURES, generate_sylhet, sylhet_feature_specs
+
+
+class TestGenerateSylhet:
+    def test_shape_and_counts(self, sylhet):
+        assert sylhet.X.shape == (520, 16)
+        assert sylhet.n_positive == 320
+        assert sylhet.n_negative == 200
+
+    def test_feature_names(self, sylhet):
+        assert sylhet.feature_names == SYLHET_FEATURES
+        assert len(SYLHET_FEATURES) == 16  # paper: 16-dim NN input
+
+    def test_reproducible(self):
+        a = generate_sylhet(seed=3)
+        b = generate_sylhet(seed=3)
+        assert np.array_equal(a.X, b.X) and np.array_equal(a.y, b.y)
+
+    def test_sex_coding(self, sylhet):
+        j = sylhet.feature_names.index("sex")
+        assert set(np.unique(sylhet.X[:, j]).tolist()) == {1.0, 2.0}
+
+    def test_symptoms_binary(self, sylhet):
+        for name in SYLHET_FEATURES[2:]:
+            j = sylhet.feature_names.index(name)
+            assert set(np.unique(sylhet.X[:, j]).tolist()) <= {0.0, 1.0}
+
+    def test_age_plausible(self, sylhet):
+        j = sylhet.feature_names.index("age")
+        ages = sylhet.X[:, j]
+        assert ages.min() >= 16 and ages.max() <= 90
+        assert 40 < ages.mean() < 55
+
+    def test_informative_symptoms_discriminate(self, sylhet):
+        """Polyuria/polydipsia must separate classes strongly (source study)."""
+        for name, min_gap in (("polyuria", 0.4), ("polydipsia", 0.4), ("partial_paresis", 0.25)):
+            j = sylhet.feature_names.index(name)
+            pos = sylhet.X[sylhet.y == 1, j].mean()
+            neg = sylhet.X[sylhet.y == 0, j].mean()
+            assert pos - neg > min_gap, name
+
+    def test_uninformative_symptoms_do_not(self, sylhet):
+        for name in ("itching", "delayed_healing"):
+            j = sylhet.feature_names.index(name)
+            pos = sylhet.X[sylhet.y == 1, j].mean()
+            neg = sylhet.X[sylhet.y == 0, j].mean()
+            assert abs(pos - neg) < 0.12, name
+
+    def test_alopecia_negatively_associated(self, sylhet):
+        j = sylhet.feature_names.index("alopecia")
+        assert sylhet.X[sylhet.y == 1, j].mean() < sylhet.X[sylhet.y == 0, j].mean()
+
+    def test_symptom_cooccurrence(self, sylhet):
+        """Latent severity couples polyuria and polydipsia within positives."""
+        i = sylhet.feature_names.index("polyuria")
+        j = sylhet.feature_names.index("polydipsia")
+        pos = sylhet.X[sylhet.y == 1]
+        r = np.corrcoef(pos[:, i], pos[:, j])[0, 1]
+        assert r > 0.05
+
+    def test_specs_kinds(self):
+        specs = sylhet_feature_specs()
+        assert specs[0].kind == "linear"
+        assert specs[1].kind == "categorical"
+        assert all(s.kind == "binary" for s in specs[2:])
+
+    def test_custom_size(self):
+        ds = generate_sylhet(n_samples=60, n_positive=30, seed=0)
+        assert ds.n_samples == 60 and ds.n_positive == 30
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_sylhet(n_samples=10, n_positive=0)

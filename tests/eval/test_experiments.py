@@ -1,0 +1,149 @@
+"""Integration tests for the experiment harness (fast preset)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as xp
+
+pytestmark = pytest.mark.slow  # whole-pipeline tests; seconds each
+
+
+@pytest.fixture(scope="module")
+def config():
+    return xp.ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def datasets(config):
+    return xp.default_datasets(config)
+
+
+class TestConfig:
+    def test_presets_differ(self):
+        assert xp.ExperimentConfig.fast().dim < xp.ExperimentConfig.paper().dim
+        assert xp.ExperimentConfig.paper().dim == 10_000
+
+    def test_frozen(self, config):
+        with pytest.raises(Exception):
+            config.dim = 5
+
+
+class TestDatasets:
+    def test_all_three_present(self, datasets):
+        assert set(datasets) == {"pima_r", "pima_m", "sylhet"}
+
+    def test_encode_dataset_shapes(self, config, datasets):
+        ds = datasets["pima_r"]
+        packed, dense, enc = xp.encode_dataset(ds, config)
+        assert dense.shape == (ds.n_samples, config.dim)
+        assert packed.shape[0] == ds.n_samples
+        assert enc.n_features_in_ == 8
+
+
+class TestModelGrid:
+    def test_all_nine_models(self, config):
+        grid = xp.model_grid(config, scaled=True)
+        assert set(grid) == set(xp.MODEL_ORDER)
+        assert len(xp.MODEL_ORDER) == 9
+
+    def test_factories_fresh_instances(self, config):
+        grid = xp.model_grid(config, scaled=False)
+        a, b = grid["Random Forest"](), grid["Random Forest"]()
+        assert a is not b
+
+    def test_each_model_fits_pima(self, config, datasets):
+        ds = datasets["pima_r"]
+        grid = xp.model_grid(config, scaled=True)
+        for name in xp.MODEL_ORDER:
+            model = grid[name]()
+            model.fit(ds.X, ds.y)
+            assert model.score(ds.X, ds.y) > 0.55, name
+
+
+class TestTable2:
+    def test_structure_and_ranges(self, config, datasets):
+        results = xp.run_table2(config, datasets)
+        assert set(results) == set(datasets)
+        for name, row in results.items():
+            assert set(row) == {"hamming", "nn_features", "nn_hypervectors"}
+            for v in row.values():
+                assert 0.3 <= v <= 1.0, (name, row)
+
+    def test_sylhet_beats_pima_for_hamming(self, config, datasets):
+        """Paper shape: the Hamming model is far stronger on Sylhet."""
+        results = xp.run_table2(config, datasets)
+        assert results["sylhet"]["hamming"] > results["pima_r"]["hamming"]
+
+
+class TestTable3:
+    def test_structure(self, config, datasets):
+        sub = {"pima_r": datasets["pima_r"]}
+        results = xp.run_table3(config, sub, models=["SGD", "Random Forest"])
+        cell = results["pima_r"]["SGD"]
+        assert set(cell) == {
+            "features",
+            "hypervectors",
+            "features_test",
+            "hypervectors_test",
+        }
+
+    def test_sgd_improves_with_hypervectors(self, config, datasets):
+        """The paper's headline: HDC rescues SGD (>10 point gain)."""
+        sub = {"pima_m": datasets["pima_m"]}
+        results = xp.run_table3(config, sub, models=["SGD"])
+        cell = results["pima_m"]["SGD"]
+        assert cell["hypervectors"] > cell["features"]
+
+
+class TestTable45:
+    def test_pima_m_structure(self, config, datasets):
+        results = xp.run_table45(
+            "pima_m", config, datasets, models=["Random Forest", "SGD"]
+        )
+        assert set(results) == {"Random Forest", "SGD"}
+        for reps in results.values():
+            for rep in ("features", "hypervectors"):
+                report = reps[rep]
+                assert set(report) == {
+                    "precision",
+                    "recall",
+                    "specificity",
+                    "f1",
+                    "accuracy",
+                }
+
+    def test_sylhet_includes_hamming_row(self, config, datasets):
+        results = xp.run_table45("sylhet", config, datasets, models=["KNN"])
+        assert "Hamming" in results
+        assert "hypervectors" in results["Hamming"]
+        assert "features" not in results["Hamming"]
+
+    def test_unknown_dataset(self, config, datasets):
+        with pytest.raises(KeyError):
+            xp.run_table45("mimic", config, datasets)
+
+
+class TestRuntime:
+    def test_runtime_study_fields(self, config, datasets):
+        results = xp.run_runtime_study(config, datasets, nn_epochs=3)
+        assert "Sequential NN (per epoch)" in results
+        for cell in results.values():
+            assert cell["features_s"] > 0
+            assert cell["hypervectors_s"] > 0
+            assert cell["ratio"] > 0
+
+    def test_boosted_models_slow_down_on_hypervectors(self, config, datasets):
+        """Paper §III-A: boosting pays a large cost on 10k-bit input."""
+        results = xp.run_runtime_study(config, datasets, nn_epochs=2)
+        assert results["XGBoost"]["ratio"] > 1.0
+
+
+class TestAblations:
+    def test_dimension_ablation(self, config, datasets):
+        res = xp.run_dimension_ablation((128, 512), config, datasets=datasets)
+        assert set(res) == {128, 512}
+        assert all(0.3 < v <= 1.0 for v in res.values())
+
+    def test_encoding_ablation_keys(self, config, datasets):
+        res = xp.run_encoding_ablation(config, datasets=datasets)
+        assert {"tie=one", "tie=zero", "tie=random", "levels=16", "prototype"} <= set(res)

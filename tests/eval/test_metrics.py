@@ -1,0 +1,178 @@
+"""Tests for the classification metrics (Tables IV/V columns)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc,
+    specificity,
+)
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 1, 0, 0, 0, 0, 0, 1, 1])
+# tp=3 fn=1 tn=4 fp=2
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (3, 1, 4, 2)
+        assert cm.total == 10
+
+    def test_as_array_layout(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        assert cm.as_array().tolist() == [[4, 2], [1, 3]]
+
+    def test_custom_positive_label(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED, positive=0)
+        assert (cm.tp, cm.fp) == (4, 1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            confusion_matrix([1, 0], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            confusion_matrix([], [])
+
+
+class TestScalarMetrics:
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(0.7)
+
+    def test_precision(self):
+        assert precision(Y_TRUE, Y_PRED) == pytest.approx(3 / 5)
+
+    def test_recall(self):
+        assert recall(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_specificity(self):
+        assert specificity(Y_TRUE, Y_PRED) == pytest.approx(4 / 6)
+
+    def test_f1(self):
+        p, r = 3 / 5, 3 / 4
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_balanced_accuracy(self):
+        assert balanced_accuracy(Y_TRUE, Y_PRED) == pytest.approx(
+            0.5 * (3 / 4 + 4 / 6)
+        )
+
+    def test_perfect_prediction(self):
+        assert accuracy(Y_TRUE, Y_TRUE) == 1.0
+        assert f1_score(Y_TRUE, Y_TRUE) == 1.0
+        assert specificity(Y_TRUE, Y_TRUE) == 1.0
+
+    def test_zero_denominator_returns_zero(self):
+        # no positive predictions -> precision 0 (not NaN)
+        assert precision([1, 1], [0, 0]) == 0.0
+        # no positives at all -> recall 0
+        assert recall([0, 0], [0, 0]) == 0.0
+        # no negatives -> specificity 0
+        assert specificity([1, 1], [1, 1]) == 0.0
+
+    def test_report_consistent_with_scalars(self):
+        rep = classification_report(Y_TRUE, Y_PRED)
+        assert rep["precision"] == precision(Y_TRUE, Y_PRED)
+        assert rep["recall"] == recall(Y_TRUE, Y_PRED)
+        assert rep["specificity"] == specificity(Y_TRUE, Y_PRED)
+        assert rep["f1"] == f1_score(Y_TRUE, Y_PRED)
+        assert rep["accuracy"] == accuracy(Y_TRUE, Y_PRED)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self, rng):
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert abs(roc_auc(y, scores) - 0.5) < 0.05
+
+    def test_ties_averaged(self):
+        # all scores equal -> AUC exactly 0.5
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            roc_auc([1, 1], [0.1, 0.2])
+
+    def test_matches_pairwise_definition(self, rng):
+        y = rng.integers(0, 2, 200)
+        if y.sum() in (0, 200):
+            y[0] = 1 - y[0]
+        s = rng.random(200)
+        pos = s[y == 1]
+        neg = s[y == 0]
+        pairs = (pos[:, None] > neg[None, :]).mean() + 0.5 * (
+            pos[:, None] == neg[None, :]
+        ).mean()
+        assert roc_auc(y, s) == pytest.approx(pairs)
+
+
+class TestBrierScore:
+    def test_perfect_confident(self):
+        from repro.eval.metrics import brier_score
+
+        assert brier_score([1, 0, 1], [1.0, 0.0, 1.0]) == 0.0
+
+    def test_worst_case(self):
+        from repro.eval.metrics import brier_score
+
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_uninformative_half(self):
+        from repro.eval.metrics import brier_score
+
+        assert brier_score([1, 0, 1, 0], [0.5] * 4) == pytest.approx(0.25)
+
+    def test_probability_validation(self):
+        from repro.eval.metrics import brier_score
+
+        with pytest.raises(ValueError, match="probabilities"):
+            brier_score([1], [1.5])
+
+
+class TestCalibrationBins:
+    def test_perfectly_calibrated(self, rng):
+        from repro.eval.metrics import calibration_bins
+
+        p = rng.random(20000)
+        y = (rng.random(20000) < p).astype(int)
+        bins = calibration_bins(y, p, n_bins=10)
+        mask = bins["counts"] > 100
+        assert np.all(
+            np.abs(bins["mean_predicted"][mask] - bins["observed_rate"][mask]) < 0.05
+        )
+
+    def test_counts_sum(self, rng):
+        from repro.eval.metrics import calibration_bins
+
+        p = rng.random(500)
+        y = rng.integers(0, 2, 500)
+        bins = calibration_bins(y, p, n_bins=7)
+        assert bins["counts"].sum() == 500
+
+    def test_empty_bins_nan(self):
+        from repro.eval.metrics import calibration_bins
+
+        bins = calibration_bins([1, 0], [0.95, 0.9], n_bins=10)
+        assert np.isnan(bins["observed_rate"][0])
+        assert bins["counts"][-1] == 2
+
+    def test_n_bins_validation(self):
+        from repro.eval.metrics import calibration_bins
+
+        with pytest.raises(ValueError):
+            calibration_bins([1], [0.5], n_bins=1)

@@ -1,0 +1,105 @@
+"""Tests for the statistical comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    McNemarResult,
+    bootstrap_accuracy_ci,
+    mcnemar_test,
+    paired_fold_ttest,
+)
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_accuracy(self, rng):
+        y = rng.integers(0, 2, 200)
+        pred = y.copy()
+        pred[:40] = 1 - pred[:40]
+        point, lo, hi = bootstrap_accuracy_ci(y, pred, seed=0)
+        assert point == pytest.approx(0.8)
+        assert lo <= point <= hi
+
+    def test_interval_narrows_with_n(self, rng):
+        def width(n):
+            y = rng.integers(0, 2, n)
+            pred = y.copy()
+            pred[: n // 5] = 1 - pred[: n // 5]
+            _, lo, hi = bootstrap_accuracy_ci(y, pred, seed=0)
+            return hi - lo
+
+        assert width(2000) < width(100)
+
+    def test_perfect_prediction_degenerate(self):
+        y = np.array([0, 1, 0, 1])
+        point, lo, hi = bootstrap_accuracy_ci(y, y, seed=0)
+        assert point == lo == hi == 1.0
+
+    def test_reproducible(self, rng):
+        y = rng.integers(0, 2, 100)
+        p = rng.integers(0, 2, 100)
+        assert bootstrap_accuracy_ci(y, p, seed=5) == bootstrap_accuracy_ci(y, p, seed=5)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_accuracy_ci([0, 1], [0, 1], alpha=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_accuracy_ci([], [])
+
+
+class TestMcNemar:
+    def test_identical_predictions(self, rng):
+        y = rng.integers(0, 2, 100)
+        pred = rng.integers(0, 2, 100)
+        res = mcnemar_test(y, pred, pred)
+        assert res.discordant == 0
+        assert res.p_value == 1.0
+
+    def test_counts(self):
+        y = np.array([1, 1, 1, 1, 0, 0])
+        a = np.array([1, 1, 0, 0, 0, 0])  # right on 0,1,4,5
+        b = np.array([1, 0, 1, 0, 0, 1])  # right on 0,2,4
+        res = mcnemar_test(y, a, b)
+        # a right & b wrong: indices 1, 5 -> b=2 ; a wrong & b right: 2 -> c=1
+        assert (res.b, res.c) == (2, 1)
+
+    def test_strong_asymmetry_significant(self, rng):
+        n = 300
+        y = np.ones(n, dtype=int)
+        a = np.ones(n, dtype=int)           # always right
+        b = np.ones(n, dtype=int)
+        b[:80] = 0                          # wrong 80 times
+        res = mcnemar_test(y, a, b)
+        assert res.p_value < 1e-6
+
+    def test_exact_branch_small_n(self):
+        y = np.ones(10, dtype=int)
+        a = np.ones(10, dtype=int)
+        b = np.ones(10, dtype=int)
+        b[0] = 0
+        res = mcnemar_test(y, a, b)
+        assert 0 < res.p_value <= 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mcnemar_test([1, 0], [1], [1, 0])
+
+
+class TestPairedTTest:
+    def test_identical_scores(self):
+        t, p = paired_fold_ttest(np.ones(5), np.ones(5))
+        assert t == 0.0 and p == 1.0
+
+    def test_clear_difference(self):
+        a = np.array([0.9, 0.91, 0.89, 0.92, 0.9])
+        b = np.array([0.7, 0.72, 0.69, 0.71, 0.7])
+        t, p = paired_fold_ttest(a, b)
+        assert t > 0 and p < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_fold_ttest(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            paired_fold_ttest(np.ones(1), np.ones(1))

@@ -1,0 +1,145 @@
+"""Tests for table formatting and the CLI."""
+
+import pytest
+
+from repro.eval import tables
+from repro.eval.tables import format_grid, table1, table2, table3, table45
+
+
+class TestFormatGrid:
+    def test_alignment(self):
+        out = format_grid(["A", "Blong"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "-" in lines[1]
+
+    def test_cell_count_validation(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_grid(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_grid(["A"], [])
+        assert "A" in out
+
+
+class TestTable1:
+    def test_contains_all_features(self, pima_r):
+        out = table1(pima_r)
+        for label in ("Age", "Glucose", "BMI", "DPF", "Blood Pressure"):
+            assert label in out
+
+    def test_mean_and_range_format(self, pima_r):
+        out = table1(pima_r)
+        assert "(" in out and "-" in out
+
+
+class TestResultTables:
+    def test_table2_layout(self):
+        results = {
+            "pima_r": {"hamming": 0.707, "nn_features": 0.712, "nn_hypervectors": 0.796}
+        }
+        out = table2(results)
+        assert "Hamming" in out and "Sequential NN" in out
+        assert "70.7%" in out and "79.6%" in out
+
+    def test_table3_layout_cv(self):
+        results = {
+            "pima_r": {
+                "SGD": {
+                    "features": 0.9,
+                    "hypervectors": 0.95,
+                    "features_test": 0.671,
+                    "hypervectors_test": 0.777,
+                }
+            }
+        }
+        out = table3(results, kind="cv")
+        assert "67.1%" in out and "77.7%" in out
+
+    def test_table3_layout_fit(self):
+        results = {
+            "pima_r": {
+                "SGD": {
+                    "features": 0.9,
+                    "hypervectors": 0.95,
+                    "features_test": 0.671,
+                    "hypervectors_test": 0.777,
+                }
+            }
+        }
+        out = table3(results, kind="fit")
+        assert "90.0%" in out and "95.0%" in out
+
+    def test_table3_kind_validation(self):
+        with pytest.raises(ValueError):
+            table3({}, kind="magic")
+
+    def test_table45_with_hamming_row(self):
+        report = {
+            "precision": 0.984,
+            "recall": 0.95,
+            "specificity": 0.975,
+            "f1": 0.967,
+            "accuracy": 0.9596,
+        }
+        results = {"Hamming": {"hypervectors": report}}
+        out = table45(results, "Table V")
+        assert "Table V" in out
+        assert "0.984" in out and "96.0%" in out
+        assert "-" in out  # missing features column
+
+
+class TestCli:
+    def test_table1_cli(self, capsys):
+        assert tables.main(["1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Glucose" in out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            tables.main(["7"])
+
+    def test_cli_dim_override(self, capsys):
+        assert tables.main(["1", "--fast", "--dim", "256"]) == 0
+
+
+class TestAuxTables:
+    def test_runtime_table(self):
+        from repro.eval.tables import runtime_table
+
+        results = {
+            "XGBoost": {"features_s": 0.5, "hypervectors_s": 6.0, "ratio": 12.0},
+            "Sequential NN (per epoch)": {
+                "features_s": 0.01,
+                "hypervectors_s": 0.012,
+                "ratio": 1.2,
+            },
+        }
+        out = runtime_table(results)
+        assert "12.0x" in out and "XGBoost" in out
+
+    def test_ablation_tables(self):
+        from repro.eval.tables import ablation_tables
+
+        out = ablation_tables({1000: 0.701, 10000: 0.707}, {"tie=one": 0.72})
+        assert "1000" in out and "70.7%" in out and "tie=one" in out
+
+
+class TestStatsReport:
+    def test_stats_cli(self, capsys):
+        from repro.eval import tables
+
+        assert tables.main(["stats", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "McNemar" in out and "95% CI" in out
+
+    def test_stats_report_structure(self):
+        from repro.eval.experiments import ExperimentConfig, default_datasets
+        from repro.eval.tables import stats_report
+
+        cfg = ExperimentConfig.fast()
+        ds = default_datasets(cfg)
+        out = stats_report(cfg, {"pima_r": ds["pima_r"]})
+        assert "pima_r" in out
+        assert "[" in out and "]" in out  # CI brackets

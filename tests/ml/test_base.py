@@ -1,0 +1,67 @@
+"""Tests for the estimator base contract."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, NotFittedError, clone
+
+
+class Dummy(BaseEstimator, ClassifierMixin):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+    def fit(self, X, y):
+        self._encode_labels(y)
+        self.fitted_ = True
+        return self
+
+    def predict_proba(self, X):
+        n = np.asarray(X).shape[0]
+        p = np.full((n, self.classes_.size), 1.0 / self.classes_.size)
+        return p
+
+
+class TestParams:
+    def test_get_params(self):
+        d = Dummy(alpha=2.5, beta="y")
+        assert d.get_params() == {"alpha": 2.5, "beta": "y"}
+
+    def test_set_params(self):
+        d = Dummy()
+        d.set_params(alpha=9)
+        assert d.alpha == 9
+
+    def test_set_params_unknown(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            Dummy().set_params(gamma=1)
+
+    def test_repr_contains_params(self):
+        assert "alpha=3" in repr(Dummy(alpha=3))
+
+    def test_clone_is_unfitted_copy(self):
+        d = Dummy(alpha=7).fit(np.zeros((4, 2)), [0, 1, 0, 1])
+        c = clone(d)
+        assert c.alpha == 7
+        assert not hasattr(c, "fitted_")
+        assert c is not d
+
+
+class TestClassifierMixin:
+    def test_label_encoding_arbitrary_labels(self):
+        d = Dummy().fit(np.zeros((4, 2)), ["b", "a", "b", "c"])
+        assert list(d.classes_) == ["a", "b", "c"]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="classes"):
+            Dummy().fit(np.zeros((3, 2)), [1, 1, 1])
+
+    def test_score_is_accuracy(self):
+        d = Dummy().fit(np.zeros((4, 2)), [0, 1, 0, 1])
+        # uniform proba -> argmax = class 0 always
+        assert d.score(np.zeros((4, 2)), [0, 0, 0, 0]) == 1.0
+        assert d.score(np.zeros((4, 2)), [1, 1, 1, 1]) == 0.0
+
+    def test_check_fitted(self):
+        with pytest.raises(NotFittedError):
+            Dummy()._check_fitted("missing_")

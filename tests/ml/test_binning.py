@@ -1,0 +1,97 @@
+"""Tests for the feature binner."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree._binning import Binner, bin_binary, is_binary_matrix
+
+
+class TestBinner:
+    def test_binary_columns_lossless(self, rng):
+        X = (rng.random((100, 3)) < 0.5).astype(float)
+        binner = Binner(max_bins=64).fit(X)
+        codes = binner.transform(X)
+        assert np.array_equal(codes, X.astype(np.uint8))
+        assert np.all(binner.n_bins_ == 2)
+
+    def test_few_distinct_values_lossless(self):
+        X = np.array([[1.0], [3.0], [7.0], [3.0], [1.0]])
+        binner = Binner(max_bins=64).fit(X)
+        codes = binner.transform(X)
+        # order-preserving codes
+        assert codes[:, 0].tolist() == [0, 1, 2, 1, 0]
+
+    def test_quantile_binning_monotone(self, rng):
+        X = rng.normal(size=(5000, 1))
+        binner = Binner(max_bins=16).fit(X)
+        codes = binner.transform(X)
+        order = np.argsort(X[:, 0])
+        sorted_codes = codes[order, 0]
+        assert np.all(np.diff(sorted_codes.astype(int)) >= 0)
+        assert codes.max() <= 15
+
+    def test_bin_counts_balanced(self, rng):
+        X = rng.normal(size=(8000, 1))
+        binner = Binner(max_bins=8).fit(X)
+        codes = binner.transform(X)
+        counts = np.bincount(codes[:, 0], minlength=8)
+        assert counts.min() > 500  # near-equal occupancy by quantile design
+
+    def test_transform_unseen_values_clamped_into_code_range(self, rng):
+        X = rng.normal(size=(100, 1))
+        binner = Binner(max_bins=8).fit(X)
+        extreme = np.array([[1e9], [-1e9]])
+        codes = binner.transform(extreme)
+        assert codes[0, 0] == binner.n_bins_[0] - 1
+        assert codes[1, 0] == 0
+
+    def test_constant_column(self):
+        X = np.full((10, 1), 2.0)
+        binner = Binner().fit(X)
+        assert binner.transform(X)[:, 0].tolist() == [0] * 10
+
+    def test_threshold_value_meaning(self):
+        X = np.array([[1.0], [3.0], [5.0]])
+        binner = Binner().fit(X)
+        # split at code 0 => value <= midpoint(1, 3) = 2
+        assert binner.threshold_value(0, 0) == 2.0
+
+    def test_threshold_value_bounds(self):
+        X = np.array([[1.0], [3.0]])
+        binner = Binner().fit(X)
+        with pytest.raises(ValueError):
+            binner.threshold_value(0, 5)
+
+    def test_feature_mismatch(self, rng):
+        binner = Binner().fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="features"):
+            binner.transform(rng.normal(size=(10, 3)))
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            Binner().transform(np.zeros((2, 2)))
+
+    def test_max_bins_validation(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+        with pytest.raises(ValueError):
+            Binner(max_bins=500)
+
+    def test_codes_are_uint8_contiguous(self, rng):
+        X = rng.normal(size=(50, 4))
+        codes = Binner().fit_transform(X)
+        assert codes.dtype == np.uint8
+        assert codes.flags["C_CONTIGUOUS"]
+
+
+class TestBinaryHelpers:
+    def test_is_binary_matrix(self, rng):
+        assert is_binary_matrix((rng.random((10, 5)) < 0.5).astype(float))
+        assert not is_binary_matrix(rng.normal(size=(10, 5)))
+        assert is_binary_matrix(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_bin_binary_passthrough(self):
+        X = np.array([[0.0, 1.0], [1.0, 0.0]])
+        codes = bin_binary(X)
+        assert codes.dtype == np.uint8
+        assert np.array_equal(codes, X.astype(np.uint8))

@@ -1,0 +1,146 @@
+"""Contract tests applied uniformly to every classifier in the roster.
+
+Each estimator must: fit/predict/score, emit valid probabilities, handle
+arbitrary label types, reject malformed input loudly, clone cleanly, and
+be deterministic under a fixed seed.  This is the harness that keeps the
+nine-model grid interchangeable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    CatBoostClassifier,
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    LGBMClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    SGDClassifier,
+    SVC,
+    SequentialNN,
+    XGBClassifier,
+    clone,
+)
+from repro.ml.base import NotFittedError
+from repro.ml.pipeline import ScaledClassifier
+
+FAST_PARAMS = {
+    DecisionTreeClassifier: dict(max_depth=4, random_state=0),
+    RandomForestClassifier: dict(n_estimators=10, random_state=0),
+    XGBClassifier: dict(n_estimators=10, random_state=0),
+    LGBMClassifier: dict(n_estimators=10, min_samples_leaf=2, random_state=0),
+    CatBoostClassifier: dict(n_estimators=10, max_depth=3, random_state=0),
+    KNeighborsClassifier: dict(n_neighbors=3),
+    LogisticRegression: dict(),
+    SGDClassifier: dict(max_iter=15, random_state=0),
+    SVC: dict(max_iter=30, random_state=0),
+    SequentialNN: dict(epochs=15, patience=None, random_state=0),
+}
+
+ALL = sorted(FAST_PARAMS, key=lambda c: c.__name__)
+
+
+def make(cls):
+    return cls(**FAST_PARAMS[cls])
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(160, 5))
+    y = (X[:, 0] - 0.7 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.__name__)
+class TestContract:
+    def test_fit_returns_self(self, cls, problem):
+        X, y = problem
+        model = make(cls)
+        assert model.fit(X, y) is model
+
+    def test_learns_above_chance(self, cls, problem):
+        X, y = problem
+        assert make(cls).fit(X, y).score(X, y) > 0.65
+
+    def test_predict_shape_and_labels(self, cls, problem):
+        X, y = problem
+        pred = make(cls).fit(X, y).predict(X)
+        assert pred.shape == y.shape
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_proba_valid_distribution(self, cls, problem):
+        X, y = problem
+        p = make(cls).fit(X, y).predict_proba(X)
+        assert p.shape == (len(y), 2)
+        assert np.all(p >= 0) and np.all(p <= 1)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_proba_argmax_consistent_with_predict(self, cls, problem):
+        X, y = problem
+        model = make(cls).fit(X, y)
+        pred = model.predict(X)
+        p = model.predict_proba(X)
+        proba_pred = model.classes_[np.argmax(p, axis=1)]
+        if cls is SVC:
+            # Platt scaling fits its own slope/intercept, so (as in sklearn
+            # with probability=True) proba can disagree with the hard
+            # decision near the margin; require consistency only where the
+            # SVM itself is confident.
+            confident = np.abs(model.decision_function(X)) > 0.5
+            assert np.array_equal(pred[confident], proba_pred[confident])
+        else:
+            ties = np.isclose(p[:, 0], p[:, 1])
+            assert np.array_equal(pred[~ties], proba_pred[~ties])
+
+    def test_string_labels_roundtrip(self, cls, problem):
+        X, y = problem
+        labels = np.where(y == 1, "case", "control")
+        pred = make(cls).fit(X, labels).predict(X)
+        assert set(np.unique(pred)) <= {"case", "control"}
+
+    def test_unfitted_raises(self, cls, problem):
+        X, _ = problem
+        with pytest.raises((NotFittedError, AttributeError)):
+            make(cls).predict(X)
+
+    def test_feature_count_mismatch(self, cls, problem):
+        X, y = problem
+        model = make(cls).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(X[:, :3])
+
+    def test_nan_rejected_at_fit(self, cls, problem):
+        X, y = problem
+        bad = X.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            make(cls).fit(bad, y)
+
+    def test_single_class_rejected(self, cls, problem):
+        X, _ = problem
+        with pytest.raises(ValueError):
+            make(cls).fit(X, np.zeros(len(X)))
+
+    def test_clone_unfitted_with_same_params(self, cls, problem):
+        model = make(cls)
+        c = clone(model)
+        assert type(c) is cls
+        assert c.get_params() == model.get_params()
+
+    def test_deterministic_given_seed(self, cls, problem):
+        X, y = problem
+        a = make(cls).fit(X, y).predict_proba(X)
+        b = make(cls).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_works_wrapped_in_scaler(self, cls, problem):
+        X, y = problem
+        wrapped = ScaledClassifier(make(cls)).fit(X, y)
+        assert wrapped.score(X, y) > 0.6
+
+    def test_1d_input_rejected_with_hint(self, cls, problem):
+        _, y = problem
+        with pytest.raises(ValueError):
+            make(cls).fit(np.arange(len(y), dtype=float), y)

@@ -1,0 +1,114 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError, clone
+from repro.ml.ensemble import RandomForestClassifier
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noise(self, rng):
+        n = 500
+        X = rng.normal(size=(n, 10))
+        y = ((X[:, 0] + X[:, 1] + 0.8 * rng.normal(size=n)) > 0).astype(int)
+        Xt = rng.normal(size=(400, 10))
+        yt = ((Xt[:, 0] + Xt[:, 1]) > 0).astype(int)
+        from repro.ml.tree import DecisionTreeClassifier
+
+        tree_acc = DecisionTreeClassifier(random_state=0).fit(X, y).score(Xt, yt)
+        rf_acc = (
+            RandomForestClassifier(n_estimators=60, random_state=0)
+            .fit(X, y)
+            .score(Xt, yt)
+        )
+        assert rf_acc >= tree_acc - 0.01  # bagging should not be (much) worse
+        assert rf_acc > 0.85
+
+    def test_n_estimators_trees(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(rf.trees_) == 7
+
+    def test_predict_proba_average(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        p = rf.predict_proba(X)
+        assert p.shape == (len(y), 2)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        p1 = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y).predict_proba(X)
+        p2 = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y).predict_proba(X)
+        assert np.array_equal(p1, p2)
+
+    def test_seed_changes_forest(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        p1 = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y).predict_proba(X)
+        p2 = RandomForestClassifier(n_estimators=10, random_state=4).fit(X, y).predict_proba(X)
+        assert not np.array_equal(p1, p2)
+
+    def test_no_bootstrap_full_sample(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        # without bootstrap and with all features, trees are identical
+        first = rf.trees_[0]
+        for tree in rf.trees_[1:]:
+            assert np.array_equal(tree.feature, first.feature)
+
+    def test_oob_score_reasonable(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(
+            n_estimators=40, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert 0.6 < rf.oob_score_ <= 1.0
+
+    def test_oob_requires_bootstrap_samples(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(
+            n_estimators=1, bootstrap=False, oob_score=True, random_state=0
+        )
+        with pytest.raises(RuntimeError, match="out-of-bag"):
+            rf.fit(X, y)
+
+    def test_feature_importances_normalised(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        imp = rf.feature_importances_
+        assert imp.shape == (6,)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_parallel_fit_matches_serial(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        serial = RandomForestClassifier(n_estimators=8, random_state=1, n_jobs=1).fit(X, y)
+        parallel = RandomForestClassifier(n_estimators=8, random_state=1, n_jobs=4).fit(X, y)
+        assert np.array_equal(serial.predict_proba(X), parallel.predict_proba(X))
+
+    def test_binary_input_fast_path(self, rng):
+        Xb = (rng.random((200, 64)) < 0.5).astype(float)
+        yb = Xb[:, 0].astype(int)
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(Xb, yb)
+        assert rf.score(Xb, yb) > 0.95
+
+    def test_unfitted(self, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(X)
+
+    def test_feature_mismatch(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        rf = RandomForestClassifier(n_estimators=3, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            rf.predict(X[:, :2])
+
+    def test_clone(self):
+        rf = RandomForestClassifier(n_estimators=9, max_depth=3)
+        assert clone(rf).get_params() == rf.get_params()
+
+    def test_invalid_n_estimators(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0).fit(X, y)

@@ -1,0 +1,216 @@
+"""Tests for the gradient-boosting engine and its three growth policies."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError, clone
+from repro.ml.ensemble import (
+    CatBoostClassifier,
+    GradientBoostingClassifier,
+    LGBMClassifier,
+    XGBClassifier,
+)
+
+ALL_VARIANTS = [XGBClassifier, LGBMClassifier, CatBoostClassifier]
+
+
+class TestEngine:
+    def test_train_loss_decreases(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        gb = GradientBoostingClassifier(n_estimators=40, random_state=0).fit(X, y)
+        losses = gb.staged_train_loss()
+        assert losses.shape == (40,)
+        assert losses[-1] < losses[0]
+        # roughly monotone: allow tiny numerical wiggles
+        assert np.sum(np.diff(losses) > 1e-3) <= 2
+
+    def test_init_score_is_log_odds(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        gb = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
+        p = y.mean()
+        assert gb.init_score_ == pytest.approx(np.log(p / (1 - p)))
+
+    def test_decision_function_additivity(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        gb = GradientBoostingClassifier(n_estimators=5, random_state=0).fit(X, y)
+        raw = gb.decision_function(X)
+        manual = np.full(len(y), gb.init_score_)
+        codes = gb.binner_.transform(X)
+        for tree in gb.trees_:
+            manual += tree.predict_value(codes)[:, 0]
+        assert np.allclose(raw, manual)
+
+    def test_learning_rate_scales_steps(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        slow = GradientBoostingClassifier(
+            n_estimators=5, learning_rate=0.01, random_state=0
+        ).fit(X, y)
+        fast = GradientBoostingClassifier(
+            n_estimators=5, learning_rate=0.5, random_state=0
+        ).fit(X, y)
+        assert slow.staged_train_loss()[-1] > fast.staged_train_loss()[-1]
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = rng.integers(0, 3, 60)
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier(n_estimators=2).fit(X, y)
+
+    def test_invalid_growth_policy(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="growth_policy"):
+            GradientBoostingClassifier(growth_policy="bestest").fit(X, y)
+
+    def test_subsample_validation(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0).fit(X, y)
+
+    def test_row_subsampling_changes_model(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        full = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        sub = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert not np.allclose(full.decision_function(X), sub.decision_function(X))
+
+    def test_colsample_changes_model(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        full = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        sub = GradientBoostingClassifier(
+            n_estimators=10, colsample_bytree=0.4, random_state=0
+        ).fit(X, y)
+        assert not np.allclose(full.decision_function(X), sub.decision_function(X))
+
+
+@pytest.mark.parametrize("cls", ALL_VARIANTS)
+class TestVariants:
+    def test_fit_predict_holdout(self, cls, toy_holdout):
+        (X, y), (Xt, yt) = toy_holdout
+        model = cls(n_estimators=30, random_state=0).fit(X, y)
+        assert model.score(Xt, yt) > 0.8
+
+    def test_proba_valid(self, cls, toy_binary_problem):
+        X, y = toy_binary_problem
+        model = cls(n_estimators=10, random_state=0).fit(X, y)
+        p = model.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_deterministic(self, cls, toy_binary_problem):
+        X, y = toy_binary_problem
+        a = cls(n_estimators=8, random_state=5).fit(X, y).decision_function(X)
+        b = cls(n_estimators=8, random_state=5).fit(X, y).decision_function(X)
+        assert np.array_equal(a, b)
+
+    def test_clone_params(self, cls):
+        model = cls(n_estimators=12, learning_rate=0.05)
+        c = clone(model)
+        assert c.get_params()["n_estimators"] == 12
+        assert c.get_params()["learning_rate"] == 0.05
+
+    def test_unfitted(self, cls, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            cls().predict(X)
+
+    def test_binary_input(self, cls, rng):
+        Xb = (rng.random((200, 128)) < 0.5).astype(float)
+        yb = ((Xb[:, 0] + Xb[:, 1] + Xb[:, 2]) >= 2).astype(int)
+        model = cls(n_estimators=20, random_state=0).fit(Xb, yb)
+        assert model.score(Xb, yb) > 0.9
+
+
+class TestGrowthPolicyShapes:
+    def test_leafwise_respects_max_leaves(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        model = LGBMClassifier(
+            n_estimators=3, max_leaves=4, min_samples_leaf=1, random_state=0
+        ).fit(X, y)
+        for tree in model.trees_:
+            assert tree.n_leaves <= 4
+
+    def test_depthwise_respects_max_depth(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        model = XGBClassifier(n_estimators=3, max_depth=2, random_state=0).fit(X, y)
+        for tree in model.trees_:
+            assert tree.max_depth() <= 2
+
+    def test_oblivious_trees_are_symmetric(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        model = CatBoostClassifier(n_estimators=3, max_depth=3, random_state=0).fit(X, y)
+        for tree in model.trees_:
+            internal = tree.left != -1
+            if not internal.any():
+                continue
+            # heap layout: all nodes at one level share (feature, threshold)
+            depth = tree.max_depth()
+            for level in range(depth):
+                nodes = [
+                    i
+                    for i in range(2**level - 1, 2 ** (level + 1) - 1)
+                    if i < tree.node_count and tree.left[i] != -1
+                ]
+                feats = {int(tree.feature[i]) for i in nodes}
+                bins = {int(tree.threshold_bin[i]) for i in nodes}
+                assert len(feats) <= 1 and len(bins) <= 1
+
+    def test_oblivious_binary_fast_path_consistent(self, rng):
+        Xb = (rng.random((150, 32)) < 0.5).astype(float)
+        yb = ((Xb[:, 0] + Xb[:, 1]) >= 1).astype(int)
+        model = CatBoostClassifier(n_estimators=10, random_state=0).fit(Xb, yb)
+        assert model.score(Xb, yb) > 0.85
+
+
+class TestEarlyStopping:
+    def test_stops_before_budget_on_easy_data(self, rng):
+        X = rng.normal(size=(400, 4))
+        y = (X[:, 0] > 0).astype(int)  # trivially learnable
+        gb = GradientBoostingClassifier(
+            n_estimators=300,
+            early_stopping_rounds=5,
+            validation_fraction=0.2,
+            random_state=0,
+        ).fit(X, y)
+        assert len(gb.trees_) < 300
+        assert gb.best_iteration_ == len(gb.trees_) - 1
+
+    def test_validation_rows_never_train(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        gb = GradientBoostingClassifier(
+            n_estimators=20,
+            early_stopping_rounds=50,  # never triggers; we check bookkeeping
+            validation_fraction=0.25,
+            random_state=0,
+        ).fit(X, y)
+        assert len(gb.valid_losses_) == len(gb.train_losses_)
+        assert all(np.isfinite(v) for v in gb.valid_losses_)
+
+    def test_truncation_at_best_round(self, rng):
+        n = 300
+        X = rng.normal(size=(n, 5))
+        logits = X[:, 0] + rng.normal(0, 2.0, n)  # noisy: overfits quickly
+        y = (logits > 0).astype(int)
+        gb = GradientBoostingClassifier(
+            n_estimators=150,
+            learning_rate=0.3,
+            early_stopping_rounds=10,
+            validation_fraction=0.25,
+            random_state=0,
+        ).fit(X, y)
+        best = int(np.argmin(gb.valid_losses_))
+        assert len(gb.trees_) == best + 1
+
+    def test_disabled_by_default(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        gb = GradientBoostingClassifier(n_estimators=12, random_state=0).fit(X, y)
+        assert len(gb.trees_) == 12
+        assert gb.valid_losses_ == []
+        assert not hasattr(gb, "best_iteration_")
+
+    def test_validation_fraction_bounds(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(
+                early_stopping_rounds=5, validation_fraction=0.9
+            ).fit(X, y)

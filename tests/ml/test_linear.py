@@ -1,0 +1,141 @@
+"""Tests for logistic regression and the SGD classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.linear import LogisticRegression, SGDClassifier
+
+
+class TestLogisticRegression:
+    def test_separable_problem(self, rng):
+        X = np.vstack([rng.normal(-2, 0.5, (50, 2)), rng.normal(2, 0.5, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        lr = LogisticRegression().fit(X, y)
+        assert lr.score(X, y) == 1.0
+
+    def test_recovers_direction(self, rng):
+        n = 2000
+        X = rng.normal(size=(n, 3))
+        w_true = np.array([2.0, -1.0, 0.0])
+        p = 1 / (1 + np.exp(-(X @ w_true)))
+        y = (rng.random(n) < p).astype(int)
+        lr = LogisticRegression(C=1000.0).fit(X, y)
+        w = lr.coef_
+        assert abs(w[0] / w[1] - w_true[0] / w_true[1]) < 0.25
+        assert abs(w[2]) < 0.3
+
+    def test_regularisation_shrinks(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        strong = LogisticRegression(C=0.001).fit(X, y)
+        weak = LogisticRegression(C=1000.0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_proba_calibrated_direction(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        lr = LogisticRegression().fit(X, y)
+        p = lr.predict_proba(X)[:, 1]
+        assert p[y == 1].mean() > p[y == 0].mean()
+
+    def test_intercept_handles_shifted_data(self, rng):
+        X = rng.normal(10.0, 1.0, size=(200, 2))
+        y = (X[:, 0] > 10.0).astype(int)
+        lr = LogisticRegression().fit(X, y)
+        assert lr.score(X, y) > 0.95
+
+    def test_no_intercept_option(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        lr = LogisticRegression(fit_intercept=False).fit(X, y)
+        assert lr.intercept_ == 0.0
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, rng.integers(0, 3, 30))
+
+    def test_invalid_C(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0).fit(X, y)
+
+    def test_unfitted(self, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(X)
+
+    def test_feature_mismatch(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        lr = LogisticRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            lr.predict(X[:, :2])
+
+    def test_string_labels(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        lr = LogisticRegression().fit(X, np.where(y == 1, "p", "n"))
+        assert set(lr.predict(X)) <= {"p", "n"}
+
+
+class TestSGD:
+    def test_hinge_separable(self, rng):
+        X = np.vstack([rng.normal(-2, 0.5, (60, 2)), rng.normal(2, 0.5, (60, 2))])
+        y = np.array([0] * 60 + [1] * 60)
+        sgd = SGDClassifier(max_iter=50, random_state=0).fit(X, y)
+        assert sgd.score(X, y) > 0.97
+
+    def test_log_loss_variant(self, rng):
+        X = np.vstack([rng.normal(-1.5, 0.7, (80, 3)), rng.normal(1.5, 0.7, (80, 3))])
+        y = np.array([0] * 80 + [1] * 80)
+        sgd = SGDClassifier(loss="log_loss", max_iter=50, random_state=0).fit(X, y)
+        assert sgd.score(X, y) > 0.95
+
+    def test_early_stopping_records_n_iter(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        sgd = SGDClassifier(max_iter=500, tol=1e-2, random_state=0).fit(X, y)
+        assert sgd.n_iter_ < 500
+
+    def test_constant_learning_rate(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        sgd = SGDClassifier(
+            learning_rate="constant", eta0=0.01, max_iter=30, random_state=0
+        ).fit(X, y)
+        assert sgd.score(X, y) > 0.7
+
+    def test_deterministic(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        a = SGDClassifier(max_iter=10, random_state=1).fit(X, y).coef_
+        b = SGDClassifier(max_iter=10, random_state=1).fit(X, y).coef_
+        assert np.array_equal(a, b)
+
+    def test_shuffle_seed_matters(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        a = SGDClassifier(max_iter=10, random_state=1).fit(X, y).coef_
+        b = SGDClassifier(max_iter=10, random_state=2).fit(X, y).coef_
+        assert not np.array_equal(a, b)
+
+    def test_bad_loss(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="loss"):
+            SGDClassifier(loss="squared").fit(X, y)
+
+    def test_bad_learning_rate(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="learning_rate"):
+            SGDClassifier(learning_rate="adagrad").fit(X, y)
+
+    def test_alpha_validation(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError):
+            SGDClassifier(alpha=0.0).fit(X, y)
+
+    def test_proba_shape(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        p = SGDClassifier(max_iter=10, random_state=0).fit(X, y).predict_proba(X)
+        assert p.shape == (len(y), 2)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_predict_matches_decision_sign(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        sgd = SGDClassifier(max_iter=10, random_state=0).fit(X, y)
+        pred = sgd.predict(X)
+        df = sgd.decision_function(X)
+        assert np.array_equal(pred == sgd.classes_[1], df >= 0)

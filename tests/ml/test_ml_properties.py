@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for ML-substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import classification_report, confusion_matrix
+from repro.ml.tree import Binner, DecisionTreeClassifier
+
+
+@st.composite
+def labelled_problem(draw):
+    n = draw(st.integers(20, 120))
+    f = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, f))
+    w = rng.normal(size=f)
+    y = (X @ w > 0).astype(int)
+    if y.min() == y.max():  # force both classes
+        y[0] = 1 - y[0]
+    return X, y
+
+
+class TestTreeProperties:
+    @given(problem=labelled_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_transform_invariance(self, problem):
+        """Quantile-binned CART is invariant to strictly monotone feature maps."""
+        X, y = problem
+        tree_a = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        X_t = np.sign(X) * np.log1p(np.abs(X)) * 3.0 + 7.0  # strictly monotone
+        tree_b = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X_t, y)
+        assert np.array_equal(tree_a.predict(X), tree_b.predict(X_t))
+
+    @given(problem=labelled_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_nondecreasing_in_depth(self, problem):
+        X, y = problem
+        accs = [
+            DecisionTreeClassifier(max_depth=d, random_state=0).fit(X, y).score(X, y)
+            for d in (1, 3, 6)
+        ]
+        assert accs[0] <= accs[1] + 1e-9 <= accs[2] + 2e-9
+
+    @given(problem=labelled_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_duplicated_rows_do_not_change_predictions(self, problem):
+        """Duplicating the training set leaves the tree unchanged.
+
+        Holds exactly when binning is lossless (every distinct value its
+        own bin), so restrict to <= max_bins distinct values per column;
+        with quantile binning the doubled sample can shift interpolated
+        edges by an epsilon.
+        """
+        X, y = problem
+        X = X[:50]
+        y = y[:50]
+        if y.min() == y.max():
+            y = y.copy()
+            y[0] = 1 - y[0]
+        base = DecisionTreeClassifier(max_depth=4, max_bins=64, random_state=0).fit(X, y)
+        doubled = DecisionTreeClassifier(max_depth=4, max_bins=64, random_state=0).fit(
+            np.vstack([X, X]), np.concatenate([y, y])
+        )
+        assert np.array_equal(base.predict(X), doubled.predict(X))
+
+
+class TestBinnerProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(10, 400),
+        bins=st.integers(2, 32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_codes_order_preserving(self, seed, n, bins):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 1))
+        codes = Binner(max_bins=bins).fit_transform(X)[:, 0].astype(int)
+        order = np.argsort(X[:, 0], kind="stable")
+        assert np.all(np.diff(codes[order]) >= 0)
+
+    @given(seed=st.integers(0, 1000), n=st.integers(10, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_transform_idempotent_on_training_data(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        binner = Binner(max_bins=16).fit(X)
+        assert np.array_equal(binner.transform(X), binner.transform(X.copy()))
+
+
+class TestMetricProperties:
+    @given(
+        tp=st.integers(0, 50),
+        fp=st.integers(0, 50),
+        tn=st.integers(0, 50),
+        fn=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_report_consistent_with_counts(self, tp, fp, tn, fn):
+        if tp + fp + tn + fn == 0:
+            return
+        y_true = np.array([1] * tp + [0] * fp + [0] * tn + [1] * fn)
+        y_pred = np.array([1] * tp + [1] * fp + [0] * tn + [0] * fn)
+        cm = confusion_matrix(y_true, y_pred)
+        assert (cm.tp, cm.fp, cm.tn, cm.fn) == (tp, fp, tn, fn)
+        rep = classification_report(y_true, y_pred)
+        for v in rep.values():
+            assert 0.0 <= v <= 1.0
+        # F1 (harmonic mean of counts-weighted p/r) lies between min and
+        # max of precision and recall.
+        if rep["precision"] > 0 and rep["recall"] > 0:
+            assert min(rep["precision"], rep["recall"]) - 1e-12 <= rep["f1"]
+            assert rep["f1"] <= max(rep["precision"], rep["recall"]) + 1e-12
+
+    @given(
+        n=st.integers(2, 80),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_flip_symmetry(self, n, seed):
+        """Flipping all predictions maps accuracy -> 1 - accuracy (binary)."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, n)
+        pred = rng.integers(0, 2, n)
+        rep = classification_report(y, pred)
+        rep_flipped = classification_report(y, 1 - pred)
+        assert rep["accuracy"] + rep_flipped["accuracy"] == pytest.approx(1.0)

@@ -1,0 +1,78 @@
+"""Tests for the one-vs-rest multiclass wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression, SGDClassifier, XGBClassifier
+from repro.ml.base import NotFittedError, clone
+from repro.ml.multiclass import OneVsRestClassifier
+
+
+@pytest.fixture
+def three_blobs(rng):
+    centers = np.array([[-3, 0], [3, 0], [0, 4]])
+    X = np.vstack([rng.normal(c, 0.7, (60, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 60)
+    return X, y
+
+
+class TestOneVsRest:
+    def test_three_class_accuracy(self, three_blobs):
+        X, y = three_blobs
+        ovr = OneVsRestClassifier(LogisticRegression()).fit(X, y)
+        assert ovr.score(X, y) > 0.95
+
+    def test_one_estimator_per_class(self, three_blobs):
+        X, y = three_blobs
+        ovr = OneVsRestClassifier(LogisticRegression()).fit(X, y)
+        assert len(ovr.estimators_) == 3
+
+    def test_proba_distribution(self, three_blobs):
+        X, y = three_blobs
+        p = OneVsRestClassifier(LogisticRegression()).fit(X, y).predict_proba(X)
+        assert p.shape == (180, 3)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_lifts_binary_only_models(self, three_blobs):
+        """XGB/SGD reject multiclass natively; OvR must make them work."""
+        X, y = three_blobs
+        with pytest.raises(ValueError):
+            XGBClassifier(n_estimators=5).fit(X, y)
+        ovr = OneVsRestClassifier(
+            XGBClassifier(n_estimators=20, random_state=0)
+        ).fit(X, y)
+        assert ovr.score(X, y) > 0.9
+
+    def test_string_labels(self, three_blobs):
+        X, y = three_blobs
+        names = np.array(["healthy", "prediabetic", "diabetic"])[y]
+        ovr = OneVsRestClassifier(LogisticRegression()).fit(X, names)
+        assert set(ovr.predict(X)) <= set(names)
+
+    def test_binary_degenerates_gracefully(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = (X[:, 0] > 0).astype(int)
+        ovr = OneVsRestClassifier(SGDClassifier(max_iter=20, random_state=0)).fit(X, y)
+        assert ovr.score(X, y) > 0.8
+
+    def test_template_untouched(self, three_blobs):
+        X, y = three_blobs
+        template = LogisticRegression()
+        OneVsRestClassifier(template).fit(X, y)
+        assert not hasattr(template, "coef_")
+
+    def test_single_class_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            OneVsRestClassifier(LogisticRegression()).fit(X, np.zeros(10))
+
+    def test_unfitted(self, three_blobs):
+        X, _ = three_blobs
+        with pytest.raises(NotFittedError):
+            OneVsRestClassifier(LogisticRegression()).predict(X)
+
+    def test_clone(self):
+        ovr = OneVsRestClassifier(LogisticRegression(C=3.0))
+        c = clone(ovr)
+        assert c.estimator.C == 3.0

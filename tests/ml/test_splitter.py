@@ -1,0 +1,239 @@
+"""Tests for the histogram split engine, including the binary fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree._binning import Binner
+from repro.ml.tree._splitter import (
+    best_classification_split,
+    best_classification_split_binary,
+    best_gradient_split,
+    best_gradient_split_binary,
+    class_histograms,
+    gradient_histograms,
+    leaf_value_newton,
+    node_impurity,
+)
+
+
+def brute_force_gini_split(codes, y, n_bins):
+    """Reference: O(F * B * n) exhaustive impurity-decrease search."""
+    n, f = codes.shape
+    parent = node_impurity(np.bincount(y, minlength=2), "gini")
+    best = (-np.inf, None, None)
+    for feat in range(f):
+        for b in range(n_bins - 1):
+            left = codes[:, feat] <= b
+            nl, nr = left.sum(), n - left.sum()
+            if nl == 0 or nr == 0:
+                continue
+            gl = node_impurity(np.bincount(y[left], minlength=2), "gini")
+            gr = node_impurity(np.bincount(y[~left], minlength=2), "gini")
+            gain = parent - (nl * gl + nr * gr) / n
+            if gain > best[0] + 1e-12:
+                best = (gain, feat, b)
+    return best
+
+
+@pytest.fixture
+def binned_problem(rng):
+    X = rng.normal(size=(200, 5))
+    y = (X[:, 2] > 0.3).astype(np.int64)
+    binner = Binner(max_bins=16).fit(X)
+    codes = binner.transform(X)
+    return codes, y, int(binner.n_bins_.max())
+
+
+class TestClassHistograms:
+    def test_counts_sum_to_n(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        feats = np.arange(5, dtype=np.int64)
+        hist = class_histograms(codes, y, feats, 2, n_bins)
+        assert hist.shape == (2, 5, n_bins)
+        assert np.allclose(hist.sum(axis=(0, 2)), len(y))
+
+    def test_per_class_totals(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        feats = np.arange(5, dtype=np.int64)
+        hist = class_histograms(codes, y, feats, 2, n_bins)
+        assert np.allclose(hist[1].sum(axis=1), y.sum())
+
+    def test_feature_subset(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        feats = np.array([1, 3], dtype=np.int64)
+        hist = class_histograms(codes, y, feats, 2, n_bins)
+        full = class_histograms(codes, y, np.arange(5, dtype=np.int64), 2, n_bins)
+        assert np.array_equal(hist, full[:, [1, 3], :])
+
+
+class TestImpurity:
+    def test_gini_pure(self):
+        assert node_impurity(np.array([10, 0]), "gini") == 0.0
+
+    def test_gini_balanced(self):
+        assert node_impurity(np.array([5, 5]), "gini") == pytest.approx(0.5)
+
+    def test_entropy_balanced(self):
+        assert node_impurity(np.array([5, 5]), "entropy") == pytest.approx(1.0)
+
+    def test_entropy_pure(self):
+        assert node_impurity(np.array([0, 7]), "entropy") == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError, match="criterion"):
+            node_impurity(np.array([1, 1]), "mse")
+
+
+class TestBestClassificationSplit:
+    def test_matches_brute_force(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        split = best_classification_split(
+            codes, y, np.arange(5, dtype=np.int64), n_classes=2, n_bins=n_bins
+        )
+        ref_gain, ref_feat, ref_bin = brute_force_gini_split(codes, y, n_bins)
+        assert split is not None
+        assert split.gain == pytest.approx(ref_gain)
+        assert (split.feature, split.bin) == (ref_feat, ref_bin)
+
+    def test_finds_informative_feature(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        split = best_classification_split(
+            codes, y, np.arange(5, dtype=np.int64), n_classes=2, n_bins=n_bins
+        )
+        assert split.feature == 2
+
+    def test_child_counts_sum(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        split = best_classification_split(
+            codes, y, np.arange(5, dtype=np.int64), n_classes=2, n_bins=n_bins
+        )
+        assert split.n_left + split.n_right == len(y)
+
+    def test_pure_node_returns_none(self, rng):
+        codes = rng.integers(0, 4, size=(50, 3)).astype(np.uint8)
+        y = np.zeros(50, dtype=np.int64)
+        split = best_classification_split(
+            codes, y, np.arange(3, dtype=np.int64), n_classes=2, n_bins=4
+        )
+        assert split is None
+
+    def test_min_samples_leaf_blocks(self, rng):
+        # One lonely positive: any separating split leaves a 1-sample child.
+        codes = np.zeros((50, 1), dtype=np.uint8)
+        codes[0, 0] = 1
+        y = np.zeros(50, dtype=np.int64)
+        y[0] = 1
+        split = best_classification_split(
+            codes, y, np.zeros(1, dtype=np.int64), n_classes=2, n_bins=2,
+            min_samples_leaf=5,
+        )
+        assert split is None
+
+    def test_entropy_criterion(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        split = best_classification_split(
+            codes, y, np.arange(5, dtype=np.int64), n_classes=2, n_bins=n_bins,
+            criterion="entropy",
+        )
+        assert split is not None and split.feature == 2
+
+
+class TestBinaryFastPaths:
+    def test_classification_matches_general(self, rng):
+        X = (rng.random((150, 20)) < 0.5).astype(np.uint8)
+        y = (X[:, 7] ^ (rng.random(150) < 0.1)).astype(np.int64)
+        feats = np.arange(20, dtype=np.int64)
+        slow = best_classification_split(X, y, feats, n_classes=2, n_bins=2)
+        fast = best_classification_split_binary(
+            X.astype(np.float32), y, feats, n_classes=2
+        )
+        assert fast is not None and slow is not None
+        assert fast.feature == slow.feature
+        assert fast.gain == pytest.approx(slow.gain)
+        assert (fast.n_left, fast.n_right) == (slow.n_left, slow.n_right)
+
+    def test_gradient_matches_general(self, rng):
+        X = (rng.random((150, 20)) < 0.5).astype(np.uint8)
+        grad = rng.normal(size=150)
+        hess = rng.uniform(0.1, 1.0, size=150)
+        feats = np.arange(20, dtype=np.int64)
+        slow = best_gradient_split(X, grad, hess, feats, n_bins=2, reg_lambda=1.0)
+        fast = best_gradient_split_binary(
+            X.astype(np.float32), grad, hess, feats, reg_lambda=1.0
+        )
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert fast.feature == slow.feature
+            assert fast.gain == pytest.approx(slow.gain, rel=1e-5)
+
+    def test_classification_feature_subset(self, rng):
+        X = (rng.random((100, 10)) < 0.5).astype(np.uint8)
+        y = X[:, 3].astype(np.int64)
+        feats = np.array([1, 3, 5], dtype=np.int64)
+        fast = best_classification_split_binary(
+            X.astype(np.float32), y, feats, n_classes=2
+        )
+        assert fast.feature == 3
+
+
+class TestGradientSplit:
+    def test_gradient_histograms_consistency(self, binned_problem, rng):
+        codes, y, n_bins = binned_problem
+        grad = rng.normal(size=len(y))
+        hess = np.abs(rng.normal(size=len(y))) + 0.1
+        feats = np.arange(5, dtype=np.int64)
+        G, H, N = gradient_histograms(codes, grad, hess, feats, n_bins)
+        assert np.allclose(G.sum(axis=1), grad.sum())
+        assert np.allclose(H.sum(axis=1), hess.sum())
+        assert np.all(N.sum(axis=1) == len(y))
+
+    def test_split_reduces_loss_direction(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        # grad for logistic at p=0.5
+        grad = 0.5 - y.astype(np.float64)
+        hess = np.full(len(y), 0.25)
+        split = best_gradient_split(
+            codes, grad, hess, np.arange(5, dtype=np.int64), n_bins=n_bins
+        )
+        assert split is not None
+        assert split.feature == 2
+        assert split.gain > 0
+
+    def test_min_gain_threshold(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        grad = 0.5 - y.astype(np.float64)
+        hess = np.full(len(y), 0.25)
+        split = best_gradient_split(
+            codes, grad, hess, np.arange(5, dtype=np.int64), n_bins=n_bins,
+            min_gain=1e9,
+        )
+        assert split is None
+
+    def test_min_child_weight(self, binned_problem):
+        codes, y, n_bins = binned_problem
+        grad = 0.5 - y.astype(np.float64)
+        hess = np.full(len(y), 1e-6)  # too little hessian mass anywhere
+        split = best_gradient_split(
+            codes, grad, hess, np.arange(5, dtype=np.int64), n_bins=n_bins,
+            min_child_weight=1.0,
+        )
+        assert split is None
+
+    def test_reg_lambda_zero_safe(self, binned_problem, rng):
+        codes, y, n_bins = binned_problem
+        grad = rng.normal(size=len(y))
+        hess = np.abs(rng.normal(size=len(y)))
+        # must not warn/divide-by-zero even with empty-side candidates
+        with np.errstate(all="raise"):
+            best_gradient_split(
+                codes, grad, hess, np.arange(5, dtype=np.int64), n_bins=n_bins,
+                reg_lambda=0.0,
+            )
+
+
+class TestLeafValue:
+    def test_newton_formula(self):
+        assert leaf_value_newton(2.0, 3.0, reg_lambda=1.0) == pytest.approx(-0.5)
+
+    def test_shrinkage(self):
+        assert leaf_value_newton(2.0, 3.0, reg_lambda=1.0, learning_rate=0.1) == pytest.approx(-0.05)

@@ -1,0 +1,175 @@
+"""Tests for the SMO-based SVC."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.svm import SVC
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.vstack([rng.normal(-1.5, 0.6, (60, 2)), rng.normal(1.5, 0.6, (60, 2))])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+@pytest.fixture
+def rings(rng):
+    """Concentric rings: linearly inseparable, RBF-separable."""
+    n = 120
+    theta = rng.uniform(0, 2 * np.pi, n)
+    r = np.where(np.arange(n) < n // 2, 1.0, 3.0) + rng.normal(0, 0.15, n)
+    X = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+    y = (np.arange(n) >= n // 2).astype(int)
+    return X, y
+
+
+class TestSVC:
+    def test_linear_separable(self, blobs):
+        X, y = blobs
+        svc = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.97
+
+    def test_rbf_solves_rings(self, rings):
+        X, y = rings
+        rbf = SVC(kernel="rbf", random_state=0).fit(X, y)
+        linear = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert rbf.score(X, y) > 0.95
+        assert rbf.score(X, y) > linear.score(X, y)
+
+    def test_poly_kernel_runs(self, rings):
+        X, y = rings
+        svc = SVC(kernel="poly", degree=2, gamma=1.0, random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.9
+
+    def test_support_vectors_subset(self, blobs):
+        X, y = blobs
+        svc = SVC(kernel="rbf", random_state=0).fit(X, y)
+        assert 0 < len(svc.support_) <= len(y)
+        assert svc.support_vectors_.shape == (len(svc.support_), 2)
+
+    def test_well_separated_needs_few_svs(self, rng):
+        X = np.vstack([rng.normal(-5, 0.3, (50, 2)), rng.normal(5, 0.3, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        svc = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert len(svc.support_) < 30
+
+    def test_dual_box_constraint(self, blobs):
+        X, y = blobs
+        C = 0.7
+        svc = SVC(C=C, kernel="rbf", random_state=0).fit(X, y)
+        alphas = np.abs(svc.dual_coef_)
+        assert np.all(alphas <= C + 1e-6)
+
+    def test_decision_sign_matches_predict(self, blobs):
+        X, y = blobs
+        svc = SVC(random_state=0).fit(X, y)
+        assert np.array_equal(
+            svc.predict(X) == svc.classes_[1], svc.decision_function(X) >= 0
+        )
+
+    def test_platt_proba_monotone_in_score(self, blobs):
+        X, y = blobs
+        svc = SVC(probability=True, random_state=0).fit(X, y)
+        s = svc.decision_function(X)
+        p = svc.predict_proba(X)[:, 1]
+        order = np.argsort(s)
+        assert np.all(np.diff(p[order]) >= -1e-9)
+
+    def test_proba_disabled(self, blobs):
+        X, y = blobs
+        svc = SVC(probability=False, random_state=0).fit(X, y)
+        with pytest.raises(RuntimeError, match="probability"):
+            svc.predict_proba(X)
+
+    def test_gamma_scale_matches_sklearn_formula(self, blobs):
+        X, y = blobs
+        svc = SVC(gamma="scale", random_state=0).fit(X, y)
+        assert svc._gamma_ == pytest.approx(1.0 / (2 * X.var()))
+
+    def test_gamma_auto(self, blobs):
+        X, y = blobs
+        svc = SVC(gamma="auto", random_state=0).fit(X, y)
+        assert svc._gamma_ == pytest.approx(0.5)
+
+    def test_gamma_numeric_validation(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="gamma"):
+            SVC(gamma=-1.0).fit(X, y)
+
+    def test_bad_kernel(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="kernel"):
+            SVC(kernel="sigmoid").fit(X, y)
+
+    def test_invalid_C(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            SVC(C=0.0).fit(X, y)
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            SVC().fit(X, rng.integers(0, 3, 30))
+
+    def test_unfitted(self, blobs):
+        X, _ = blobs
+        with pytest.raises(NotFittedError):
+            SVC().predict(X)
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        a = SVC(random_state=3).fit(X, y).decision_function(X)
+        b = SVC(random_state=3).fit(X, y).decision_function(X)
+        assert np.allclose(a, b)
+
+    def test_string_labels(self, blobs):
+        X, y = blobs
+        svc = SVC(random_state=0).fit(X, np.where(y == 1, "yes", "no"))
+        assert set(svc.predict(X)) <= {"yes", "no"}
+
+
+class TestSMOOptimality:
+    def test_dual_objective_matches_qp_reference(self, rng):
+        """SMO must reach the dual optimum (regression test for the bias
+        maintenance bug: a stale-bias SMO stalls at ~60% of the optimum)."""
+        from scipy import optimize
+
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+        t = np.where(y == 1, 1.0, -1.0)
+        C = 1.0
+        svc = SVC(C=C, kernel="rbf", max_iter=500, random_state=0).fit(X, y)
+        K = svc._kernel_matrix(X, X)
+
+        alpha = np.zeros(len(y))
+        alpha[svc.support_] = svc.dual_coef_ * t[svc.support_]
+
+        def dual(a):
+            return a.sum() - 0.5 * (a * t) @ K @ (a * t)
+
+        def negdual(a):
+            return -dual(a)
+
+        def grad(a):
+            return -(np.ones(len(y)) - ((a * t) @ K) * t)
+
+        res = optimize.minimize(
+            negdual,
+            np.zeros(len(y)),
+            jac=grad,
+            bounds=[(0, C)] * len(y),
+            constraints=[{"type": "eq", "fun": lambda a: a @ t, "jac": lambda a: t}],
+            method="SLSQP",
+            options={"maxiter": 300},
+        )
+        assert dual(alpha) >= dual(res.x) - 0.05 * abs(dual(res.x))
+
+    def test_alpha_equality_constraint(self, rng):
+        """Sum of alpha_i t_i must be (near) zero at the solution."""
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 0] > 0).astype(int)
+        t = np.where(y == 1, 1.0, -1.0)
+        svc = SVC(max_iter=300, random_state=0).fit(X, y)
+        assert abs(svc.dual_coef_.sum()) < 1e-6

@@ -1,0 +1,166 @@
+"""Tests for the decision tree and the TreeStructure machinery."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError, clone
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tree.decision_tree import resolve_max_features
+
+
+class TestResolveMaxFeatures:
+    def test_none_means_all(self):
+        assert resolve_max_features(None, 30) == 30
+
+    def test_sqrt(self):
+        assert resolve_max_features("sqrt", 100) == 10
+
+    def test_log2(self):
+        assert resolve_max_features("log2", 64) == 6
+
+    def test_int_passthrough(self):
+        assert resolve_max_features(7, 30) == 7
+
+    def test_int_too_large(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            resolve_max_features(31, 30)
+
+    def test_float_fraction(self):
+        assert resolve_max_features(0.5, 30) == 15
+
+    def test_float_out_of_range(self):
+        with pytest.raises(ValueError):
+            resolve_max_features(1.5, 30)
+
+    def test_bad_string(self):
+        with pytest.raises(ValueError):
+            resolve_max_features("cube", 30)
+
+    def test_minimum_one(self):
+        assert resolve_max_features("sqrt", 1) == 1
+
+
+class TestDecisionTree:
+    def test_fits_xor_problem(self, rng):
+        X = rng.normal(size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_generalises(self, toy_holdout):
+        (X, y), (Xt, yt) = toy_holdout
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.score(Xt, yt) > 0.8
+
+    def test_max_depth_respected(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.get_depth() <= 3
+
+    def test_unbounded_depth_reaches_purity(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_min_samples_leaf(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        leaf_ids = tree.apply(X)
+        _, counts = np.unique(leaf_ids, return_counts=True)
+        assert counts.min() >= 20
+
+    def test_min_samples_split(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        big = DecisionTreeClassifier(min_samples_split=100).fit(X, y)
+        small = DecisionTreeClassifier(min_samples_split=2).fit(X, y)
+        assert big.get_n_leaves() <= small.get_n_leaves()
+
+    def test_predict_proba_is_leaf_distribution(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        p = tree.predict_proba(X)
+        assert p.shape == (len(y), 2)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        leaves = tree.apply(X)
+        for leaf in np.unique(leaves):
+            members = leaves == leaf
+            # all rows in one leaf share the same distribution
+            assert np.allclose(p[members], p[members][0])
+
+    def test_string_labels(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        labels = np.where(y == 1, "pos", "neg")
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, labels)
+        assert set(np.unique(tree.predict(X))) <= {"pos", "neg"}
+
+    def test_feature_importances_focus(self, rng):
+        X = rng.normal(size=(500, 6))
+        y = (X[:, 4] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        imp = tree.feature_importances_
+        assert imp.shape == (6,)
+        assert imp[4] == imp.max()
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_max_features_random_subsets(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        t1 = DecisionTreeClassifier(max_features=2, random_state=1).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features=2, random_state=2).fit(X, y)
+        # different feature subsets almost surely give different trees
+        assert t1.get_n_leaves() != t2.get_n_leaves() or not np.array_equal(
+            t1.tree_.feature, t2.tree_.feature
+        )
+
+    def test_deterministic_given_seed(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        t1 = DecisionTreeClassifier(max_features=3, random_state=7).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features=3, random_state=7).fit(X, y)
+        assert np.array_equal(t1.tree_.feature, t2.tree_.feature)
+        assert np.array_equal(t1.tree_.threshold_bin, t2.tree_.threshold_bin)
+
+    def test_unfitted(self, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(X)
+
+    def test_feature_count_mismatch(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(X[:, :3])
+
+    def test_nan_rejected(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        X = X.copy()
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            DecisionTreeClassifier().fit(X, y)
+
+    def test_clone(self):
+        t = DecisionTreeClassifier(max_depth=4, criterion="entropy")
+        c = clone(t)
+        assert c.get_params() == t.get_params()
+
+    def test_single_feature(self, rng):
+        X = rng.normal(size=(100, 1))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_apply_returns_leaves(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        leaves = tree.apply(X)
+        # every returned node must actually be a leaf
+        assert np.all(tree.tree_.left[leaves] == -1)
+
+    def test_node_count_consistency(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        t = tree.tree_
+        internal = int(np.sum(t.left != -1))
+        assert t.node_count == internal + t.n_leaves
+
+    def test_pima_sane_accuracy(self, pima_r):
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(pima_r.X, pima_r.y)
+        assert tree.score(pima_r.X, pima_r.y) > 0.75

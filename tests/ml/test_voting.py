@@ -1,0 +1,99 @@
+"""Tests for the voting ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, KNeighborsClassifier, LogisticRegression
+from repro.ml.base import NotFittedError, clone
+from repro.ml.ensemble.voting import VotingClassifier
+
+
+def members():
+    return [
+        ("tree", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ("knn", KNeighborsClassifier(n_neighbors=5)),
+        ("logreg", LogisticRegression()),
+    ]
+
+
+class TestVoting:
+    def test_soft_voting_fits_and_scores(self, toy_holdout):
+        (X, y), (Xt, yt) = toy_holdout
+        vc = VotingClassifier(members(), voting="soft").fit(X, y)
+        assert vc.score(Xt, yt) > 0.8
+
+    def test_soft_proba_is_weighted_mean(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        vc = VotingClassifier(members(), voting="soft").fit(X, y)
+        manual = np.mean(
+            [m.predict_proba(X) for _, m in vc.fitted_], axis=0
+        )
+        assert np.allclose(vc.predict_proba(X), manual)
+
+    def test_weights_shift_output(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        uniform = VotingClassifier(members(), voting="soft").fit(X, y)
+        skewed = VotingClassifier(members(), voting="soft", weights=[10, 1, 1]).fit(X, y)
+        tree_only = skewed.named_estimators_["tree"].predict_proba(X)
+        # heavy tree weight pulls the ensemble toward the tree
+        d_skewed = np.abs(skewed.predict_proba(X) - tree_only).mean()
+        d_uniform = np.abs(uniform.predict_proba(X) - tree_only).mean()
+        assert d_skewed < d_uniform
+
+    def test_hard_voting(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        vc = VotingClassifier(members(), voting="hard").fit(X, y)
+        p = vc.predict_proba(X)
+        # hard votes over 3 members: probabilities in {0, 1/3, 2/3, 1}
+        assert set(np.round(np.unique(p), 4).tolist()) <= {0.0, 0.3333, 0.6667, 1.0}
+        assert vc.score(X, y) > 0.8
+
+    def test_template_estimators_not_fitted(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        ests = members()
+        VotingClassifier(ests).fit(X, y)
+        assert not hasattr(ests[0][1], "tree_")
+
+    def test_duplicate_names_rejected(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="duplicate"):
+            VotingClassifier(
+                [("a", LogisticRegression()), ("a", LogisticRegression())]
+            ).fit(X, y)
+
+    def test_empty_rejected(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="at least one"):
+            VotingClassifier([]).fit(X, y)
+
+    def test_bad_voting_mode(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="voting"):
+            VotingClassifier(members(), voting="ranked").fit(X, y)
+
+    def test_bad_weights(self, toy_binary_problem):
+        X, y = toy_binary_problem
+        with pytest.raises(ValueError, match="weights"):
+            VotingClassifier(members(), weights=[1.0]).fit(X, y)
+
+    def test_unfitted(self, toy_binary_problem):
+        X, _ = toy_binary_problem
+        with pytest.raises(NotFittedError):
+            VotingClassifier(members()).predict(X)
+
+    def test_combines_hdc_and_ml(self, rng):
+        """The motivating use: fuse Hamming-kNN and a forest on the same HVs."""
+        from repro.core import HammingClassifier, RecordEncoder
+        from repro.ml import RandomForestClassifier
+
+        X = rng.normal(size=(150, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        dense = RecordEncoder(dim=1024, seed=0).fit(X).transform_dense(X).astype(float)
+        vc = VotingClassifier(
+            [
+                ("hdc", HammingClassifier(dim=1024, n_neighbors=5)),
+                ("rf", RandomForestClassifier(n_estimators=15, random_state=0)),
+            ],
+            voting="soft",
+        ).fit(dense, y)
+        assert vc.score(dense, y) > 0.85

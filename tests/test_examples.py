@@ -1,0 +1,57 @@
+"""Smoke-run every example script so the documentation cannot rot.
+
+Each example is executed as a subprocess with ``REPRO_EXAMPLE_FAST=1``
+(second-scale presets) and must exit 0 with its key output present.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+CASES = {
+    "quickstart.py": "Hamming-distance model",
+    "pima_pipeline.py": "Paper reference",
+    "sylhet_screening.py": "Screening new patients",
+    "clinical_risk_scoring.py": "Risk trajectories",
+    "online_followup.py": "prequential accuracy",
+    "ehr_longitudinal.py": "Trend-detection accuracy",
+    "dna_ngram_screening.py": "Nearest-profile accuracy",
+    "custom_dataset.py": "hypervectors",
+}
+
+
+def run_example(name: str) -> str:
+    env = dict(os.environ, REPRO_EXAMPLE_FAST="1")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+def test_all_examples_present():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(CASES) == on_disk, (
+        f"example list out of sync: missing={set(CASES) - on_disk}, "
+        f"untested={on_disk - set(CASES)}"
+    )
+
+
+@pytest.mark.parametrize("name,marker", sorted(CASES.items()))
+def test_example_runs(name, marker):
+    stdout = run_example(name)
+    assert marker.lower() in stdout.lower(), (
+        f"{name} ran but expected output marker {marker!r} not found; "
+        f"got:\n{stdout[-1500:]}"
+    )

@@ -1,0 +1,140 @@
+"""End-to-end integration tests: the full paper pipeline at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import HammingClassifier, RecordEncoder
+from repro.data import load_pima_m, load_pima_r, load_sylhet
+from repro.eval import (
+    classification_report,
+    cross_validate,
+    leave_one_out_hamming,
+    train_test_split,
+)
+from repro.ml import (
+    LogisticRegression,
+    RandomForestClassifier,
+    SGDClassifier,
+    SequentialNN,
+    XGBClassifier,
+)
+from repro.ml.pipeline import ScaledClassifier
+
+pytestmark = pytest.mark.slow
+
+DIM = 2048
+
+
+@pytest.fixture(scope="module")
+def encoded(pima_r_module):
+    ds = pima_r_module
+    enc = RecordEncoder(specs=ds.specs, dim=DIM, seed=0).fit(ds.X)
+    return ds, enc.transform(ds.X), enc.transform_dense(ds.X).astype(float)
+
+
+@pytest.fixture(scope="module")
+def pima_r_module():
+    from repro.data.pima import load_pima_r
+
+    return load_pima_r(seed=2023)
+
+
+class TestPaperPipelinePima:
+    def test_hamming_loocv_in_paper_ballpark(self, encoded):
+        """Paper Table II: Hamming on Pima R = 70.7%; synthetic data should
+        land within a wide band of that."""
+        ds, packed, _ = encoded
+        res = leave_one_out_hamming(packed, ds.y)
+        assert 0.60 <= res.accuracy <= 0.90
+
+    def test_hypervectors_help_weak_model(self, encoded):
+        """The paper's central claim on its weakest model (SGD)."""
+        ds, _, dense = encoded
+        raw = cross_validate(
+            ScaledClassifier(SGDClassifier(max_iter=15, random_state=0)),
+            ds.X, ds.y, n_splits=3, seed=0,
+        )
+        hv = cross_validate(
+            SGDClassifier(max_iter=15, random_state=0), dense, ds.y, n_splits=3, seed=0
+        )
+        assert hv.mean_test >= raw.mean_test - 0.02
+
+    def test_forest_on_hypervectors_strong(self, encoded):
+        ds, _, dense = encoded
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            dense, ds.y, test_size=0.2, stratify=ds.y, seed=1
+        )
+        rf = RandomForestClassifier(n_estimators=40, random_state=0).fit(X_tr, y_tr)
+        assert rf.score(X_te, y_te) > 0.65
+
+    def test_nn_both_representations(self, encoded):
+        ds, _, dense = encoded
+        for X in (ds.X, dense):
+            X_tr, X_te, y_tr, y_te = train_test_split(
+                X, ds.y, test_size=0.2, stratify=ds.y, seed=2
+            )
+            model = SequentialNN(epochs=40, patience=10, random_state=0)
+            wrapped = ScaledClassifier(model) if X is ds.X else model
+            wrapped.fit(X_tr, y_tr)
+            assert wrapped.score(X_te, y_te) > 0.6
+
+
+class TestPaperPipelineSylhet:
+    @pytest.fixture(scope="class")
+    def sylhet_encoded(self):
+        ds = load_sylhet(seed=2023)
+        enc = RecordEncoder(specs=ds.specs, dim=DIM, seed=0).fit(ds.X)
+        return ds, enc.transform(ds.X), enc.transform_dense(ds.X).astype(float)
+
+    def test_hamming_strong_on_sylhet(self, sylhet_encoded):
+        """Paper Table II: 95.9% on Sylhet; must be clearly stronger than Pima."""
+        ds, packed, _ = sylhet_encoded
+        res = leave_one_out_hamming(packed, ds.y)
+        assert res.accuracy > 0.82
+
+    def test_hamming_report_matches_manual_metrics(self, sylhet_encoded):
+        ds, packed, _ = sylhet_encoded
+        res = leave_one_out_hamming(packed, ds.y)
+        manual = classification_report(res.y_true, res.y_pred)
+        assert manual == res.report
+
+    def test_boosted_model_on_hypervectors(self, sylhet_encoded):
+        ds, _, dense = sylhet_encoded
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            dense, ds.y, test_size=0.2, stratify=ds.y, seed=3
+        )
+        xgb = XGBClassifier(n_estimators=15, random_state=0).fit(X_tr, y_tr)
+        assert xgb.score(X_te, y_te) > 0.8
+
+
+class TestCrossDatasetConsistency:
+    def test_pima_variants_share_complete_rows(self):
+        from repro.data.pima import generate_pima
+
+        base = generate_pima(seed=7)
+        r = load_pima_r(base=base)
+        m = load_pima_m(base=base)
+        # every Pima R row appears in Pima M unchanged
+        m_rows = {tuple(row) for row in m.X}
+        matching = sum(tuple(row) in m_rows for row in r.X)
+        assert matching == r.n_samples
+
+    def test_encoder_transfer_new_patients(self):
+        """Encode unseen patients with a fitted encoder (deployment path)."""
+        ds = load_pima_r(seed=2023)
+        train, test = np.arange(0, 300), np.arange(300, ds.n_samples)
+        enc = RecordEncoder(specs=ds.specs, dim=DIM, seed=0).fit(ds.X[train])
+        H_train = enc.transform(ds.X[train])
+        H_test = enc.transform(ds.X[test])
+        clf = HammingClassifier(dim=DIM).fit(H_train, ds.y[train])
+        acc = clf.score(H_test, ds.y[test])
+        assert acc > 0.6
+
+    def test_full_determinism_of_pipeline(self):
+        ds = load_pima_r(seed=2023)
+        def run():
+            enc = RecordEncoder(specs=ds.specs, dim=512, seed=11).fit(ds.X)
+            packed = enc.transform(ds.X)
+            return leave_one_out_hamming(packed, ds.y).accuracy
+
+        assert run() == run()

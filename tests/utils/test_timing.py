@@ -1,0 +1,62 @@
+"""Tests for the Timer utility."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer, format_duration
+
+
+class TestTimer:
+    def test_accumulates_samples(self):
+        t = Timer("t")
+        for _ in range(3):
+            with t:
+                pass
+        assert t.count == 3
+        assert t.total >= 0.0
+
+    def test_measures_sleep(self):
+        t = Timer("sleep")
+        with t:
+            time.sleep(0.02)
+        assert t.samples[0] >= 0.015
+
+    def test_mean_and_std(self):
+        t = Timer("t")
+        t.samples.extend([1.0, 2.0, 3.0])
+        assert t.mean == pytest.approx(2.0)
+        assert t.std == pytest.approx(1.0)
+
+    def test_std_single_sample(self):
+        t = Timer("t")
+        t.samples.append(1.0)
+        assert t.std == 0.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            Timer("t").mean
+
+    def test_time_call_returns_result(self):
+        t = Timer("t")
+        assert t.time_call(lambda a, b: a + b, 2, 3) == 5
+        assert t.count == 1
+
+    def test_summary(self):
+        t = Timer("mytimer")
+        t.samples.append(0.5)
+        assert "mytimer" in t.summary()
+        assert Timer("empty").summary().endswith("no samples")
+
+
+class TestFormatDuration:
+    def test_units(self):
+        assert format_duration(5e-10).endswith("ns")
+        assert format_duration(5e-6).endswith("us")
+        assert format_duration(5e-3).endswith("ms")
+        assert format_duration(5.0).endswith("s")
+        assert format_duration(65.0) == "1m05.0s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,121 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_consistent_length,
+    check_in_range,
+    check_positive_int,
+    check_X_y,
+    column_or_1d,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d_with_hint(self):
+        with pytest.raises(ValueError, match="reshape"):
+            check_array([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_array([[np.inf, 1.0]])
+
+    def test_allow_nan(self):
+        check_array([[np.nan, 1.0]], allow_nan=True)
+
+    def test_min_samples(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            check_array([[1.0]], min_samples=3)
+
+    def test_zero_features(self):
+        with pytest.raises(ValueError, match="0 features"):
+            check_array(np.zeros((3, 0)))
+
+    def test_keep_dtype(self):
+        out = check_array(np.zeros((2, 2), dtype=np.uint8), dtype=None)
+        assert out.dtype == np.uint8
+
+    def test_1d_mode(self):
+        out = check_array([1.0, 2.0], ndim=1)
+        assert out.shape == (2,)
+
+
+class TestColumnOr1d:
+    def test_flattens_column(self):
+        assert column_or_1d(np.zeros((4, 1))).shape == (4,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            column_or_1d(np.zeros((4, 2)))
+
+    def test_passthrough(self):
+        assert column_or_1d([1, 2, 3]).shape == (3,)
+
+
+class TestLengthAndXy:
+    def test_consistent_ok(self):
+        check_consistent_length(np.zeros((3, 2)), np.zeros(3))
+
+    def test_inconsistent(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            check_consistent_length(np.zeros((3, 2)), np.zeros(4))
+
+    def test_check_X_y(self):
+        X, y = check_X_y([[1, 2], [3, 4]], [0, 1])
+        assert X.shape == (2, 2) and y.shape == (2,)
+
+    def test_check_X_y_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1, 2]], [0, 1])
+
+
+class TestScalarChecks:
+    def test_positive_int_ok(self):
+        assert check_positive_int(3, "k") == 3
+
+    def test_positive_int_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "k")
+
+    def test_positive_int_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "k")
+
+    def test_positive_int_minimum(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            check_positive_int(1, "k", minimum=2)
+
+    def test_in_range_inclusive(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+
+    def test_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive="high")
+
+    def test_in_range_message(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            check_in_range(2.0, "x", 0.0, 1.0)
+
+    def test_binary_labels(self):
+        out = check_binary_labels(np.array([0, 1, 1]))
+        assert out.dtype == np.int64
+
+    def test_binary_labels_rejects_three(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_binary_labels(np.array([0, 1, 2]))
