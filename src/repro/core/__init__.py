@@ -29,7 +29,13 @@ from repro.core.encoding import (
     CategoricalEncoder,
     EncoderNotFittedError,
 )
-from repro.core.bundling import majority_vote, majority_vote_batch, weighted_majority
+from repro.core.bundling import (
+    majority_vote,
+    majority_vote_batch,
+    majority_vote_counts,
+    majority_from_counts,
+    weighted_majority,
+)
 from repro.core.records import FeatureSpec, RecordEncoder, infer_feature_specs
 from repro.core.itemmemory import ItemMemory
 from repro.core.classifier import HammingClassifier, PrototypeClassifier, coerce_packed
@@ -65,6 +71,8 @@ __all__ = [
     "EncoderNotFittedError",
     "majority_vote",
     "majority_vote_batch",
+    "majority_vote_counts",
+    "majority_from_counts",
     "weighted_majority",
     "FeatureSpec",
     "RecordEncoder",

@@ -6,13 +6,15 @@ vectors, with ties (even feature counts) resolved to 1 by default, exactly
 the paper's rule.  Alternative tie rules (0, random) are exposed for the
 A2 ablation.
 
-Implementation: per-bit vote counts are accumulated with
-``np.bitwise_count`` on *word slices* — for each of the 64 bit offsets we
-shift-and-mask the packed words, so counting runs 64 bits per instruction
-without ever unpacking to a dense matrix... which would be correct but
-memory-hungry for very large batches.  For small feature counts (the
-common case: 8-16 features) a dense accumulation path is actually faster
-and is chosen automatically.
+Implementation: the fused pipeline splits bundling into two primitives —
+:func:`majority_vote_counts`, which accumulates per-bit vote counts
+*column by column across features* (one feature's packed batch is unpacked
+at a time, so an ``(n, m)`` batch never materialises the full
+``(n, m, dim)`` dense tensor), and :func:`majority_from_counts`, which
+thresholds a counts matrix into packed majority bits under the paper's tie
+rule.  :func:`majority_vote_batch` composes the two; the record encoder's
+chunked fast path calls them directly so vote counts can be built
+incrementally from gathered level-table rows.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.hypervector import pack_bits, unpack_bits
+from repro.core.hypervector import add_bits_into, pack_bits, unpack_bits
 from repro.utils.rng import SeedLike, as_generator
 
 _TIE_RULES = ("one", "zero", "random")
@@ -93,6 +95,82 @@ def majority_vote(
     return pack_bits(voted[None, :], dim)[0]
 
 
+def vote_count_dtype(m: int) -> np.dtype:
+    """Smallest signed accumulator dtype that can hold counts up to ``m``."""
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    return np.dtype(np.int16) if m <= np.iinfo(np.int16).max else np.dtype(np.int64)
+
+
+def majority_vote_counts(
+    packed_stack: np.ndarray,
+    dim: int,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-bit vote counts of a packed batch: ``(n, m, words) -> (n, dim)``.
+
+    Accumulates column by column across the feature axis — each feature's
+    ``(n, words)`` slice is unpacked and added on its own, so peak memory
+    is ``O(n * dim)`` regardless of ``m`` (the naive dense route needs
+    ``O(n * m * dim)``).  Pass ``out`` (an integer ``(n, dim)`` array,
+    zero-filled by the caller or reused across calls) to accumulate into
+    existing counts; otherwise a fresh accumulator is allocated with
+    :func:`vote_count_dtype`.
+    """
+    packed_stack = np.asarray(packed_stack, dtype=np.uint64)
+    if packed_stack.ndim != 3:
+        raise ValueError(
+            f"packed_stack must be (n, m, words), got shape {packed_stack.shape}"
+        )
+    n, m, _ = packed_stack.shape
+    if out is None:
+        out = np.zeros((n, dim), dtype=vote_count_dtype(m))
+    elif out.shape != (n, dim):
+        raise ValueError(f"out shape {out.shape} != ({n}, {dim})")
+    for j in range(m):
+        add_bits_into(packed_stack[:, j, :], dim, out)
+    return out
+
+
+def majority_from_counts(
+    counts: np.ndarray,
+    m: int,
+    dim: int,
+    *,
+    tie: str = "one",
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Threshold per-bit vote counts into packed majority bits.
+
+    ``counts`` is an ``(n, dim)`` integer matrix of ones-votes out of ``m``
+    voters; the result is the packed ``(n, words)`` majority bundle under
+    the given tie rule.  Exactly the decision step of
+    :func:`majority_vote_batch`, split out so the fused record encoder can
+    build counts incrementally.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2 or counts.shape[1] != dim:
+        raise ValueError(f"counts must be (n, {dim}), got shape {counts.shape}")
+    if m < 1:
+        raise ValueError("cannot take a majority over zero vectors")
+    if tie not in _TIE_RULES:
+        raise ValueError(f"tie must be one of {_TIE_RULES}, got {tie!r}")
+    # 2*c > m  <=>  c > m // 2 for integer counts: threshold in the native
+    # accumulator dtype so no doubled int64 copy is ever materialised.
+    half = m // 2
+    out = counts > half
+    if m % 2 == 0:
+        tied = counts == half
+        if tie == "one":
+            out |= tied
+        elif tie == "random":
+            rng = as_generator(seed)
+            out[tied] = rng.integers(0, 2, size=int(tied.sum()), dtype=np.uint8)
+        # tie == "zero": already 0
+    return pack_bits(out, dim)
+
+
 def majority_vote_batch(
     packed_stack: np.ndarray,
     dim: int,
@@ -102,32 +180,21 @@ def majority_vote_batch(
 ) -> np.ndarray:
     """Majority-bundle a batch: ``(n, m, words) -> (n, words)``.
 
-    This is the hot path of record encoding (n patients x m features); the
-    whole batch is voted with a single summation over the feature axis.
+    This is the hot path of record encoding (n patients x m features);
+    vote counts are accumulated feature-by-feature with
+    :func:`majority_vote_counts` and thresholded by
+    :func:`majority_from_counts`.
     """
     packed_stack = np.asarray(packed_stack, dtype=np.uint64)
     if packed_stack.ndim != 3:
         raise ValueError(
             f"packed_stack must be (n, m, words), got shape {packed_stack.shape}"
         )
-    n, m, _ = packed_stack.shape
+    _, m, _ = packed_stack.shape
     if m == 0:
         raise ValueError("cannot take a majority over zero vectors")
-    if tie not in _TIE_RULES:
-        raise ValueError(f"tie must be one of {_TIE_RULES}, got {tie!r}")
-    dense = unpack_bits(packed_stack, dim)  # (n, m, dim) uint8
-    counts = dense.sum(axis=1, dtype=np.int64)  # (n, dim)
-    double = 2 * counts
-    out = (double > m).astype(np.uint8)
-    if m % 2 == 0:
-        tied = double == m
-        if tie == "one":
-            out[tied] = 1
-        elif tie == "random":
-            rng = as_generator(seed)
-            out[tied] = rng.integers(0, 2, size=int(tied.sum()), dtype=np.uint8)
-        # tie == "zero": already 0
-    return pack_bits(out, dim)
+    counts = majority_vote_counts(packed_stack, dim)
+    return majority_from_counts(counts, m, dim, tie=tie, seed=seed)
 
 
 def weighted_majority(

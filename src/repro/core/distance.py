@@ -9,7 +9,8 @@ vector pairs, blocked evaluation to bound temporaries, and
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +37,12 @@ def _pairwise_block(A_block: np.ndarray, B: np.ndarray) -> np.ndarray:
     )
 
 
+def _pairwise_span(A: np.ndarray, B: np.ndarray, span: Tuple[int, int]) -> np.ndarray:
+    # Top-level (picklable) dispatch target so the REPRO_BACKEND=processes
+    # env override round-trips; a lambda here would break pickling.
+    return _pairwise_block(A[span[0]:span[1]], B)
+
+
 def pairwise_hamming(
     A: np.ndarray,
     B: Optional[np.ndarray] = None,
@@ -55,7 +62,10 @@ def pairwise_hamming(
         ``block_rows x n x words`` XOR temporary, so this bounds memory at
         roughly ``block_rows * n * words * 9`` bytes.
     n_jobs:
-        Worker count for block dispatch (threads; NumPy releases the GIL).
+        Worker count for block dispatch (default 1 = serial; ``None``/``0``
+        defers to the ``REPRO_WORKERS`` env var via
+        :func:`repro.parallel.pool.resolve_config`, and ``REPRO_BACKEND``
+        picks the backend — both process and thread backends work here).
 
     Returns
     -------
@@ -70,9 +80,7 @@ def pairwise_hamming(
     spans = chunk_spans(A.shape[0], block_rows)
     if not spans:
         return np.zeros((0, B.shape[0]), dtype=np.int64)
-    blocks = parallel_map(
-        lambda span: _pairwise_block(A[span[0]:span[1]], B), spans, n_jobs=n_jobs
-    )
+    blocks = parallel_map(partial(_pairwise_span, A, B), spans, n_jobs=n_jobs)
     return np.concatenate(blocks, axis=0)
 
 

@@ -20,6 +20,24 @@ Three encoders cover the paper's needs plus the ablation variants:
 
 All encoders are fitted objects with the ``fit`` / ``encode`` /
 ``encode_batch`` contract and operate on *packed* uint64 hypervectors.
+
+Fused fast path
+---------------
+Since the fused-encoding refactor every encoder additionally exposes the
+*table protocol* used by :class:`repro.core.records.RecordEncoder`'s hot
+path:
+
+* ``quantize(values)`` — vectorised map from raw scalars to integer rows
+  of the encoder's codebook;
+* ``codebook()`` — the full packed table, one row per quantisation level
+  (precomputed once at ``fit`` time);
+* ``encode_batch(values)`` — now a single advanced-indexing *gather*
+  ``codebook()[quantize(values)]`` instead of per-value bit flipping.
+
+``encode`` deliberately keeps the original per-value construction
+(recomputing the flip positions from the schedules) so the differential
+test suite can assert the cached tables are bit-identical to the
+from-scratch construction at every level.
 """
 
 from __future__ import annotations
@@ -29,12 +47,11 @@ from typing import Dict, Hashable, Optional, Sequence
 import numpy as np
 
 from repro.core.hypervector import (
+    WORD_BITS,
     bit_positions,
     exact_half_dense,
     flip_bits,
     n_words,
-    pack_bits,
-    unpack_bits,
 )
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -62,13 +79,23 @@ class BaseEncoder:
         """Encode one scalar to a packed hypervector of shape ``(words,)``."""
         raise NotImplementedError
 
+    def quantize(self, values: Sequence) -> np.ndarray:
+        """Map raw values to int64 row indices into :meth:`codebook`."""
+        raise NotImplementedError
+
+    def codebook(self) -> np.ndarray:
+        """Packed ``(n_levels, words)`` table, one row per quantised level."""
+        raise NotImplementedError
+
     def encode_batch(self, values: Sequence) -> np.ndarray:
-        """Encode a sequence of scalars to a packed ``(n, words)`` batch."""
-        values = np.asarray(values)
-        out = np.empty((values.shape[0], n_words(self.dim)), dtype=np.uint64)
-        for i, v in enumerate(values):
-            out[i] = self.encode(v)
-        return out
+        """Encode a sequence of scalars to a packed ``(n, words)`` batch.
+
+        The default implementation is the fused gather over the cached
+        codebook; subclasses without a table fall back to per-value
+        :meth:`encode`.
+        """
+        self._require_fitted()
+        return self.codebook()[self.quantize(values)]
 
 
 class LevelEncoder(BaseEncoder):
@@ -101,6 +128,12 @@ class LevelEncoder(BaseEncoder):
     ``ceil(x/2)`` entries of each schedule (equal numbers of 1s and 0s, as
     §II-B requires), yielding Hamming distance ``2*ceil(x/2) ~= x`` from
     the seed and exact orthogonality at ``t = max``.
+
+    Because consecutive flip counts differ by exactly one scheduled bit,
+    the whole family of level vectors is materialised at ``fit`` time with
+    a cumulative XOR over single-bit deltas: ``level_table_[x]`` is the
+    packed vector for flip count ``x``.  ``encode_batch`` then reduces to
+    ``level_table_[quantize(values)]`` — a pure gather.
     """
 
     def __init__(
@@ -132,8 +165,68 @@ class LevelEncoder(BaseEncoder):
         zeros = bit_positions(self.seed_vector_, self.dim, 0)
         self.flip_ones_ = rng.permutation(ones)
         self.flip_zeros_ = rng.permutation(zeros)
+        self.level_table_ = self._build_level_table()
         self._fitted = True
         return self
+
+    @property
+    def n_levels_(self) -> int:
+        """Rows of ``level_table_``: one per reachable flip count."""
+        return int(round(self.dim / 2.0)) + 1
+
+    def _build_level_table(self) -> np.ndarray:
+        """Materialise every level vector as one packed table.
+
+        Flip count ``x`` uses the schedule prefixes ``ones[:x//2]`` and
+        ``zeros[:x//2 + x%2]``, so level ``x`` differs from level ``x-1``
+        by exactly one scheduled bit (``zeros[(x-1)//2]`` for odd ``x``,
+        ``ones[x//2 - 1]`` for even ``x``).  A cumulative XOR over those
+        single-bit deltas therefore reproduces :meth:`encode` exactly at
+        every level without any per-level work.
+        """
+        n_levels = self.n_levels_
+        table = np.zeros((n_levels, n_words(self.dim)), dtype=np.uint64)
+        table[0] = self.seed_vector_
+        if n_levels > 1:
+            x = np.arange(1, n_levels)
+            positions = np.empty(n_levels - 1, dtype=np.int64)
+            odd = x[x % 2 == 1]
+            even = x[x % 2 == 0]
+            positions[odd - 1] = self.flip_zeros_[(odd - 1) // 2]
+            positions[even - 1] = self.flip_ones_[even // 2 - 1]
+            table[x, positions // WORD_BITS] = np.uint64(1) << (
+                positions % WORD_BITS
+            ).astype(np.uint64)
+            table = np.bitwise_xor.accumulate(table, axis=0)
+        return table
+
+    def codebook(self) -> np.ndarray:
+        self._require_fitted()
+        return self.level_table_
+
+    def quantize(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`flip_count`: values → level-table rows."""
+        self._require_fitted()
+        t = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(t)):
+            raise ValueError("LevelEncoder requires finite values; impute first")
+        span = self.max_ - self.min_
+        if span == 0.0:
+            return np.zeros(t.shape, dtype=np.int64)
+        if self.clip:
+            t = np.clip(t, self.min_, self.max_)
+        elif np.any((t < self.min_) | (t > self.max_)):
+            bad = t[(t < self.min_) | (t > self.max_)][0]
+            raise ValueError(
+                f"value {bad} outside fitted range [{self.min_}, {self.max_}] "
+                f"with clip=False"
+            )
+        frac = (t - self.min_) / span
+        if self.levels is not None:
+            frac = np.round(frac * (self.levels - 1)) / (self.levels - 1)
+        # x = k * (t - min) / (2 * (max - min)); round-half-even matches
+        # the scalar path's builtin round().
+        return np.round(self.dim * frac / 2.0).astype(np.int64)
 
     def flip_count(self, value: float) -> int:
         """The paper's ``x`` for ``value``: total bits flipped from the seed."""
@@ -168,33 +261,6 @@ class LevelEncoder(BaseEncoder):
         )
         return flip_bits(self.seed_vector_, self.dim, positions)
 
-    def encode_batch(self, values: Sequence[float]) -> np.ndarray:
-        """Vectorised batch encoding.
-
-        Builds the dense seed once, then toggles each row's prefix of the
-        flip schedules with advanced indexing — no per-bit Python work.
-        """
-        self._require_fitted()
-        values = np.asarray(values, dtype=np.float64)
-        counts = np.array([self.flip_count(v) for v in values], dtype=np.int64)
-        dense_seed = unpack_bits(self.seed_vector_[None, :], self.dim)[0]
-        dense = np.broadcast_to(dense_seed, (values.size, self.dim)).copy()
-        halves = counts // 2
-        odds = counts - 2 * halves
-        max_half = int(halves.max(initial=0))
-        max_zero = int((halves + odds).max(initial=0))
-        rows = np.arange(values.size)[:, None]
-        if max_half:
-            cols = np.broadcast_to(self.flip_ones_[:max_half], (values.size, max_half))
-            mask = np.arange(max_half)[None, :] < halves[:, None]
-            dense[np.broadcast_to(rows, cols.shape)[mask], cols[mask]] ^= 1
-        if max_zero:
-            cols = np.broadcast_to(self.flip_zeros_[:max_zero], (values.size, max_zero))
-            mask = np.arange(max_zero)[None, :] < (halves + odds)[:, None]
-            dense[np.broadcast_to(rows, cols.shape)[mask], cols[mask]] ^= 1
-        return pack_bits(dense, self.dim)
-
-
 class BinaryEncoder(BaseEncoder):
     """Encoder for yes/no features (§II-B, Sylhet).
 
@@ -219,6 +285,7 @@ class BinaryEncoder(BaseEncoder):
         quarter = self.dim // 4
         positions = np.concatenate([ones[:quarter], zeros[: self.dim // 2 - quarter]])
         self.one_vector_ = flip_bits(self.zero_vector_, self.dim, positions)
+        self.codebook_ = np.stack([self.zero_vector_, self.one_vector_])
         self._fitted = True
         return self
 
@@ -229,7 +296,11 @@ class BinaryEncoder(BaseEncoder):
             raise ValueError(f"BinaryEncoder only encodes 0 or 1, got {value!r}")
         return (self.one_vector_ if v else self.zero_vector_).copy()
 
-    def encode_batch(self, values: Sequence) -> np.ndarray:
+    def codebook(self) -> np.ndarray:
+        self._require_fitted()
+        return self.codebook_
+
+    def quantize(self, values: Sequence) -> np.ndarray:
         self._require_fitted()
         values = np.asarray(values)
         as_int = values.astype(np.int64)
@@ -237,8 +308,7 @@ class BinaryEncoder(BaseEncoder):
             raise ValueError("BinaryEncoder received non-integer values")
         if np.any((as_int != 0) & (as_int != 1)):
             raise ValueError("BinaryEncoder only encodes 0 or 1 values")
-        table = np.stack([self.zero_vector_, self.one_vector_])
-        return table[as_int]
+        return as_int
 
 
 class CategoricalEncoder(BaseEncoder):
@@ -263,6 +333,19 @@ class CategoricalEncoder(BaseEncoder):
                 self.table_[key] = exact_half_dense(self.dim, rng)
         if not self.table_:
             raise ValueError("cannot fit CategoricalEncoder on an empty value list")
+        # Cache the packed codebook (insertion order) plus a key → row map
+        # so batch encoding is a gather; when every category is numeric a
+        # sorted key array enables a fully vectorised searchsorted lookup.
+        self.codebook_ = np.stack(list(self.table_.values()))
+        self.index_ = {key: row for row, key in enumerate(self.table_)}
+        if all(isinstance(k, (int, float, bool)) for k in self.table_):
+            keys = np.array([float(k) for k in self.table_], dtype=np.float64)
+            order = np.argsort(keys, kind="stable")
+            self._sorted_keys = keys[order]
+            self._sorted_rows = order.astype(np.int64)
+        else:
+            self._sorted_keys = None
+            self._sorted_rows = None
         self._fitted = True
         return self
 
@@ -286,3 +369,32 @@ class CategoricalEncoder(BaseEncoder):
                 f"unseen category {value!r}; known: {sorted(map(str, self.table_))}"
             )
         return self.table_[key].copy()
+
+    def codebook(self) -> np.ndarray:
+        self._require_fitted()
+        return self.codebook_
+
+    def quantize(self, values: Sequence[Hashable]) -> np.ndarray:
+        self._require_fitted()
+        arr = np.asarray(values)
+        if self._sorted_keys is not None and arr.dtype.kind in "biuf":
+            floats = arr.astype(np.float64)
+            pos = np.searchsorted(self._sorted_keys, floats)
+            pos_clipped = np.minimum(pos, self._sorted_keys.size - 1)
+            hit = self._sorted_keys[pos_clipped] == floats
+            if not np.all(hit):
+                bad = arr[np.flatnonzero(~hit)[0]]
+                raise KeyError(
+                    f"unseen category {bad!r}; known: "
+                    f"{sorted(map(str, self.table_))}"
+                )
+            return self._sorted_rows[pos_clipped]
+        out = np.empty(arr.shape[0], dtype=np.int64)
+        for i, v in enumerate(arr):
+            key = self._key(v)
+            if key not in self.index_:
+                raise KeyError(
+                    f"unseen category {v!r}; known: {sorted(map(str, self.table_))}"
+                )
+            out[i] = self.index_[key]
+        return out

@@ -85,6 +85,25 @@ def unpack_bits(packed: np.ndarray, dim: int) -> np.ndarray:
     return np.unpackbits(bytes_view, axis=-1, bitorder="little", count=dim)
 
 
+def add_bits_into(packed: np.ndarray, dim: int, out: np.ndarray) -> np.ndarray:
+    """Add the unpacked 0/1 bits of ``packed`` into accumulator ``out`` in place.
+
+    ``packed`` has shape ``(..., words)``; ``out`` must be an integer array
+    of shape ``(..., dim)``.  This is the building block of counts-based
+    bundling: one feature's hypervectors are unpacked at a time, so a batch
+    of ``m`` features never materialises an ``(n, m, dim)`` dense tensor.
+    """
+    packed = np.asarray(packed, dtype=np.uint64)
+    if out.shape != packed.shape[:-1] + (dim,):
+        raise ValueError(
+            f"out shape {out.shape} must be {packed.shape[:-1] + (dim,)}"
+        )
+    if not np.issubdtype(out.dtype, np.integer):
+        raise ValueError(f"out must be an integer accumulator, got {out.dtype}")
+    np.add(out, unpack_bits(packed, dim), out=out, casting="unsafe")
+    return out
+
+
 def random_packed(
     shape: Union[int, Sequence[int]],
     dim: int,

@@ -20,6 +20,13 @@ from repro.core.hypervector import Hypervector, n_words
 class ItemMemory:
     """A keyed store of packed hypervectors with nearest-item cleanup.
 
+    The store is a single contiguous packed codebook grown with amortised
+    capacity doubling, so repeated :meth:`store` calls are O(1) amortised
+    (the previous implementation re-stacked the whole table on every
+    insert) and the full table is always available as one gatherable
+    matrix via :attr:`packed_matrix` — the same table protocol the fused
+    record encoder uses for its level/codebook caches.
+
     Parameters
     ----------
     dim:
@@ -41,7 +48,7 @@ class ItemMemory:
         self.dim = dim
         self._keys: List[Hashable] = []
         self._index: dict = {}
-        self._packed = np.empty((0, n_words(dim)), dtype=np.uint64)
+        self._buf = np.empty((0, n_words(dim)), dtype=np.uint64)
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -52,6 +59,28 @@ class ItemMemory:
     @property
     def keys(self) -> List[Hashable]:
         return list(self._keys)
+
+    @property
+    def packed_matrix(self) -> np.ndarray:
+        """Read-only view of the stored codebook, ``(len(self), words)``."""
+        view = self._buf[: len(self._keys)]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def _packed(self) -> np.ndarray:
+        # Writable internal view of the live rows (excludes spare capacity).
+        return self._buf[: len(self._keys)]
+
+    def _reserve(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` more rows, doubling as needed."""
+        need = len(self._keys) + extra
+        if need <= self._buf.shape[0]:
+            return
+        capacity = max(need, 2 * self._buf.shape[0], 8)
+        grown = np.empty((capacity, n_words(self.dim)), dtype=np.uint64)
+        grown[: len(self._keys)] = self._packed
+        self._buf = grown
 
     def _coerce(self, hv) -> np.ndarray:
         if isinstance(hv, Hypervector):
@@ -69,11 +98,12 @@ class ItemMemory:
         """Insert or overwrite the vector stored under ``key``."""
         packed = self._coerce(hv)
         if key in self._index:
-            self._packed[self._index[key]] = packed
+            self._buf[self._index[key]] = packed
             return
+        self._reserve(1)
+        self._buf[len(self._keys)] = packed
         self._index[key] = len(self._keys)
         self._keys.append(key)
-        self._packed = np.vstack([self._packed, packed[None, :]])
 
     def store_batch(self, keys: Sequence[Hashable], packed: np.ndarray) -> None:
         """Bulk insert; much faster than repeated :meth:`store`."""
@@ -82,22 +112,28 @@ class ItemMemory:
             raise ValueError("packed must be (len(keys), words)")
         if packed.shape[1] != n_words(self.dim):
             raise ValueError("word-count mismatch with memory dim")
-        fresh_keys, fresh_rows = [], []
+        self._reserve(len(keys))
         for i, key in enumerate(keys):
             if key in self._index:
-                self._packed[self._index[key]] = packed[i]
+                self._buf[self._index[key]] = packed[i]
             else:
-                self._index[key] = len(self._keys) + len(fresh_keys)
-                fresh_keys.append(key)
-                fresh_rows.append(packed[i])
-        if fresh_keys:
-            self._keys.extend(fresh_keys)
-            self._packed = np.vstack([self._packed, np.stack(fresh_rows)])
+                self._buf[len(self._keys)] = packed[i]
+                self._index[key] = len(self._keys)
+                self._keys.append(key)
 
     def get(self, key: Hashable) -> Hypervector:
         if key not in self._index:
             raise KeyError(f"unknown item {key!r}")
-        return Hypervector(self._packed[self._index[key]].copy(), self.dim)
+        return Hypervector(self._buf[self._index[key]].copy(), self.dim)
+
+    def get_batch(self, keys: Sequence[Hashable]) -> np.ndarray:
+        """Gather the packed vectors for ``keys`` as one ``(k, words)`` batch."""
+        rows = np.empty(len(keys), dtype=np.int64)
+        for i, key in enumerate(keys):
+            if key not in self._index:
+                raise KeyError(f"unknown item {key!r}")
+            rows[i] = self._index[key]
+        return self._packed[rows]
 
     def cleanup(self, query, *, return_distance: bool = True) -> Tuple[Hashable, int]:
         """Return the stored key nearest (Hamming) to ``query``.
@@ -113,6 +149,25 @@ class ItemMemory:
         if return_distance:
             return self._keys[best], int(dists[best])
         return self._keys[best]  # type: ignore[return-value]
+
+    def cleanup_batch(self, queries: np.ndarray) -> Tuple[List[Hashable], np.ndarray]:
+        """Vectorised cleanup of a packed ``(n, words)`` query batch.
+
+        Returns ``(keys, distances)`` where ``keys[i]`` is the nearest
+        stored key to row ``i`` (ties to the earliest-stored key, as in
+        :meth:`cleanup`) and ``distances`` the int64 Hamming distances.
+        """
+        if not self._keys:
+            raise ValueError("cleanup on an empty ItemMemory")
+        queries = np.asarray(queries, dtype=np.uint64)
+        if queries.ndim != 2 or queries.shape[1] != n_words(self.dim):
+            raise ValueError(
+                f"queries must be (n, {n_words(self.dim)}), got {queries.shape}"
+            )
+        dists = pairwise_hamming(queries, self._packed)
+        best = dists.argmin(axis=1)
+        rows = np.arange(queries.shape[0])
+        return [self._keys[int(i)] for i in best], dists[rows, best]
 
     def nearest(self, query, k: int = 1) -> List[Tuple[Hashable, int]]:
         """The ``k`` nearest stored items as ``(key, distance)`` pairs."""

@@ -11,22 +11,49 @@ paper's experiments) use: ``fit`` on a training matrix, then ``transform``
 any matrix into a packed ``(n, words)`` batch — or, via
 ``transform_dense``, into the 0/1 matrix fed to the downstream ML models
 (the "hypervectors as features" hybrid of §II-D).
+
+Fused fast path
+---------------
+``transform`` streams rows through a fused encode→bundle pipeline: each
+column's values are quantised to rows of that column's precomputed packed
+level/codebook table (one advanced-indexing gather, no per-value bit
+flipping), the gathered rows are unpacked one *feature at a time* into a
+per-bit vote-count accumulator (:func:`repro.core.bundling.majority_vote_counts`
+semantics, so the ``(n, m, dim)`` dense tensor is never materialised), and
+the counts are thresholded into packed majority bits.  Row chunks are
+dispatched through :func:`repro.parallel.parallel_map`, governed by the
+``n_jobs`` / ``chunk_rows`` knobs.
+
+``transform_reference`` keeps the original per-row, per-value construction
+(schedule-prefix bit flips, full feature stack, batch majority vote) so the
+two implementations can be diffed bit-for-bit; the differential suite in
+``tests/core/test_fused_encoding.py`` does exactly that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.bundling import majority_vote_batch
+from repro.core.bundling import (
+    majority_from_counts,
+    majority_vote_batch,
+    vote_count_dtype,
+)
 from repro.core.encoding import BaseEncoder, BinaryEncoder, CategoricalEncoder, LevelEncoder
-from repro.core.hypervector import n_words, unpack_bits
+from repro.core.hypervector import add_bits_into, n_words, unpack_bits
+from repro.parallel import chunk_spans, parallel_map
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.validation import check_array, check_positive_int
 
 FEATURE_KINDS = ("linear", "binary", "categorical")
+
+# Distinguishes "argument not passed" from an explicit n_jobs=None (which
+# means: resolve from the environment / cpu count).
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -102,6 +129,16 @@ class RecordEncoder:
         column — exposed for the encoding ablation.  With independently
         seeded encoders the two are statistically equivalent; binding IDs
         matters when feature encoders *share* item memories.
+    n_jobs:
+        Default worker count for chunk dispatch in :meth:`transform`
+        (``1`` = serial; ``None``/``0`` defers to the ``REPRO_WORKERS``
+        environment variable, negative counts are sklearn-style).  The
+        chunks are NumPy-bound and release the GIL, so the thread backend
+        scales without pickling.
+    chunk_rows:
+        Rows per dispatched chunk.  Peak temporary memory per worker is
+        roughly ``chunk_rows * dim`` counts plus one gathered
+        ``chunk_rows x words`` block.
 
     Examples
     --------
@@ -122,12 +159,16 @@ class RecordEncoder:
         seed: SeedLike = 0,
         tie: str = "one",
         bind_ids: bool = False,
+        n_jobs: Optional[int] = 1,
+        chunk_rows: int = 2048,
     ) -> None:
         self.specs = list(specs) if specs is not None else None
         self.dim = check_positive_int(dim, "dim", minimum=2)
         self.seed = seed
         self.tie = tie
         self.bind_ids = bind_ids
+        self.n_jobs = n_jobs
+        self.chunk_rows = check_positive_int(chunk_rows, "chunk_rows", minimum=1)
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -177,13 +218,7 @@ class RecordEncoder:
         Exposed separately so ablations can inspect or re-weight the
         feature layer before bundling.
         """
-        self._check_fitted()
-        X = check_array(X, dtype=np.float64, name="X")
-        if X.shape[1] != len(self.encoders_):
-            raise ValueError(
-                f"X has {X.shape[1]} columns, encoder was fitted with "
-                f"{len(self.encoders_)}"
-            )
+        X = self._check_transform_input(X)
         n = X.shape[0]
         out = np.empty((n, len(self.encoders_), n_words(self.dim)), dtype=np.uint64)
         for j, enc in enumerate(self.encoders_):
@@ -193,9 +228,92 @@ class RecordEncoder:
             out ^= self.id_vectors_[None, :, :]
         return out
 
-    def transform(self, X: np.ndarray) -> np.ndarray:
-        """Bundled record hypervectors, packed ``(n, words)``."""
-        feats = self.encode_features(X)
+    def _check_transform_input(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X, dtype=np.float64, name="X")
+        if X.shape[1] != len(self.encoders_):
+            raise ValueError(
+                f"X has {X.shape[1]} columns, encoder was fitted with "
+                f"{len(self.encoders_)}"
+            )
+        return X
+
+    def _count_chunk(self, X: np.ndarray, span: Tuple[int, int]) -> np.ndarray:
+        """Per-bit vote counts for one row chunk, ``(stop-start, dim)``.
+
+        The fused inner loop: quantise → gather codebook rows → accumulate
+        unpacked bits, one feature at a time.
+        """
+        start, stop = span
+        counts = np.zeros(
+            (stop - start, self.dim), dtype=vote_count_dtype(len(self.encoders_))
+        )
+        for j, enc in enumerate(self.encoders_):
+            rows = enc.codebook()[enc.quantize(X[start:stop, j])]
+            if self.bind_ids:
+                rows ^= self.id_vectors_[j]
+            add_bits_into(rows, self.dim, counts)
+        return counts
+
+    def _bundle_chunk(self, X: np.ndarray, span: Tuple[int, int]) -> np.ndarray:
+        """Packed majority bundle for one row chunk (tie rules without RNG)."""
+        counts = self._count_chunk(X, span)
+        return majority_from_counts(
+            counts, len(self.encoders_), self.dim, tie=self.tie
+        )
+
+    def transform(
+        self,
+        X: np.ndarray,
+        *,
+        n_jobs: Optional[int] = _UNSET,  # type: ignore[assignment]
+        chunk_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Bundled record hypervectors, packed ``(n, words)``.
+
+        Runs the fused encode→bundle fast path in row chunks; ``n_jobs``
+        and ``chunk_rows`` override the constructor defaults for this call.
+        Output is bit-identical to :meth:`transform_reference` regardless
+        of chunking or worker count.
+        """
+        X = self._check_transform_input(X)
+        n_jobs = self.n_jobs if n_jobs is _UNSET else n_jobs
+        chunk = chunk_rows if chunk_rows is not None else self.chunk_rows
+        spans = chunk_spans(X.shape[0], chunk)
+        if not spans:
+            return np.zeros((0, n_words(self.dim)), dtype=np.uint64)
+        if self.tie == "random":
+            # The random tie rule consumes one RNG stream over the whole
+            # batch (row-major), so counts are assembled first and the tie
+            # is broken globally — keeping the output independent of
+            # chunking and identical to the reference path.
+            blocks = parallel_map(
+                partial(self._count_chunk, X), spans, n_jobs=n_jobs
+            )
+            counts = np.concatenate(blocks, axis=0)
+            return majority_from_counts(
+                counts, len(self.encoders_), self.dim, tie=self.tie, seed=self.seed
+            )
+        blocks = parallel_map(partial(self._bundle_chunk, X), spans, n_jobs=n_jobs)
+        return np.concatenate(blocks, axis=0)
+
+    def transform_reference(self, X: np.ndarray) -> np.ndarray:
+        """The pre-fusion per-row path, kept as a bit-exact oracle.
+
+        Encodes every value from scratch (per-value schedule-prefix bit
+        flips, no cached tables), stacks the full ``(n, m, words)`` feature
+        tensor and majority-votes it in one batch — exactly the original
+        implementation.  Slow by design; used by the differential tests
+        and benchmarks.
+        """
+        X = self._check_transform_input(X)
+        n, m = X.shape[0], len(self.encoders_)
+        feats = np.empty((n, m, n_words(self.dim)), dtype=np.uint64)
+        for i in range(n):
+            for j, enc in enumerate(self.encoders_):
+                feats[i, j] = enc.encode(X[i, j])
+        if self.bind_ids:
+            feats ^= self.id_vectors_[None, :, :]
         return majority_vote_batch(feats, self.dim, tie=self.tie, seed=self.seed)
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:

@@ -15,12 +15,18 @@ is the default: the hot loops here (XOR + popcount, histogram scans) are
 NumPy calls on large arrays and scale across threads without pickling.
 """
 
-from repro.parallel.pool import parallel_map, effective_workers, WorkerConfig
+from repro.parallel.pool import (
+    parallel_map,
+    effective_workers,
+    resolve_config,
+    WorkerConfig,
+)
 from repro.parallel.chunking import iter_chunks, chunk_spans, chunked_pairwise
 
 __all__ = [
     "parallel_map",
     "effective_workers",
+    "resolve_config",
     "WorkerConfig",
     "iter_chunks",
     "chunk_spans",

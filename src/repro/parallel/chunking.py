@@ -9,11 +9,23 @@ blocks can be dispatched through :func:`repro.parallel.pool.parallel_map`.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.parallel.pool import parallel_map
+
+
+def _kernel_span(
+    kernel: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    A: np.ndarray,
+    B: np.ndarray,
+    span: Tuple[int, int],
+) -> np.ndarray:
+    # Top-level dispatch target: picklable (given a picklable kernel) so the
+    # REPRO_BACKEND=processes override round-trips through parallel_map.
+    return kernel(A[span[0]:span[1]], B)
 
 
 def chunk_spans(n: int, chunk: int) -> List[Tuple[int, int]]:
@@ -72,9 +84,7 @@ def chunked_pairwise(
     if not spans:
         return np.zeros((0, B.shape[0]), dtype=out_dtype or np.float64)
 
-    blocks = parallel_map(
-        lambda span: kernel(A[span[0]:span[1]], B), spans, n_jobs=n_jobs
-    )
+    blocks = parallel_map(partial(_kernel_span, kernel, A, B), spans, n_jobs=n_jobs)
     first = blocks[0]
     if first.shape != (spans[0][1] - spans[0][0], B.shape[0]):
         raise ValueError(

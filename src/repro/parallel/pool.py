@@ -64,7 +64,17 @@ def effective_workers(n_jobs: Optional[int] = None) -> int:
 
 
 def resolve_config(n_jobs: Optional[int] = None, backend: Optional[str] = None) -> WorkerConfig:
-    """Combine explicit arguments with environment defaults."""
+    """Combine explicit arguments with environment defaults.
+
+    This is the *single* resolution point for parallel execution: every
+    dispatcher (``parallel_map``, and through it ``pairwise_hamming``,
+    ``chunked_pairwise`` and ``RecordEncoder.transform``) funnels its
+    ``n_jobs``/``backend`` request through here, so an explicit argument, a
+    ``None`` (= consult ``REPRO_WORKERS`` / ``REPRO_BACKEND``) and the
+    documented env overrides all round-trip identically.  Invalid env
+    values raise immediately (``ValueError``) rather than being silently
+    ignored.
+    """
     resolved_backend = backend or os.environ.get("REPRO_BACKEND", "threads")
     return WorkerConfig(workers=effective_workers(n_jobs), backend=resolved_backend)
 

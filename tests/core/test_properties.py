@@ -5,16 +5,30 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.bundling import majority_dense, majority_vote
+from repro.core.bundling import (
+    majority_dense,
+    majority_from_counts,
+    majority_vote,
+    majority_vote_counts,
+)
 from repro.core.distance import pairwise_hamming
 from repro.core.encoding import LevelEncoder
 from repro.core.hypervector import (
     Hypervector,
+    n_words,
     pack_bits,
     popcount,
+    random_packed,
+    tail_mask,
     unpack_bits,
     xor_packed,
 )
+
+
+def _padding_is_zero(packed: np.ndarray, dim: int) -> bool:
+    """The trailing bits of the last word must always be zero."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    return not np.any(packed[..., -1] & ~tail_mask(dim))
 
 DIMS = st.integers(min_value=1, max_value=300)
 
@@ -145,6 +159,85 @@ class TestLevelEncoderProperties:
         a = Hypervector(enc.encode(0.0), dim)
         b = Hypervector(enc.encode(1.0), dim)
         assert a.hamming(b) == round(dim * 0.5 / 2) * 2 or a.hamming(b) == dim // 2
+
+    @given(
+        dim=st.integers(8, 400),
+        seed=st.integers(0, 200),
+        t=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distance_to_min_seed_exactly_linear(self, dim, seed, t):
+        """d(enc(min), enc(t)) equals the paper's flip count *exactly*:
+        the schedules toggle distinct bits, so Hamming distance to the
+        min-value seed grows linearly in x(t), landing at ~k/2 for max."""
+        enc = LevelEncoder(dim=dim, seed=seed).fit([0.0, 1.0])
+        x = int(enc.quantize([t])[0])
+        seed_hv = Hypervector(enc.seed_vector_, dim)
+        enc_hv = Hypervector(enc.encode_batch([t])[0], dim)
+        assert seed_hv.hamming(enc_hv) == x
+        # max lands at flip count round(k/2), i.e. Hamming k/2 up to rounding
+        assert int(enc.quantize([1.0])[0]) == int(round(dim / 2.0))
+
+    @given(dim=st.integers(8, 400), seed=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_level_table_rows_monotone_from_seed(self, dim, seed):
+        """Row x of the cached level table is at distance exactly x from
+        the seed row — the nested-family construction, table-wide."""
+        enc = LevelEncoder(dim=dim, seed=seed).fit([0.0, 1.0])
+        dists = popcount(xor_packed(enc.level_table_, enc.level_table_[0]))
+        assert np.array_equal(dists, np.arange(enc.n_levels_))
+
+
+class TestFusedPaddingInvariant:
+    """dim % 64 != 0: trailing word bits stay zero through every stage."""
+
+    @given(dim=st.integers(2, 300), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_level_table_padding(self, dim, seed):
+        enc = LevelEncoder(dim=dim, seed=seed).fit([0.0, 1.0])
+        assert _padding_is_zero(enc.level_table_, dim)
+
+    @given(
+        dim=st.integers(2, 300),
+        seed=st.integers(0, 100),
+        rows=st.integers(1, 6),
+        m=st.integers(1, 7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_and_bundle_padding(self, dim, seed, rows, m):
+        stack = random_packed((rows, m), dim, seed=seed)
+        assert _padding_is_zero(stack, dim)
+        counts = majority_vote_counts(stack, dim)
+        # counts live in bit space (n, dim): bounded by the voter count,
+        # and consistent with the padding (no phantom votes).
+        assert counts.shape == (rows, dim)
+        assert counts.min() >= 0 and counts.max() <= m
+        for tie in ("one", "zero"):
+            bundled = majority_from_counts(counts, m, dim, tie=tie)
+            assert _padding_is_zero(bundled, dim)
+
+    @given(dim=st.integers(2, 300), seed=st.integers(0, 100), n=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_encode_batch_padding(self, dim, seed, n):
+        enc = LevelEncoder(dim=dim, seed=seed).fit([0.0, 1.0])
+        values = np.linspace(0.0, 1.0, n)
+        assert _padding_is_zero(enc.encode_batch(values), dim)
+
+    @given(dim=st.integers(2, 300), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_tie_one_does_not_set_padding(self, dim, seed):
+        """tie="one" flips tied bits to 1 — but only *valid* bits: an even
+        all-ones/all-zeros split must still leave the padding zeroed."""
+        stack = random_packed((3, 2), dim, seed=seed)
+        stack[:, 1, :] = np.bitwise_xor(
+            stack[:, 0, :], np.uint64(0xFFFFFFFFFFFFFFFF)
+        )
+        stack[:, 1, -1] &= tail_mask(dim)  # restore the invariant on input
+        counts = majority_vote_counts(stack, dim)
+        bundled = majority_from_counts(counts, 2, dim, tie="one")
+        assert _padding_is_zero(bundled, dim)
+        # every valid bit is tied, so tie="one" must produce all-ones
+        assert np.all(unpack_bits(bundled, dim) == 1)
 
     @given(
         dim=st.integers(32, 512),

@@ -1,0 +1,110 @@
+"""Golden regression tests for the seeded paper-table numbers.
+
+The fused-encoding fast path (and any future encoder refactor) must not
+shift the paper-table results: the record hypervectors are a deterministic
+function of (data seed, encoder seed, dim), so both the packed bits and
+the downstream 1-NN leave-one-out accuracies are pinned here as exact
+checked-in golden values, computed at the ``ExperimentConfig.fast``
+preset (dim=1024, seed=7, data_seed=2023).
+
+If one of these assertions fires, an encoder change silently altered the
+encoding semantics.  Either the change is a bug, or it is an intentional
+semantic change — in which case regenerate the goldens with::
+
+    PYTHONPATH=src python tests/eval/test_paper_tables_golden.py
+
+and justify the new numbers in the commit message.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as xp
+from repro.eval.crossval import leave_one_out_hamming
+
+# dataset -> (sha256 of the packed record-hypervector matrix,
+#             Hamming 1-NN leave-one-out accuracy)
+GOLDEN = {
+    "pima_r": (
+        "5bee14d722781afe112d2136f5c6f31741cbc5483f2388f9ed088e8d9b0b07b9",
+        0.7091836734693877,
+    ),
+    "pima_m": (
+        "234d9d8a6e2804f83993b1302c69bf286448d8ce51f8911372af74de0cb9f958",
+        0.8333333333333334,
+    ),
+    "sylhet": (
+        "0f69f34eb646a7a1f5d928e87fcf1a0879c5a0009734ce61d636935f08c6cabb",
+        0.8826923076923077,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return xp.ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def datasets(config):
+    return xp.default_datasets(config)
+
+
+@pytest.fixture(scope="module")
+def encoded(config, datasets):
+    return {
+        name: xp.encode_dataset(datasets[name], config) for name in GOLDEN
+    }
+
+
+class TestGoldenPaperTables:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_packed_bits_unchanged(self, name, encoded):
+        packed, _, _ = encoded[name]
+        digest = hashlib.sha256(np.ascontiguousarray(packed).tobytes()).hexdigest()
+        assert digest == GOLDEN[name][0], (
+            f"{name}: record hypervector bits changed — encoder semantics "
+            f"shifted (got sha256 {digest})"
+        )
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_loo_accuracy_unchanged(self, name, encoded, datasets):
+        packed, _, _ = encoded[name]
+        acc = leave_one_out_hamming(packed, datasets[name].y).accuracy
+        assert acc == pytest.approx(GOLDEN[name][1], abs=1e-12), (
+            f"{name}: 1-NN LOO accuracy moved from the golden value"
+        )
+
+    def test_fused_and_reference_agree_on_paper_data(self, config, datasets):
+        """End-to-end differential check on real paper-shaped data."""
+        ds = datasets["pima_r"]
+        from repro.core.records import RecordEncoder
+        from repro.utils.rng import derive_seed
+
+        enc = RecordEncoder(
+            specs=ds.specs,
+            dim=config.dim,
+            seed=derive_seed(config.seed, "encode", ds.name),
+        ).fit(ds.X)
+        sample = ds.X[:64]
+        assert np.array_equal(
+            enc.transform(sample), enc.transform_reference(sample)
+        )
+
+
+def _regenerate() -> None:
+    config = xp.ExperimentConfig.fast()
+    datasets = xp.default_datasets(config)
+    print("GOLDEN = {")
+    for name in sorted(GOLDEN):
+        packed, _, _ = xp.encode_dataset(datasets[name], config)
+        digest = hashlib.sha256(np.ascontiguousarray(packed).tobytes()).hexdigest()
+        acc = leave_one_out_hamming(packed, datasets[name].y).accuracy
+        print(f'    "{name}": (\n        "{digest}",\n        {acc!r},\n    ),')
+    print("}")
+
+
+if __name__ == "__main__":
+    _regenerate()
