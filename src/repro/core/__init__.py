@@ -18,10 +18,21 @@ from repro.core.hypervector import (
 )
 from repro.core.distance import (
     hamming_rowwise,
+    hamming_block,
     pairwise_hamming,
     normalized_pairwise_hamming,
     pairwise_distance,
     available_metrics,
+)
+from repro.core.search import (
+    HDIndex,
+    topk_hamming,
+    topk_hamming_reference,
+    argmin_hamming,
+    loo_topk_hamming,
+    loo_topk_hamming_reference,
+    topk_rows,
+    vote_counts,
 )
 from repro.core.encoding import (
     LevelEncoder,
@@ -61,7 +72,16 @@ __all__ = [
     "flip_bits",
     "n_words",
     "hamming_rowwise",
+    "hamming_block",
     "pairwise_hamming",
+    "HDIndex",
+    "topk_hamming",
+    "topk_hamming_reference",
+    "argmin_hamming",
+    "loo_topk_hamming",
+    "loo_topk_hamming_reference",
+    "topk_rows",
+    "vote_counts",
     "normalized_pairwise_hamming",
     "pairwise_distance",
     "available_metrics",

@@ -17,19 +17,24 @@ Both accept either packed ``(n, words)`` uint64 batches (native) or dense
 the ML models.
 
 Leave-one-out evaluation (the paper's validation for this model) lives in
-:func:`repro.eval.crossval.leave_one_out_hamming`, which computes a single
-pairwise distance matrix instead of refitting n times — the algorithmic
-advantage §II-C highlights ("once the hypervectors are constructed there's
-no model that needs to be built").
+:func:`repro.eval.crossval.leave_one_out_hamming`, which streams the
+symmetric distance computation tile-by-tile instead of refitting n times —
+the algorithmic advantage §II-C highlights ("once the hypervectors are
+constructed there's no model that needs to be built").  Inference here
+likewise streams through :mod:`repro.core.search`, so neither path ever
+materialises a full distance matrix.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.core.bundling import majority_vote
 from repro.core.distance import pairwise_distance, pairwise_hamming
 from repro.core.hypervector import n_words, pack_bits
+from repro.core.search import argmin_hamming, topk_hamming, topk_rows, vote_counts
 from repro.ml.base import BaseEstimator, ClassifierMixin
 from repro.utils.validation import check_positive_int, column_or_1d
 
@@ -70,7 +75,25 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         Distance metric name (see ``repro.core.distance.available_metrics``);
         the paper uses ``"hamming"``.
     block_rows:
-        Row blocking for the pairwise kernel (memory bound).
+        Query-tile rows for the streaming engine (and row blocking for the
+        dense fallback kernel) — a memory bound, never a semantics knob.
+    tile_cols:
+        Candidate-tile columns for the streaming engine.
+    n_jobs:
+        Workers for query-tile dispatch (``None``/0 defers to
+        ``REPRO_WORKERS`` / ``REPRO_BACKEND``).
+
+    Notes
+    -----
+    With ``metric="hamming"`` (the paper's setting) prediction streams
+    through :func:`repro.core.search.topk_hamming` and never materialises
+    the ``(m, n_train)`` distance matrix.  Other metrics fall back to the
+    dense matrix but select neighbours with ``np.argpartition`` + an
+    in-slice stable sort rather than a full row sort.  All paths resolve
+    distance ties to the lowest training-row index (the order of
+    ``np.argsort(kind="stable")``) and are pinned bit-identical to
+    :meth:`predict_reference` / :meth:`predict_proba_reference` by
+    ``tests/core/test_search.py``.
     """
 
     def __init__(
@@ -79,11 +102,15 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         n_neighbors: int = 1,
         metric: str = "hamming",
         block_rows: int = 64,
+        tile_cols: int = 1024,
+        n_jobs: Optional[int] = 1,
     ) -> None:
         self.dim = check_positive_int(dim, "dim", minimum=2)
         self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
         self.metric = metric
         self.block_rows = check_positive_int(block_rows, "block_rows")
+        self.tile_cols = check_positive_int(tile_cols, "tile_cols")
+        self.n_jobs = n_jobs
 
     def fit(self, X, y) -> "HammingClassifier":
         """Store the training hypervectors; no optimisation happens."""
@@ -108,26 +135,77 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         packed = coerce_packed(X, self.dim)
         return pairwise_distance(packed, self.X_train_, dim=self.dim, metric=self.metric)
 
-    def predict(self, X) -> np.ndarray:
-        dists = self.decision_distances(X)
-        if self.n_neighbors == 1:
-            idx = np.argmin(dists, axis=1)
-            return self._decode_labels(self.y_train_[idx])
-        order = np.argsort(dists, axis=1, kind="stable")[:, : self.n_neighbors]
-        votes = self.y_train_[order]
-        counts = np.apply_along_axis(
-            np.bincount, 1, votes, minlength=self.classes_.size
+    def _neighbors(self, X) -> np.ndarray:
+        """Indices of the ``n_neighbors`` nearest training rows per query.
+
+        Streams through the top-k engine for Hamming; other metrics use
+        the dense matrix with partition-based selection.  Either way each
+        row is ascending by ``(distance, train index)``.
+        """
+        self._check_fitted("X_train_")
+        packed = coerce_packed(X, self.dim)
+        k = self.n_neighbors
+        if self.metric == "hamming":
+            _, idx = topk_hamming(
+                packed,
+                self.X_train_,
+                k,
+                tile_rows=self.block_rows,
+                tile_cols=self.tile_cols,
+                n_jobs=self.n_jobs,
+            )
+            return idx
+        dists = pairwise_distance(
+            packed, self.X_train_, dim=self.dim, metric=self.metric
         )
+        _, idx = topk_rows(dists, min(k, dists.shape[1]))
+        return idx
+
+    def predict(self, X) -> np.ndarray:
+        if self.n_neighbors == 1:
+            if self.metric == "hamming":
+                self._check_fitted("X_train_")
+                packed = coerce_packed(X, self.dim)
+                _, idx = argmin_hamming(
+                    packed,
+                    self.X_train_,
+                    tile_rows=self.block_rows,
+                    tile_cols=self.tile_cols,
+                    n_jobs=self.n_jobs,
+                )
+            else:
+                idx = np.argmin(self.decision_distances(X), axis=1)
+            return self._decode_labels(self.y_train_[idx])
+        votes = self.y_train_[self._neighbors(X)]
+        counts = vote_counts(votes, self.classes_.size)
         return self._decode_labels(np.argmax(counts, axis=1))
 
     def predict_proba(self, X) -> np.ndarray:
         """Neighbour-vote class frequencies (soft output for the grid)."""
+        votes = self.y_train_[self._neighbors(X)]
+        counts = vote_counts(votes, self.classes_.size).astype(np.float64)
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def predict_reference(self, X) -> np.ndarray:
+        """Dense-matrix reference prediction (full stable sort).
+
+        Semantics oracle for the streaming path; materialises the whole
+        ``(m, n_train)`` matrix, so use only at test scale.
+        """
+        dists = self.decision_distances(X)
+        if self.n_neighbors == 1:
+            return self._decode_labels(self.y_train_[np.argmin(dists, axis=1)])
+        order = np.argsort(dists, axis=1, kind="stable")[:, : self.n_neighbors]
+        counts = vote_counts(self.y_train_[order], self.classes_.size)
+        return self._decode_labels(np.argmax(counts, axis=1))
+
+    def predict_proba_reference(self, X) -> np.ndarray:
+        """Dense-matrix reference for :meth:`predict_proba`."""
         dists = self.decision_distances(X)
         order = np.argsort(dists, axis=1, kind="stable")[:, : self.n_neighbors]
-        votes = self.y_train_[order]
-        counts = np.apply_along_axis(
-            np.bincount, 1, votes, minlength=self.classes_.size
-        ).astype(np.float64)
+        counts = vote_counts(self.y_train_[order], self.classes_.size).astype(
+            np.float64
+        )
         return counts / counts.sum(axis=1, keepdims=True)
 
 
@@ -160,8 +238,8 @@ class PrototypeClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         self._check_fitted("prototypes_")
         packed = coerce_packed(X, self.dim)
-        dists = pairwise_hamming(packed, self.prototypes_)
-        return self._decode_labels(np.argmin(dists, axis=1))
+        _, idx = argmin_hamming(packed, self.prototypes_)
+        return self._decode_labels(idx)
 
     def predict_proba(self, X) -> np.ndarray:
         """Softmax over negative normalised distances (monotone surrogate)."""

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.distance import pairwise_hamming
 from repro.core.hypervector import Hypervector, n_words
+from repro.core.search import argmin_hamming, topk_hamming
 
 
 class ItemMemory:
@@ -144,15 +145,16 @@ class ItemMemory:
         if not self._keys:
             raise ValueError("cleanup on an empty ItemMemory")
         packed = self._coerce(query)
-        dists = pairwise_hamming(packed[None, :], self._packed)[0]
-        best = int(np.argmin(dists))
+        dist, best = argmin_hamming(packed[None, :], self._packed)
         if return_distance:
-            return self._keys[best], int(dists[best])
-        return self._keys[best]  # type: ignore[return-value]
+            return self._keys[int(best[0])], int(dist[0])
+        return self._keys[int(best[0])]  # type: ignore[return-value]
 
     def cleanup_batch(self, queries: np.ndarray) -> Tuple[List[Hashable], np.ndarray]:
         """Vectorised cleanup of a packed ``(n, words)`` query batch.
 
+        Streams through :func:`repro.core.search.argmin_hamming`, so the
+        full ``(n, len(self))`` distance matrix is never materialised.
         Returns ``(keys, distances)`` where ``keys[i]`` is the nearest
         stored key to row ``i`` (ties to the earliest-stored key, as in
         :meth:`cleanup`) and ``distances`` the int64 Hamming distances.
@@ -164,22 +166,26 @@ class ItemMemory:
             raise ValueError(
                 f"queries must be (n, {n_words(self.dim)}), got {queries.shape}"
             )
-        dists = pairwise_hamming(queries, self._packed)
-        best = dists.argmin(axis=1)
-        rows = np.arange(queries.shape[0])
-        return [self._keys[int(i)] for i in best], dists[rows, best]
+        dists, best = argmin_hamming(queries, self._packed)
+        return [self._keys[int(i)] for i in best], dists
 
     def nearest(self, query, k: int = 1) -> List[Tuple[Hashable, int]]:
-        """The ``k`` nearest stored items as ``(key, distance)`` pairs."""
+        """The ``k`` nearest stored items as ``(key, distance)`` pairs.
+
+        Selection uses the streaming top-k engine (``np.argpartition``
+        merges, no full sort); ties resolve to the earliest-stored key
+        and results are ascending by ``(distance, insertion order)`` —
+        the same order a stable full sort would produce.
+        """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if not self._keys:
             raise ValueError("nearest on an empty ItemMemory")
         packed = self._coerce(query)
-        dists = pairwise_hamming(packed[None, :], self._packed)[0]
-        k = min(k, len(self._keys))
-        order = np.argsort(dists, kind="stable")[:k]
-        return [(self._keys[int(i)], int(dists[int(i)])) for i in order]
+        dists, idx = topk_hamming(packed[None, :], self._packed, k)
+        return [
+            (self._keys[int(i)], int(d)) for i, d in zip(idx[0], dists[0])
+        ]
 
     def distances(self, query) -> np.ndarray:
         """Hamming distance from ``query`` to every stored item, in key order."""

@@ -1,10 +1,11 @@
 """Cross-validation and splitting (S12) — the paper's three protocols.
 
 * **Leave-one-out** for the pure Hamming model (§II-C): implemented
-  *without* n refits — one pairwise distance matrix, diagonal masked,
-  nearest-neighbour argmin per row.  This is the paper's point about HDC's
-  algorithmic advantage, and it makes LOOCV on 392-768 patients take
-  milliseconds.
+  *without* n refits — streamed through the triangular top-k engine
+  (:func:`repro.core.search.loo_topk_hamming`), which computes each
+  symmetric tile once and never materialises the ``n x n`` matrix.  This
+  is the paper's point about HDC's algorithmic advantage: LOOCV on
+  392-768 patients takes milliseconds, and memory stays O(tile) at any n.
 * **(Stratified) k-fold** for the ML grid (§III-A, 10-fold).
 * **70/15/15 train/val/test split** for the Sequential NN (§II-D) and
   **90/10 split** for Tables IV/V.
@@ -17,7 +18,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.distance import pairwise_hamming
+from repro.core.search import loo_topk_hamming, loo_topk_hamming_reference, vote_counts
 from repro.eval.metrics import classification_report
 from repro.ml.base import clone
 from repro.parallel import parallel_map
@@ -236,6 +237,31 @@ class LOOResult:
         return self.report["accuracy"]
 
 
+def _loo_validate(packed: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y = column_or_1d(y)
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.shape[0] != y.shape[0]:
+        raise ValueError("packed and y length mismatch")
+    if packed.shape[0] < 2:
+        raise ValueError("leave-one-out needs at least 2 records")
+    return packed, y
+
+
+def _loo_result(
+    neighbors: np.ndarray, y: np.ndarray, positive
+) -> LOOResult:
+    """Map an ``(n, k)`` non-self neighbour matrix to voted predictions."""
+    classes, y_idx = np.unique(y, return_inverse=True)
+    if neighbors.shape[1] == 1:
+        pred_idx = y_idx[neighbors[:, 0]]
+    else:
+        counts = vote_counts(y_idx[neighbors], classes.size)
+        pred_idx = np.argmax(counts, axis=1)
+    y_pred = classes[pred_idx]
+    report = classification_report(y, y_pred, positive=positive)
+    return LOOResult(y_true=y.copy(), y_pred=y_pred, report=report)
+
+
 def leave_one_out_hamming(
     packed: np.ndarray,
     y: np.ndarray,
@@ -243,31 +269,42 @@ def leave_one_out_hamming(
     n_neighbors: int = 1,
     positive=1,
     block_rows: int = 128,
+    n_jobs: Optional[int] = 1,
 ) -> LOOResult:
     """§II-C's validation: each record classified by its nearest *other* record.
 
-    One ``n x n`` packed-Hamming matrix; the diagonal (self-distance 0) is
-    masked to +inf; ``argmin`` per row is the predicted neighbour.  With
-    ``n_neighbors > 1`` the k nearest non-self records vote.
+    Streams through :func:`repro.core.search.loo_topk_hamming`: only
+    upper-triangle tiles are computed (each block serves both its row and
+    column tile), the diagonal is masked with an int64 sentinel, and no
+    ``n x n`` matrix is ever materialised — peak memory is the tile blocks
+    in flight plus the ``(n, k)`` running top-k state.  With
+    ``n_neighbors > 1`` the k nearest non-self records vote.  Predictions
+    are bit-identical to :func:`leave_one_out_hamming_reference` (ties to
+    the lowest record index); ``block_rows``/``n_jobs`` only change the
+    tile geometry and dispatch, never the result.
     """
-    y = column_or_1d(y)
-    packed = np.asarray(packed, dtype=np.uint64)
-    if packed.shape[0] != y.shape[0]:
-        raise ValueError("packed and y length mismatch")
-    if packed.shape[0] < 2:
-        raise ValueError("leave-one-out needs at least 2 records")
-    n = packed.shape[0]
-    D = pairwise_hamming(packed, block_rows=block_rows).astype(np.float64)
-    np.fill_diagonal(D, np.inf)
-    classes, y_idx = np.unique(y, return_inverse=True)
-    if n_neighbors == 1:
-        pred_idx = y_idx[np.argmin(D, axis=1)]
-    else:
-        k = min(n_neighbors, n - 1)
-        order = np.argsort(D, axis=1, kind="stable")[:, :k]
-        votes = y_idx[order]
-        counts = np.apply_along_axis(np.bincount, 1, votes, minlength=classes.size)
-        pred_idx = np.argmax(counts, axis=1)
-    y_pred = classes[pred_idx]
-    report = classification_report(y, y_pred, positive=positive)
-    return LOOResult(y_true=y.copy(), y_pred=y_pred, report=report)
+    packed, y = _loo_validate(packed, y)
+    k = min(n_neighbors, packed.shape[0] - 1)
+    _, neighbors = loo_topk_hamming(packed, k, tile=block_rows, n_jobs=n_jobs)
+    return _loo_result(neighbors, y, positive)
+
+
+def leave_one_out_hamming_reference(
+    packed: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_neighbors: int = 1,
+    positive=1,
+    block_rows: int = 128,
+) -> LOOResult:
+    """Dense-matrix reference for :func:`leave_one_out_hamming`.
+
+    One full ``n x n`` int64 matrix with the diagonal masked by the int64
+    sentinel ``64 * words + 1`` (no float upcast — the previous float64
+    masking doubled peak memory just to write ``np.inf``), then a stable
+    full sort per row.  Kept as the differential-test oracle.
+    """
+    packed, y = _loo_validate(packed, y)
+    k = min(n_neighbors, packed.shape[0] - 1)
+    _, neighbors = loo_topk_hamming_reference(packed, k, block_rows=block_rows)
+    return _loo_result(neighbors, y, positive)

@@ -69,6 +69,10 @@ class ExperimentConfig:
         boosted runs tractable on one core while preserving ranking.
     test_size:
         Held-out fraction for Tables IV/V (paper: 10%).
+    loo_n_jobs:
+        Worker count for the streaming leave-one-out search engine
+        (``None`` defers to ``REPRO_WORKERS``; results are identical for
+        any value — the engine's merge order is deterministic).
     """
 
     dim: int = 10_000
@@ -83,6 +87,7 @@ class ExperimentConfig:
     test_size: float = 0.10
     sgd_max_iter: int = 60
     svc_max_iter: int = 60
+    loo_n_jobs: Optional[int] = None
 
     @staticmethod
     def paper() -> "ExperimentConfig":
@@ -205,7 +210,7 @@ def run_table2(
     out: Dict[str, Dict[str, float]] = {}
     for name, ds in datasets.items():
         packed, dense, _ = encode_dataset(ds, config)
-        loo = leave_one_out_hamming(packed, ds.y)
+        loo = leave_one_out_hamming(packed, ds.y, n_jobs=config.loo_n_jobs)
         # The paper's NN does "little preprocessing of data": raw features
         # go in unscaled (which is what caps its Pima accuracy at ~71%
         # and gives hypervectors their +8-point headroom).  Hypervector
@@ -344,7 +349,7 @@ def run_table45(
             reports[rep_name] = classification_report(y_te, pred)
         out[model_name] = reports
     if include_hamming:
-        loo = leave_one_out_hamming(packed, ds.y)
+        loo = leave_one_out_hamming(packed, ds.y, n_jobs=config.loo_n_jobs)
         out["Hamming"] = {"hypervectors": loo.report}
     return out
 
@@ -428,7 +433,7 @@ def run_dimension_ablation(
     for dim in dims:
         cfg = replace(config, dim=dim)
         packed, _, _ = encode_dataset(ds, cfg)
-        out[dim] = leave_one_out_hamming(packed, ds.y).accuracy
+        out[dim] = leave_one_out_hamming(packed, ds.y, n_jobs=cfg.loo_n_jobs).accuracy
     return out
 
 
@@ -459,13 +464,13 @@ def run_encoding_ablation(
             tie=tie,
         ).fit(ds.X)
         packed = enc.transform(ds.X)
-        out[f"tie={tie}"] = leave_one_out_hamming(packed, ds.y).accuracy
+        out[f"tie={tie}"] = leave_one_out_hamming(packed, ds.y, n_jobs=config.loo_n_jobs).accuracy
 
     quant_specs = [replace_levels(s, 16) for s in ds.specs]
     enc = RecordEncoder(
         specs=quant_specs, dim=config.dim, seed=derive_seed(config.seed, "ablate-q", ds.name)
     ).fit(ds.X)
-    out["levels=16"] = leave_one_out_hamming(enc.transform(ds.X), ds.y).accuracy
+    out["levels=16"] = leave_one_out_hamming(enc.transform(ds.X), ds.y, n_jobs=config.loo_n_jobs).accuracy
 
     enc = RecordEncoder(
         specs=ds.specs,
@@ -473,7 +478,7 @@ def run_encoding_ablation(
         seed=derive_seed(config.seed, "ablate-bind", ds.name),
         bind_ids=True,
     ).fit(ds.X)
-    out["bind_ids"] = leave_one_out_hamming(enc.transform(ds.X), ds.y).accuracy
+    out["bind_ids"] = leave_one_out_hamming(enc.transform(ds.X), ds.y, n_jobs=config.loo_n_jobs).accuracy
 
     enc = RecordEncoder(
         specs=ds.specs, dim=config.dim, seed=derive_seed(config.seed, "encode", ds.name)

@@ -21,7 +21,7 @@ from repro.parallel.pool import (
     resolve_config,
     WorkerConfig,
 )
-from repro.parallel.chunking import iter_chunks, chunk_spans, chunked_pairwise
+from repro.parallel.chunking import iter_chunks, chunk_spans, tile_spans, chunked_pairwise
 
 __all__ = [
     "parallel_map",
@@ -30,5 +30,6 @@ __all__ = [
     "WorkerConfig",
     "iter_chunks",
     "chunk_spans",
+    "tile_spans",
     "chunked_pairwise",
 ]

@@ -41,6 +41,21 @@ def chunk_spans(n: int, chunk: int) -> List[Tuple[int, int]]:
     return [(i, min(i + chunk, n)) for i in range(0, n, chunk)]
 
 
+def tile_spans(
+    n_rows: int, n_cols: int, tile_rows: int, tile_cols: int
+) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """Row-major grid of ``(row_span, col_span)`` tiles over an n×m matrix.
+
+    >>> tile_spans(3, 5, 2, 4)
+    [((0, 2), (0, 4)), ((0, 2), (4, 5)), ((2, 3), (0, 4)), ((2, 3), (4, 5))]
+    """
+    return [
+        (rs, cs)
+        for rs in chunk_spans(n_rows, tile_rows)
+        for cs in chunk_spans(n_cols, tile_cols)
+    ]
+
+
 def iter_chunks(array: np.ndarray, chunk: int) -> Iterator[np.ndarray]:
     """Yield contiguous row-block *views* (no copies) of ``array``."""
     for start, stop in chunk_spans(array.shape[0], chunk):
