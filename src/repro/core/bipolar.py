@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.hypervector import pack_bits, unpack_bits
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
 
 _TIE_RULES = ("one", "zero", "random")
 
@@ -34,6 +35,7 @@ def random_bipolar(
     shape, dim: int, seed: SeedLike = None
 ) -> np.ndarray:
     """I.i.d. uniform ±1 vectors of shape ``(*shape, dim)``, int8."""
+    check_positive_int(dim, "dim")
     rng = as_generator(seed)
     if np.isscalar(shape):
         shape = (int(shape),)
@@ -131,6 +133,7 @@ def to_packed(bipolar: np.ndarray) -> np.ndarray:
 
 def hamming_from_cosine(cos: np.ndarray, dim: int) -> np.ndarray:
     """Exact identity: normalised Hamming ``h = (1 - cos) / 2`` times dim."""
+    check_positive_int(dim, "dim")
     return np.round((1.0 - np.asarray(cos)) / 2.0 * dim).astype(np.int64)
 
 

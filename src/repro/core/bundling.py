@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.hypervector import add_bits_into, pack_bits, unpack_bits
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
 
 _TIE_RULES = ("one", "zero", "random")
 
@@ -185,6 +186,7 @@ def majority_vote_batch(
     :func:`majority_vote_counts` and thresholded by
     :func:`majority_from_counts`.
     """
+    check_positive_int(dim, "dim")
     packed_stack = np.asarray(packed_stack, dtype=np.uint64)
     if packed_stack.ndim != 3:
         raise ValueError(

@@ -16,8 +16,11 @@ import numpy as np
 
 from repro.parallel.chunking import chunk_spans
 from repro.parallel.pool import parallel_map
+from repro.utils.contracts import checks_same_dim
+from repro.utils.validation import check_positive_int
 
 
+@checks_same_dim("A", "B")
 def hamming_rowwise(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     """Hamming distance between corresponding rows of two packed batches.
 
@@ -30,6 +33,7 @@ def hamming_rowwise(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     return np.bitwise_count(A ^ B).sum(axis=-1, dtype=np.int64)
 
 
+@checks_same_dim("A", "B")
 def hamming_block(
     A: np.ndarray, B: np.ndarray, *, word_chunk: Optional[int] = None
 ) -> np.ndarray:
@@ -72,6 +76,7 @@ def _pairwise_span(A: np.ndarray, B: np.ndarray, span: Tuple[int, int]) -> np.nd
     return _pairwise_block(A[span[0]:span[1]], B)
 
 
+@checks_same_dim("A", "B")
 def pairwise_hamming(
     A: np.ndarray,
     B: Optional[np.ndarray] = None,
@@ -134,6 +139,7 @@ def euclidean_on_bits(A: np.ndarray, B: Optional[np.ndarray] = None, *, dim: int
     is exactly ``sqrt(hamming)``, which this exploits instead of unpacking.
     Provided for the distance-metric ablation.
     """
+    check_positive_int(dim, "dim")
     d = pairwise_hamming(A, B)
     return np.sqrt(d.astype(np.float64))
 
@@ -146,6 +152,7 @@ def cosine_on_bits(A: np.ndarray, B: Optional[np.ndarray] = None, *, dim: int) -
     """
     from repro.core.hypervector import popcount  # local import avoids cycle at module load
 
+    check_positive_int(dim, "dim")
     A = np.asarray(A, dtype=np.uint64)
     Bp = A if B is None else np.asarray(B, dtype=np.uint64)
     ham = pairwise_hamming(A, Bp)
@@ -174,6 +181,7 @@ def pairwise_distance(
     metric: str = "hamming",
 ) -> np.ndarray:
     """Dispatch a named pairwise metric over packed batches."""
+    check_positive_int(dim, "dim")
     try:
         fn = _METRICS[metric]
     except KeyError:

@@ -24,6 +24,7 @@ from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.utils.contracts import checks_packed
 from repro.utils.rng import SeedLike, as_generator
 
 WORD_BITS = 64
@@ -38,6 +39,8 @@ def n_words(dim: int) -> int:
 
 def tail_mask(dim: int) -> np.uint64:
     """Mask of valid bits in the final word (all-ones if dim % 64 == 0)."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
     rem = dim % WORD_BITS
     if rem == 0:
         return np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -58,14 +61,15 @@ def pack_bits(bits: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
     bits = np.asarray(bits)
     if bits.ndim == 0:
         raise ValueError("bits must have at least 1 dimension")
-    d = bits.shape[-1] if dim is None else dim
-    if d != bits.shape[-1]:
-        raise ValueError(f"dim={d} does not match last axis {bits.shape[-1]}")
-    if d < 1:
+    if dim is None:
+        dim = bits.shape[-1]
+    if dim != bits.shape[-1]:
+        raise ValueError(f"dim={dim} does not match last axis {bits.shape[-1]}")
+    if dim < 1:
         raise ValueError("cannot pack an empty bit axis")
     as_bool = bits.astype(bool, copy=False)
     packed8 = np.packbits(as_bool, axis=-1, bitorder="little")
-    pad = n_words(d) * 8 - packed8.shape[-1]
+    pad = n_words(dim) * 8 - packed8.shape[-1]
     if pad:
         packed8 = np.concatenate(
             [packed8, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
@@ -74,6 +78,7 @@ def pack_bits(bits: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
     return packed8.view(np.uint64)
 
 
+@checks_packed("packed", dim_param="dim")
 def unpack_bits(packed: np.ndarray, dim: int) -> np.ndarray:
     """Unpack uint64 words back to a dense uint8 0/1 array of width ``dim``."""
     packed = np.asarray(packed, dtype=np.uint64)
@@ -85,6 +90,7 @@ def unpack_bits(packed: np.ndarray, dim: int) -> np.ndarray:
     return np.unpackbits(bytes_view, axis=-1, bitorder="little", count=dim)
 
 
+@checks_packed("packed", dim_param="dim")
 def add_bits_into(packed: np.ndarray, dim: int, out: np.ndarray) -> np.ndarray:
     """Add the unpacked 0/1 bits of ``packed`` into accumulator ``out`` in place.
 
@@ -155,12 +161,14 @@ def xor_packed(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.bitwise_xor(np.asarray(a, dtype=np.uint64), np.asarray(b, dtype=np.uint64))
 
 
+@checks_packed("a", dim_param="dim")
 def not_packed(a: np.ndarray, dim: int) -> np.ndarray:
     """Bitwise complement restricted to the valid ``dim`` bits."""
     out = np.bitwise_not(np.asarray(a, dtype=np.uint64)).copy()
     return _apply_tail_mask(out, dim)
 
 
+@checks_packed("packed", dim_param="dim")
 def flip_bits(packed: np.ndarray, dim: int, positions: np.ndarray) -> np.ndarray:
     """Return a copy of a single packed vector with ``positions`` toggled."""
     positions = np.asarray(positions, dtype=np.int64)

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.distance import hamming_block
 from repro.core.hypervector import Hypervector, n_words
+from repro.utils.contracts import checks_packed, checks_same_dim
 from repro.parallel.chunking import chunk_spans
 from repro.parallel.pool import parallel_map, resolve_config
 
@@ -193,6 +194,7 @@ def _topk_span(
     return best_d, best_i
 
 
+@checks_same_dim("Q", "X")
 def topk_hamming(
     Q: np.ndarray,
     X: np.ndarray,
@@ -311,6 +313,7 @@ def _loo_block(
     return hamming_block(X[rspan[0] : rspan[1]], X[cspan[0] : cspan[1]], word_chunk=word_chunk)
 
 
+@checks_packed("X")
 def loo_topk_hamming(
     X: np.ndarray,
     k: int = 1,

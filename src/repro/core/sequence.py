@@ -129,4 +129,5 @@ def sequence_profile_classifier(dim: int):
     """
     from repro.core.classifier import PrototypeClassifier
 
+    check_positive_int(dim, "dim")
     return PrototypeClassifier(dim=dim)

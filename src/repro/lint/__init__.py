@@ -1,0 +1,53 @@
+"""hdlint — project-specific static analysis for HDC invariants.
+
+PRs 1–2 made the hot paths fast by relying on contracts nothing enforced:
+packed ``uint64`` words with a masked tail, integer-only Hamming
+arithmetic, ``Generator``-based seeding, and engine paths pinned to
+``*_reference`` oracles.  This package machine-checks them.
+
+Usage::
+
+    python -m repro.lint src            # or the repro-lint console script
+    repro-lint --list-rules
+    repro-lint src --format=json
+
+Rules (catalogue in DESIGN.md §7):
+
+========  =====================================================
+HD001     legacy ``np.random.*`` global-state RNG in src/
+HD002     float upcasts inside integer Hamming/popcount kernels
+HD003     quadratic-memory smells (apply_along_axis, row loops,
+          dense materialisation on streaming paths)
+HD004     packed-array hygiene (unmasked NOT, non-uint64 casts)
+HD005     mutable defaults; unvalidated public ``dim`` params
+HD006     engine / ``*_reference`` oracle signature drift
+========  =====================================================
+
+Suppress a finding with ``# hdlint: disable=HD0xx`` (same line),
+``# hdlint: disable-next-line=...`` or ``# hdlint: disable-file=...``.
+"""
+
+from repro.lint.engine import (
+    LintError,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, Rule, all_rules
+from repro.lint.suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "RULES",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]

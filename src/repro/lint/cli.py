@@ -1,0 +1,121 @@
+"""Command-line entry point: ``repro-lint`` / ``python -m repro.lint``.
+
+Exit codes follow the usual linter convention: 0 = clean, 1 = findings,
+2 = usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import LintError, iter_python_files, lint_paths
+from repro.lint.rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis for packed-hypervector "
+            "invariants (rules HD001-HD006; see DESIGN.md section 7)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help=(
+            "files or directories to lint (default: src); most rules are "
+            "scoped to repro/ module paths — pass --no-scope to lint "
+            "arbitrary trees"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--no-scope", action="store_true",
+        help="run every rule on every file, ignoring per-rule path scopes",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code} [{rule.name}]")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream closed the pipe early (e.g. `repro-lint ... | head`);
+        # point stdout at devnull so the interpreter's exit flush is quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _run(argv: Optional[Sequence[str]]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_catalogue())
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [c for c in args.select.split(",") if c.strip()]
+    if args.ignore:
+        ignored = {c.strip().upper() for c in args.ignore.split(",")}
+        select = [
+            r.code for r in all_rules()
+            if r.code not in ignored and (select is None or r.code in
+                                          {c.upper() for c in select})
+        ]
+
+    try:
+        paths = [Path(p) for p in args.paths]
+        n_files = len(iter_python_files(paths))
+        findings = lint_paths(paths, select=select,
+                              respect_scope=not args.no_scope)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload = {
+            "files_checked": n_files,
+            "findings": [f.as_dict() for f in findings],
+            "summary": {"total": len(findings)},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            print(f.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro-lint: {len(findings)} {noun} in {n_files} files")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

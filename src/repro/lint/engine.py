@@ -1,0 +1,127 @@
+"""hdlint engine: walk paths, parse, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, Rule
+from repro.lint.suppressions import parse_suppressions
+
+#: Directory names never descended into when linting a tree.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".eggs"}
+
+
+class LintError(RuntimeError):
+    """A file could not be linted (unreadable or syntactically invalid)."""
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        return [RULES[code] for code in sorted(RULES)]
+    rules = []
+    for code in select:
+        code = code.strip().upper()
+        if code not in RULES:
+            raise LintError(
+                f"unknown rule {code!r}; available: {', '.join(sorted(RULES))}"
+            )
+        rules.append(RULES[code])
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Sequence[str]] = None,
+    respect_scope: bool = True,
+    respect_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint one source string; returns sorted findings.
+
+    ``respect_scope=False`` runs every selected rule regardless of its
+    path scope (used by the fixture self-tests); suppression comments can
+    likewise be ignored to test that they would otherwise fire.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in _select_rules(select):
+        if respect_scope and not rule.applies_to(path):
+            continue
+        for finding in rule.check(tree, path):
+            if respect_suppressions and suppressions.is_suppressed(
+                finding.code, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: Path,
+    *,
+    select: Optional[Sequence[str]] = None,
+    respect_scope: bool = True,
+    respect_suppressions: bool = True,
+) -> List[Finding]:
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{path}: cannot read: {exc}") from exc
+    return lint_source(
+        source,
+        str(path),
+        select=select,
+        respect_scope=respect_scope,
+        respect_suppressions=respect_suppressions,
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen = {}
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            candidates = sorted(
+                f for f in p.rglob("*.py")
+                if not _SKIP_DIRS.intersection(part for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            candidates = [p]
+        elif not p.exists():
+            raise LintError(f"{p}: no such file or directory")
+        else:
+            candidates = []
+        for f in candidates:
+            seen[str(f)] = f
+    return [seen[k] for k in sorted(seen)]
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    respect_scope: bool = True,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    findings: List[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, select=select, respect_scope=respect_scope))
+    return sorted(findings)
+
+
+__all__ = [
+    "LintError",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,32 @@
+"""Finding record emitted by hdlint rules."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordered by ``(path, line, col, code)`` so reports are stable across
+    rule-execution order and dict iteration.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    rule_name: str = field(default="", compare=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def render(self) -> str:
+        """Human-readable single-line form, editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+__all__ = ["Finding"]

@@ -1,0 +1,598 @@
+"""hdlint rule registry: the HD001–HD006 invariant catalogue.
+
+Each rule is an :class:`ast`-level checker encoding one contract the hot
+paths of this repository actually depend on (see DESIGN.md §7 for the
+rationale and examples).  Rules are registered in :data:`RULES` and carry
+a path ``scope`` — the module-path fragments they police — so, e.g., the
+float-upcast rule only fires inside ``repro/core`` where Hamming
+arithmetic must stay integral.  The engine can bypass scoping
+(``respect_scope=False``) to run any rule over arbitrary snippets, which
+is how the fixture corpus in ``tests/lint`` exercises every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.findings import Finding
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve ``a.b.c`` attribute chains to a dotted string, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _numpy_tail(dotted: str) -> Optional[str]:
+    """``np.random.seed`` → ``random.seed``; None for non-numpy names."""
+    for prefix in ("np.", "numpy."):
+        if dotted.startswith(prefix):
+            return dotted[len(prefix):]
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.FunctionDef, Optional[str]]]:
+    """Yield every (a)sync function with its enclosing class name (or None).
+
+    Nested functions are yielded too, attributed to the innermost class.
+    """
+    def walk(node: ast.AST, cls: Optional[str]) -> Iterator[Tuple[ast.FunctionDef, Optional[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls  # type: ignore[misc]
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(tree, None)
+
+
+def _references_name(node: ast.AST, target: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == target for n in ast.walk(node)
+    )
+
+
+def _call_func_name(call: ast.Call) -> Optional[str]:
+    """Last path component of the called object (``a.b.f(...)`` → ``f``)."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+_FLOAT_DTYPE_NAMES = {
+    "float", "float16", "float32", "float64", "float128",
+    "np.float16", "np.float32", "np.float64", "np.float128",
+    "numpy.float16", "numpy.float32", "numpy.float64", "np.floating",
+    "numpy.floating", "np.double", "numpy.double",
+}
+
+_UINT64_NAMES = {"np.uint64", "numpy.uint64", "uint64"}
+
+
+def _is_float_dtype_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in {"float16", "float32", "float64", "float", "double"}
+    name = dotted_name(node)
+    return name is not None and name in _FLOAT_DTYPE_NAMES
+
+
+def _is_non_uint64_dtype_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value != "uint64"
+    name = dotted_name(node)
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1]
+    looks_like_dtype = bool(re.fullmatch(r"(u?int|float|complex)\d*|bool_?|float|int", tail))
+    return looks_like_dtype and name not in _UINT64_NAMES
+
+
+# ----------------------------------------------------------------------
+# Rule base + registry
+# ----------------------------------------------------------------------
+
+
+class Rule:
+    """One registered invariant check."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: Path fragments (posix) this rule polices; empty tuple = everywhere.
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scope:
+            return True
+        norm = path.replace("\\", "/")
+        return any(fragment in norm for fragment in self.scope)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, path: str, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            rule_name=self.name,
+        )
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    rule = cls()
+    if rule.code in RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [RULES[code] for code in sorted(RULES)]
+
+
+# ----------------------------------------------------------------------
+# HD001 — legacy global-state RNG
+# ----------------------------------------------------------------------
+
+_LEGACY_RNG = {
+    "seed", "random", "rand", "randn", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "shuffle", "permutation",
+    "uniform", "normal", "binomial", "poisson", "beta", "gamma",
+    "exponential", "standard_normal", "get_state", "set_state",
+    "RandomState",
+}
+
+
+@register
+class LegacyRandomRule(Rule):
+    """``np.random.*`` module-level state breaks seeded reproducibility."""
+
+    code = "HD001"
+    name = "legacy-global-rng"
+    description = (
+        "Legacy np.random.* global-state calls (seed/rand/RandomState/...) "
+        "are banned in src/: every stochastic component must accept a seed "
+        "and route it through repro.utils.rng.as_generator so experiments "
+        "replay bit-for-bit and parallel workers get independent streams."
+    )
+    scope = ("src/repro", "repro/")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = dotted_name(node)
+            if name is None:
+                continue
+            tail = _numpy_tail(name)
+            if tail is None or not tail.startswith("random."):
+                continue
+            member = tail.split(".", 1)[1]
+            if member.split(".", 1)[0] in _LEGACY_RNG:
+                yield self.finding(
+                    node,
+                    path,
+                    f"legacy global-state RNG `{name}`; accept a seed and use "
+                    f"repro.utils.rng.as_generator / np.random.Generator instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# HD002 — float upcasts inside integer Hamming/popcount kernels
+# ----------------------------------------------------------------------
+
+_INT_KERNEL = re.compile(r"hamming|popcount|topk|argmin|bitcount")
+_INT_KERNEL_EXEMPT = re.compile(r"normalized|euclidean|cosine|proba|density|float")
+
+
+@register
+class FloatUpcastRule(Rule):
+    """Integer Hamming/popcount paths must never detour through floats."""
+
+    code = "HD002"
+    name = "float-in-hamming-path"
+    description = (
+        "Inside repro.core, functions on the integer Hamming/popcount path "
+        "(names matching hamming|popcount|topk|argmin|bitcount and not an "
+        "explicitly float metric) must not upcast: no astype(float*), no "
+        "np.float64()/np.float32() constructors, no np.inf/np.nan "
+        "sentinels, no true division. Distances are exact int64; use "
+        "integer sentinels (e.g. 64*words+1) and // instead."
+    )
+    scope = ("repro/core",)
+
+    def _scan(self, fn: ast.FunctionDef, path: str) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"
+                    and node.args
+                    and _is_float_dtype_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        node, path,
+                        f"float upcast via astype in integer kernel "
+                        f"`{fn.name}`; Hamming distances are exact int64",
+                    )
+                    continue
+                name = dotted_name(node.func)
+                if name in ("np.float64", "np.float32", "np.float16",
+                            "numpy.float64", "numpy.float32"):
+                    yield self.finding(
+                        node, path,
+                        f"`{name}()` constructor in integer kernel "
+                        f"`{fn.name}`; keep the path integral",
+                    )
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name in ("np.inf", "np.nan", "numpy.inf", "numpy.nan",
+                            "math.inf", "math.nan"):
+                    yield self.finding(
+                        node, path,
+                        f"float sentinel `{name}` in integer kernel "
+                        f"`{fn.name}`; use an int64 sentinel such as "
+                        f"64*words+1 (cannot be reached by a true distance)",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield self.finding(
+                    node, path,
+                    f"true division in integer kernel `{fn.name}` produces "
+                    f"float64; use // or move normalisation to a "
+                    f"`normalized_*` wrapper",
+                )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for fn, _cls in iter_functions(tree):
+            if _INT_KERNEL.search(fn.name) and not _INT_KERNEL_EXEMPT.search(fn.name):
+                yield from self._scan(fn, path)
+
+
+# ----------------------------------------------------------------------
+# HD003 — quadratic-memory smells
+# ----------------------------------------------------------------------
+
+_DENSE_MATERIALISERS = {
+    "pairwise_hamming", "pairwise_distance", "normalized_pairwise_hamming",
+}
+_STREAMING_FN = re.compile(r"loo|leave_one_out|topk|argmin")
+
+
+@register
+class QuadraticMemoryRule(Rule):
+    """Row-at-a-time Python loops and dense (m, n) materialisation."""
+
+    code = "HD003"
+    name = "quadratic-memory-smell"
+    description = (
+        "In repro.core and repro.eval: (a) np.apply_along_axis hides a "
+        "per-row Python loop — use a vectorised scatter (see "
+        "repro.core.search.vote_counts); (b) `for i in range(len(X))` / "
+        "`range(X.shape[0])` with X[i] in the body iterates records in "
+        "Python — batch it; (c) streaming-path functions (loo/topk/argmin) "
+        "must not call dense pairwise materialisers. `*_reference` oracles "
+        "are exempt from (b) and (c) by design."
+    )
+    scope = ("repro/core", "repro/eval")
+
+    @staticmethod
+    def _row_loop_target(node: ast.For) -> Optional[str]:
+        """Name N for loops of the form ``for i in range(len(N))`` or
+        ``for i in range(N.shape[0])``; None otherwise."""
+        it = node.iter
+        if not (isinstance(it, ast.Call) and _call_func_name(it) == "range"
+                and len(it.args) == 1):
+            return None
+        arg = it.args[0]
+        if (isinstance(arg, ast.Call) and _call_func_name(arg) == "len"
+                and len(arg.args) == 1 and isinstance(arg.args[0], ast.Name)):
+            return arg.args[0].id
+        if isinstance(arg, ast.Subscript):  # N.shape[0]
+            base = dotted_name(arg.value)
+            if (base is not None and base.endswith(".shape")
+                    and isinstance(arg.slice, ast.Constant)
+                    and arg.slice.value == 0):
+                head = base[: -len(".shape")]
+                if "." not in head:
+                    return head
+        return None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        # (a) apply_along_axis anywhere in scope.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.endswith("apply_along_axis"):
+                    yield self.finding(
+                        node, path,
+                        "np.apply_along_axis is a per-row Python loop; use a "
+                        "vectorised formulation (flat bincount / gather)",
+                    )
+        for fn, _cls in iter_functions(tree):
+            if fn.name.endswith("_reference"):
+                continue
+            for node in ast.walk(fn):
+                # (b) row-at-a-time loops over an array variable.
+                if isinstance(node, ast.For):
+                    target = self._row_loop_target(node)
+                    if target is not None and any(
+                        isinstance(sub, ast.Subscript)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == target
+                        for stmt in node.body
+                        for sub in ast.walk(stmt)
+                    ):
+                        yield self.finding(
+                            node, path,
+                            f"Python loop over rows of `{target}`; batch the "
+                            f"kernel or stream tiles via repro.parallel",
+                        )
+                # (c) dense materialisers inside streaming-path functions.
+                if (
+                    isinstance(node, ast.Call)
+                    and _STREAMING_FN.search(fn.name)
+                    and _call_func_name(node) in _DENSE_MATERIALISERS
+                ):
+                    yield self.finding(
+                        node, path,
+                        f"`{_call_func_name(node)}` materialises the full "
+                        f"(m, n) distance matrix inside streaming path "
+                        f"`{fn.name}`; use repro.core.search (topk_hamming / "
+                        f"loo_topk_hamming) or keep it in a *_reference oracle",
+                    )
+
+
+# ----------------------------------------------------------------------
+# HD004 — packed-array hygiene
+# ----------------------------------------------------------------------
+
+_PACKED_CONSUMERS = {
+    "hamming_rowwise", "hamming_block", "pairwise_hamming",
+    "topk_hamming", "argmin_hamming", "loo_topk_hamming",
+    "popcount", "xor_packed",
+}
+
+
+@register
+class PackedHygieneRule(Rule):
+    """Bit-complements must re-mask the tail; packed args stay uint64."""
+
+    code = "HD004"
+    name = "packed-array-hygiene"
+    description = (
+        "In repro.core: (a) a function that complements words "
+        "(np.bitwise_not / np.invert / unary ~) must also reach "
+        "_apply_tail_mask/tail_mask, otherwise padding bits beyond dim go "
+        "to 1 and every later popcount overcounts; (b) arguments flowing "
+        "into Hamming/popcount consumers must not be explicit non-uint64 "
+        "casts — pack with pack_bits, never astype."
+    )
+    scope = ("repro/core",)
+
+    _PACKED_HINT = re.compile(r"packed|word")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for fn, _cls in iter_functions(tree):
+            touches_mask = any(
+                isinstance(n, (ast.Name, ast.Attribute))
+                and (dotted_name(n) or "").rsplit(".", 1)[-1]
+                in ("_apply_tail_mask", "tail_mask")
+                for n in ast.walk(fn)
+            )
+            for node in ast.walk(fn):
+                is_not_call = isinstance(node, ast.Call) and _call_func_name(
+                    node
+                ) in ("bitwise_not", "invert")
+                # Unary ~ is also idiomatic on boolean masks, so it only
+                # counts when the operand is visibly a packed-word value.
+                is_invert_op = (
+                    isinstance(node, ast.UnaryOp)
+                    and isinstance(node.op, ast.Invert)
+                    and any(
+                        isinstance(n, ast.Name) and self._PACKED_HINT.search(n.id)
+                        for n in ast.walk(node.operand)
+                    )
+                )
+                if (is_not_call or is_invert_op) and not touches_mask:
+                    yield self.finding(
+                        node, path,
+                        f"bitwise complement in `{fn.name}` without a "
+                        f"reachable _apply_tail_mask/tail_mask; NOT sets the "
+                        f"padding bits and breaks the popcount invariant",
+                    )
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and _call_func_name(node) in _PACKED_CONSUMERS):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                bad: Optional[str] = None
+                if (isinstance(arg, ast.Call)
+                        and isinstance(arg.func, ast.Attribute)
+                        and arg.func.attr == "astype"
+                        and arg.args
+                        and _is_non_uint64_dtype_expr(arg.args[0])):
+                    bad = dotted_name(arg.args[0]) or "non-uint64"
+                elif isinstance(arg, ast.Call) and _call_func_name(arg) in (
+                        "asarray", "array", "ascontiguousarray"):
+                    for kw in arg.keywords:
+                        if kw.arg == "dtype" and _is_non_uint64_dtype_expr(kw.value):
+                            bad = dotted_name(kw.value) or "non-uint64"
+                if bad is not None:
+                    yield self.finding(
+                        arg, path,
+                        f"explicit {bad} cast flowing into packed consumer "
+                        f"`{_call_func_name(node)}`; packed batches are "
+                        f"uint64 words (use pack_bits)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# HD005 — mutable defaults and unvalidated public `dim` entry points
+# ----------------------------------------------------------------------
+
+_DIM_VALIDATORS = {
+    "n_words", "tail_mask", "_apply_tail_mask", "pack_bits", "unpack_bits",
+    "check_positive_int", "check_in_range", "check_packed_array",
+    "coerce_packed", "checks_packed",
+}
+
+
+@register
+class ApiContractRule(Rule):
+    """Mutable defaults; public core entry points must validate ``dim``."""
+
+    code = "HD005"
+    name = "api-contract"
+    description = (
+        "(a) Mutable default arguments ([], {}, set(), np.array(...)) are "
+        "shared across calls — use None; (b) public module-level functions "
+        "in repro.core taking a `dim` parameter must validate it (a raise "
+        "guarded on dim, or delegation to a validating helper such as "
+        "n_words/pack_bits/check_positive_int) so a bad dim fails loudly "
+        "instead of silently mis-masking packed words."
+    )
+    scope = ()  # (a) everywhere; (b) restricts itself to repro/core below.
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "array", "zeros", "ones", "empty"}
+
+    def _mutable_defaults(self, fn: ast.FunctionDef, path: str) -> Iterator[Finding]:
+        for default in list(fn.args.defaults) + [
+            d for d in fn.args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and _call_func_name(default) in self._MUTABLE_CALLS
+            )
+            if mutable:
+                yield self.finding(
+                    default, path,
+                    f"mutable default argument in `{fn.name}`; default to "
+                    f"None and construct inside the function",
+                )
+
+    @staticmethod
+    def _validates_dim(fn: ast.FunctionDef) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.If) and _references_name(node.test, "dim"):
+                if any(isinstance(n, ast.Raise) for stmt in node.body
+                       for n in ast.walk(stmt)):
+                    return True
+            if isinstance(node, ast.Call):
+                callee = _call_func_name(node)
+                if callee in _DIM_VALIDATORS and any(
+                    isinstance(a, ast.Name) and a.id == "dim"
+                    for a in list(node.args)
+                    + [kw.value for kw in node.keywords]
+                ):
+                    return True
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for fn, _cls in iter_functions(tree):
+            yield from self._mutable_defaults(fn, path)
+        if "repro/core" not in path.replace("\\", "/"):
+            return
+        for stmt in tree.body:  # module-level only: the public surface
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            params = {a.arg for a in stmt.args.args + stmt.args.kwonlyargs
+                      + stmt.args.posonlyargs}
+            if "dim" not in params:
+                continue
+            if not self._validates_dim(stmt):
+                yield self.finding(
+                    stmt, path,
+                    f"public core entry point `{stmt.name}` takes `dim` but "
+                    f"never validates it; guard with a raise or delegate to "
+                    f"n_words/check_positive_int so dim<1 or a mismatched "
+                    f"batch fails loudly",
+                )
+
+
+# ----------------------------------------------------------------------
+# HD006 — engine/oracle signature drift
+# ----------------------------------------------------------------------
+
+
+@register
+class ReferenceDriftRule(Rule):
+    """`foo` and `foo_reference` must agree on their positional contract."""
+
+    code = "HD006"
+    name = "reference-signature-drift"
+    description = (
+        "Engine functions pinned to a `*_reference` oracle (differential "
+        "tests call both with the same positional arguments) must keep "
+        "positional parameter names, order, and defaults identical; "
+        "keyword-only engine knobs (tile geometry, n_jobs) may differ."
+    )
+    scope = ()
+
+    @staticmethod
+    def _positional_sig(fn: ast.FunctionDef) -> List[Tuple[str, Optional[str]]]:
+        args = fn.args.posonlyargs + fn.args.args
+        defaults: List[Optional[ast.expr]] = [None] * (
+            len(args) - len(fn.args.defaults)
+        ) + list(fn.args.defaults)
+        return [
+            (a.arg, ast.unparse(d) if d is not None else None)
+            for a, d in zip(args, defaults)
+        ]
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        scopes: Dict[Optional[str], Dict[str, ast.FunctionDef]] = {}
+        for fn, cls in iter_functions(tree):
+            scopes.setdefault(cls, {})[fn.name] = fn
+        for cls, functions in scopes.items():
+            for name, ref in functions.items():
+                if not name.endswith("_reference"):
+                    continue
+                public = functions.get(name[: -len("_reference")])
+                if public is None:
+                    continue
+                if self._positional_sig(public) != self._positional_sig(ref):
+                    where = f"{cls}." if cls else ""
+                    yield self.finding(
+                        ref, path,
+                        f"`{where}{name}` positional signature drifted from "
+                        f"`{where}{public.name}` "
+                        f"({self._positional_sig(public)} vs "
+                        f"{self._positional_sig(ref)}); differential tests "
+                        f"call both with the same positional args",
+                    )
+
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "iter_functions",
+    "register",
+]

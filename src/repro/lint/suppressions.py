@@ -1,0 +1,74 @@
+"""Suppression-comment parsing for hdlint.
+
+Three comment forms are honoured, mirroring the pylint/ruff idiom:
+
+* ``# hdlint: disable=HD001`` — suppress the listed rule(s) on the same
+  physical line the finding is reported on;
+* ``# hdlint: disable-next-line=HD001,HD003`` — suppress on the line
+  immediately below the comment;
+* ``# hdlint: disable-file=HD005`` — suppress for the whole file.
+
+Codes are comma-separated; ``all`` suppresses every rule.  Unknown text
+after the directive is ignored so suppressions can carry a justification::
+
+    protos = pairwise_hamming(q, protos)  # hdlint: disable=HD003 -- n_classes rows
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*hdlint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<codes>(?:all|HD\d+)(?:\s*,\s*(?:all|HD\d+))*)",
+    re.IGNORECASE,
+)
+
+_ALL = "all"
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    return frozenset(c.strip().upper() if c.strip().lower() != _ALL else _ALL
+                     for c in raw.split(","))
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one file."""
+
+    file_codes: FrozenSet[str] = frozenset()
+    line_codes: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        code = code.upper()
+        if code in self.file_codes or _ALL in self.file_codes:
+            return True
+        codes = self.line_codes.get(line, frozenset())
+        return code in codes or _ALL in codes
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for hdlint directives and build the suppression map."""
+    file_codes: Set[str] = set()
+    line_codes: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE.search(text)
+        if m is None:
+            continue
+        kind = m.group("kind").lower()
+        codes = _parse_codes(m.group("codes"))
+        if kind == "disable-file":
+            file_codes.update(codes)
+        elif kind == "disable-next-line":
+            line_codes.setdefault(lineno + 1, set()).update(codes)
+        else:  # disable (same line)
+            line_codes.setdefault(lineno, set()).update(codes)
+    return Suppressions(
+        file_codes=frozenset(file_codes),
+        line_codes={k: frozenset(v) for k, v in line_codes.items()},
+    )
+
+
+__all__ = ["Suppressions", "parse_suppressions"]

@@ -87,6 +87,10 @@ def chunked_pairwise(
         already vectorised so parallelism pays off only for large n).
     out_dtype:
         Dtype of the output matrix; inferred from the first block if None.
+        With zero rows there is no block to infer from, so the empty
+        result defaults to ``int64`` — the dtype of the integer Hamming
+        kernels this decomposition fronts (float kernels should pass
+        ``out_dtype`` explicitly when the zero-row dtype matters).
     """
     if B is None:
         B = A
@@ -97,7 +101,7 @@ def chunked_pairwise(
 
     spans = chunk_spans(A.shape[0], chunk)
     if not spans:
-        return np.zeros((0, B.shape[0]), dtype=out_dtype or np.float64)
+        return np.zeros((0, B.shape[0]), dtype=out_dtype or np.int64)
 
     blocks = parallel_map(partial(_kernel_span, kernel, A, B), spans, n_jobs=n_jobs)
     first = blocks[0]

@@ -1,5 +1,13 @@
-"""Shared utilities: RNG management, argument validation, timing."""
+"""Shared utilities: RNG management, argument validation, contracts, timing."""
 
+from repro.utils.contracts import (
+    ContractViolation,
+    check_packed_array,
+    check_same_words,
+    checks_packed,
+    checks_same_dim,
+    contracts_enabled,
+)
 from repro.utils.rng import as_generator, spawn_generators, derive_seed
 from repro.utils.validation import (
     check_array,
@@ -12,6 +20,12 @@ from repro.utils.validation import (
 from repro.utils.timing import Timer, format_duration
 
 __all__ = [
+    "ContractViolation",
+    "check_packed_array",
+    "check_same_words",
+    "checks_packed",
+    "checks_same_dim",
+    "contracts_enabled",
     "as_generator",
     "spawn_generators",
     "derive_seed",

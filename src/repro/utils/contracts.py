@@ -1,0 +1,226 @@
+"""Runtime contracts for packed-hypervector invariants.
+
+The packed representation (:mod:`repro.core.hypervector`) rests on two
+informal contracts that no type system enforces:
+
+* packed batches are ``uint64`` arrays whose last axis holds
+  ``n_words(dim)`` words, and
+* when ``dim % 64 != 0`` the padding bits of the final word are zero
+  (otherwise popcounts and Hamming distances silently count garbage).
+
+This module turns those contracts into decorators that public kernels can
+wear.  They are **zero-cost by default**: unless contracts are enabled at
+import time (``REPRO_CONTRACTS=1`` in the environment) the decorators
+return the original function object unchanged — no wrapper frame, no
+signature binding, nothing on the hot path.  With contracts enabled every
+decorated call validates its packed operands and raises
+:class:`ContractViolation` with an actionable message.
+
+Enable them for a test run with::
+
+    REPRO_CONTRACTS=1 PYTHONPATH=src python -m pytest -x -q
+
+Tests that must exercise the checks regardless of the environment pass
+``enabled=True`` explicitly::
+
+    guarded = checks_packed("packed", dim_param="dim", enabled=True)(fn)
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from typing import Any, Callable, Optional, TypeVar
+
+import numpy as np
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CONTRACTS", "").strip().lower() in _TRUTHY
+
+
+#: Snapshot of ``REPRO_CONTRACTS`` taken at import time.  Decoration uses
+#: this (unless overridden with ``enabled=``), so flipping the variable
+#: after :mod:`repro` is imported does not retroactively arm decorators.
+CONTRACTS_ENABLED = _env_enabled()
+
+
+def contracts_enabled() -> bool:
+    """True if decorators applied at import time validate their calls."""
+    return CONTRACTS_ENABLED
+
+
+class ContractViolation(ValueError):
+    """A packed-hypervector invariant was broken at a contract boundary."""
+
+
+def check_packed_array(
+    arr: Any,
+    dim: Optional[int] = None,
+    *,
+    name: str = "packed",
+) -> None:
+    """Validate one packed operand; raise :class:`ContractViolation` if bad.
+
+    Checks (in order): ``uint64`` dtype, word count against ``dim`` when
+    given, and zeroed padding bits in the final word.  Non-ndarray inputs
+    are skipped — the decorated function's own ``np.asarray`` boundary is
+    responsible for coercing those, and the contract only polices arrays
+    that already claim to be packed.
+    """
+    if not isinstance(arr, np.ndarray):
+        return
+    if arr.dtype != np.uint64:
+        raise ContractViolation(
+            f"{name} must be a packed uint64 array, got dtype {arr.dtype}; "
+            f"pack with repro.core.hypervector.pack_bits (never astype a "
+            f"dense bit matrix)"
+        )
+    if arr.ndim == 0:
+        raise ContractViolation(f"{name} must have at least 1 dimension")
+    if dim is None:
+        return
+    from repro.core.hypervector import n_words, tail_mask  # lazy: avoid cycle
+
+    words = n_words(dim)
+    if arr.shape[-1] != words:
+        raise ContractViolation(
+            f"{name} last axis has {arr.shape[-1]} words but dim={dim} "
+            f"requires n_words({dim}) = {words}; the packed batch and dim "
+            f"disagree"
+        )
+    if dim % 64 != 0 and arr.size:
+        stray = np.bitwise_and(arr[..., -1], np.uint64(~int(tail_mask(dim)) & 0xFFFFFFFFFFFFFFFF))
+        if np.any(stray):
+            raise ContractViolation(
+                f"{name} has nonzero padding bits beyond dim={dim} in its "
+                f"final word; every kernel must preserve the tail-mask "
+                f"invariant (see repro.core.hypervector._apply_tail_mask)"
+            )
+
+
+def check_same_words(a: Any, b: Any, *, a_name: str = "A", b_name: str = "B") -> None:
+    """Validate that two packed operands can be compared bitwise."""
+    check_packed_array(a, name=a_name)
+    check_packed_array(b, name=b_name)
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        if a.ndim and b.ndim and a.shape[-1] != b.shape[-1]:
+            raise ContractViolation(
+                f"word-count mismatch: {a_name} has {a.shape[-1]} words, "
+                f"{b_name} has {b.shape[-1]}; both sides of a Hamming kernel "
+                f"must come from the same dim"
+            )
+
+
+def check_same_dim(a: Any, b: Any, *, a_name: str = "a", b_name: str = "b") -> None:
+    """Validate that two ``dim``-carrying objects share a dimensionality."""
+    da = getattr(a, "dim", None)
+    db = getattr(b, "dim", None)
+    if da is not None and db is not None and da != db:
+        raise ContractViolation(
+            f"dimension mismatch: {a_name}.dim={da}, {b_name}.dim={db}"
+        )
+
+
+def _resolve(enabled: Optional[bool]) -> bool:
+    return CONTRACTS_ENABLED if enabled is None else enabled
+
+
+def checks_packed(
+    *param_names: str,
+    dim_param: Optional[str] = None,
+    enabled: Optional[bool] = None,
+) -> Callable[[F], F]:
+    """Decorator: validate named parameters as packed uint64 batches.
+
+    ``dim_param`` names the argument carrying the bit dimensionality; when
+    present, word counts and tail bits are validated against it.  With
+    contracts disabled (the default) the decorator is the identity.
+    """
+    if not param_names:
+        raise ValueError("checks_packed needs at least one parameter name")
+
+    def decorate(fn: F) -> F:
+        if not _resolve(enabled):
+            return fn
+        sig = inspect.signature(fn)
+        missing = [p for p in param_names if p not in sig.parameters]
+        if dim_param is not None and dim_param not in sig.parameters:
+            missing.append(dim_param)
+        if missing:
+            raise TypeError(
+                f"checks_packed({missing}) names parameters absent from "
+                f"{fn.__qualname__}{sig}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = sig.bind(*args, **kwargs)
+            bound.apply_defaults()
+            dim = bound.arguments.get(dim_param) if dim_param else None
+            dim = dim if isinstance(dim, (int, np.integer)) else None
+            for p in param_names:
+                check_packed_array(bound.arguments.get(p), dim, name=p)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def checks_same_dim(
+    a_param: str,
+    b_param: str,
+    *,
+    enabled: Optional[bool] = None,
+) -> Callable[[F], F]:
+    """Decorator: validate two packed parameters agree on word count.
+
+    Both operands are also individually checked for ``uint64`` dtype.  A
+    ``None`` second operand (the ``B=None`` → ``B = A`` idiom of the
+    pairwise kernels) passes trivially.  Identity when disabled.
+    """
+
+    def decorate(fn: F) -> F:
+        if not _resolve(enabled):
+            return fn
+        sig = inspect.signature(fn)
+        missing = [p for p in (a_param, b_param) if p not in sig.parameters]
+        if missing:
+            raise TypeError(
+                f"checks_same_dim({missing}) names parameters absent from "
+                f"{fn.__qualname__}{sig}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = sig.bind(*args, **kwargs)
+            bound.apply_defaults()
+            a = bound.arguments.get(a_param)
+            b = bound.arguments.get(b_param)
+            if b is not None:
+                check_same_words(a, b, a_name=a_param, b_name=b_param)
+            else:
+                check_packed_array(a, name=a_param)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+__all__ = [
+    "CONTRACTS_ENABLED",
+    "ContractViolation",
+    "check_packed_array",
+    "check_same_dim",
+    "check_same_words",
+    "checks_packed",
+    "checks_same_dim",
+    "contracts_enabled",
+]

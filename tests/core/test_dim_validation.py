@@ -1,0 +1,67 @@
+"""Regression tests for HD005: public core entry points validate ``dim``.
+
+These entry points used to accept ``dim < 1`` silently (mis-masking packed
+words or returning empty results); hdlint's HD005 rule found them and they
+now fail loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bipolar import hamming_from_cosine, random_bipolar
+from repro.core.bundling import majority_vote_batch
+from repro.core.distance import cosine_on_bits, euclidean_on_bits, pairwise_distance
+from repro.core.hypervector import pack_bits, random_packed, tail_mask
+from repro.core.sequence import sequence_profile_classifier
+
+
+@pytest.mark.parametrize("bad_dim", [0, -1])
+class TestDimRejected:
+    def test_tail_mask(self, bad_dim):
+        with pytest.raises(ValueError, match="dim"):
+            tail_mask(bad_dim)
+
+    def test_random_bipolar(self, bad_dim):
+        with pytest.raises(ValueError, match="dim"):
+            random_bipolar(2, bad_dim, seed=0)
+
+    def test_hamming_from_cosine(self, bad_dim):
+        with pytest.raises(ValueError, match="dim"):
+            hamming_from_cosine(np.array([0.5]), bad_dim)
+
+    def test_majority_vote_batch(self, bad_dim):
+        stack = np.zeros((2, 3, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="dim"):
+            majority_vote_batch(stack, bad_dim)
+
+    def test_euclidean_on_bits(self, bad_dim):
+        packed = random_packed(2, 64, seed=0)
+        with pytest.raises(ValueError, match="dim"):
+            euclidean_on_bits(packed, dim=bad_dim)
+
+    def test_cosine_on_bits(self, bad_dim):
+        packed = random_packed(2, 64, seed=0)
+        with pytest.raises(ValueError, match="dim"):
+            cosine_on_bits(packed, dim=bad_dim)
+
+    def test_pairwise_distance(self, bad_dim):
+        packed = random_packed(2, 64, seed=0)
+        with pytest.raises(ValueError, match="dim"):
+            pairwise_distance(packed, dim=bad_dim, metric="hamming")
+
+    def test_sequence_profile_classifier(self, bad_dim):
+        with pytest.raises(ValueError, match="dim"):
+            sequence_profile_classifier(bad_dim)
+
+
+class TestPackBitsDimStillValidated:
+    def test_mismatched_dim_raises(self):
+        bits = np.ones((2, 8), dtype=np.uint8)
+        with pytest.raises(ValueError, match="dim"):
+            pack_bits(bits, dim=9)
+
+    def test_valid_dims_unchanged(self):
+        bits = np.ones((2, 8), dtype=np.uint8)
+        assert pack_bits(bits, dim=8).shape == (2, 1)
+        assert int(tail_mask(8)) == 0xFF
+        assert int(tail_mask(64)) == 0xFFFFFFFFFFFFFFFF

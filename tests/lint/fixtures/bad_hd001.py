@@ -1,0 +1,8 @@
+"""Fixture: legacy global-state RNG (must trigger HD001 and only HD001)."""
+
+import numpy as np
+
+
+def sample_noise(n):
+    np.random.seed(0)
+    return np.random.rand(n)

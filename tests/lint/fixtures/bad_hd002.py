@@ -1,0 +1,10 @@
+"""Fixture: float upcasts inside an integer Hamming kernel (HD002 only)."""
+
+import numpy as np
+
+
+def batch_hamming(a, b):
+    d = np.bitwise_count(a ^ b).sum(axis=-1)
+    d = d.astype(np.float64)
+    bad = d + np.inf
+    return bad / 2

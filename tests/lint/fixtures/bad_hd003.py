@@ -1,0 +1,21 @@
+"""Fixture: quadratic-memory smells (HD003 only)."""
+
+import numpy as np
+
+from repro.core.distance import pairwise_hamming
+
+
+def vote_histogram(votes):
+    return np.apply_along_axis(np.bincount, 1, votes, minlength=2)
+
+
+def slow_rowwise_sum(X):
+    out = []
+    for i in range(len(X)):
+        out.append(X[i].sum())
+    return out
+
+
+def loo_scores(packed):
+    D = pairwise_hamming(packed)
+    return D.min(axis=1)

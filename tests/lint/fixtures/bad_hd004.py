@@ -1,0 +1,13 @@
+"""Fixture: packed-array hygiene violations (HD004 only)."""
+
+import numpy as np
+
+from repro.core.distance import hamming_block
+
+
+def complement_words(packed_batch):
+    return np.bitwise_not(packed_batch)
+
+
+def distances(bits_a, bits_b):
+    return hamming_block(bits_a.astype(np.uint8), np.asarray(bits_b, dtype=np.int64))

@@ -1,0 +1,10 @@
+"""Fixture: API-contract violations (HD005 only)."""
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def random_projection(shape, dim):
+    return [[0] * dim for _ in range(shape)]

@@ -1,0 +1,9 @@
+"""Fixture: engine/oracle positional-signature drift (HD006 only)."""
+
+
+def topk_select(scores, k):
+    return sorted(scores)[:k]
+
+
+def topk_select_reference(scores, k=5):
+    return sorted(scores)[:k]

@@ -1,0 +1,25 @@
+"""Fixture: idiomatic engine code — must lint clean under every rule."""
+
+import numpy as np
+
+from repro.core.hypervector import n_words, tail_mask
+from repro.utils.rng import as_generator
+
+
+def random_packed_words(shape, dim, seed=None):
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    rng = as_generator(seed)
+    words = rng.integers(0, 2**64, size=(shape, n_words(dim)), dtype=np.uint64)
+    words[..., -1] &= tail_mask(dim)
+    return words
+
+
+def hamming_rows(a, b):
+    return np.bitwise_count(a ^ b).sum(axis=-1, dtype=np.int64)
+
+
+def complement(packed, dim):
+    out = np.bitwise_not(packed)
+    out[..., -1] &= tail_mask(dim)
+    return out

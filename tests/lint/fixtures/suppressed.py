@@ -1,0 +1,10 @@
+"""Fixture: suppression-comment behaviour (HD001 sites, two suppressed)."""
+
+import numpy as np
+
+np.random.seed(7)  # hdlint: disable=HD001 -- fixture demonstrates same-line form
+
+# hdlint: disable-next-line=HD001
+state = np.random.rand(3)
+
+leaked = np.random.randn(2)

@@ -1,0 +1,40 @@
+"""The real tree must lint clean — the same gate CI enforces.
+
+The hot-path engine files are asserted individually (and asserted to
+contain no suppression comments at all: the acceptance bar is that
+``core`` hot paths are clean on merit, not via escapes), then the whole
+``src/`` tree is linted exactly as ``repro-lint src`` would.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+HOT_PATH_FILES = [
+    "repro/core/search.py",
+    "repro/core/hypervector.py",
+    "repro/core/distance.py",
+    "repro/core/bundling.py",
+]
+
+
+@pytest.mark.parametrize("rel", HOT_PATH_FILES)
+def test_hot_path_file_lints_clean(rel):
+    findings = lint_file(SRC / rel)
+    assert findings == [], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("rel", HOT_PATH_FILES)
+def test_hot_path_file_has_no_suppressions(rel):
+    source = (SRC / rel).read_text(encoding="utf-8")
+    assert "hdlint:" not in source
+
+
+def test_whole_src_tree_lints_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], [f.render() for f in findings]

@@ -1,0 +1,71 @@
+"""CLI contract: exit codes, text and JSON output, rule listing."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+BAD = "import numpy as np\nnp.random.seed(1)\n"
+GOOD = "import numpy as np\n\n\ndef double(x):\n    return 2 * x\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "data"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD, encoding="utf-8")
+    (pkg / "good.py").write_text(GOOD, encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_clean_tree_exits_zero(tree, capsys):
+    (tree / "repro" / "data" / "bad.py").unlink()
+    assert main([str(tree)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_text(tree, capsys):
+    assert main([str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "HD001" in out and "bad.py:2:" in out
+
+
+def test_json_payload(tree, capsys):
+    assert main([str(tree), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["total"] == 1
+    assert payload["files_checked"] == 2
+    (finding,) = payload["findings"]
+    assert finding["code"] == "HD001"
+    assert finding["line"] == 2
+
+
+def test_select_and_ignore(tree):
+    assert main([str(tree), "--select=HD002"]) == 0
+    assert main([str(tree), "--ignore=HD001"]) == 0
+    assert main([str(tree), "--select=HD001"]) == 1
+
+
+def test_unknown_rule_is_usage_error(tree, capsys):
+    assert main([str(tree), "--select=HD999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_syntax_error_is_usage_error(tmp_path, capsys):
+    f = tmp_path / "broken.py"
+    f.write_text("def broken(:\n", encoding="utf-8")
+    assert main([str(f)]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("HD001", "HD002", "HD003", "HD004", "HD005", "HD006"):
+        assert code in out

@@ -1,0 +1,59 @@
+"""Suppression-comment behaviour: same-line, next-line, file-level."""
+
+from pathlib import Path
+
+from repro.lint import lint_source, parse_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SUPPRESSED = (FIXTURES / "suppressed.py").read_text(encoding="utf-8")
+PATH = "src/repro/data/suppressed.py"
+
+
+class TestSuppressedFixture:
+    def test_only_unsuppressed_site_reported(self):
+        findings = lint_source(SUPPRESSED, PATH)
+        assert len(findings) == 1
+        assert findings[0].code == "HD001"
+        assert "np.random.randn" in findings[0].message
+
+    def test_all_sites_fire_when_suppressions_ignored(self):
+        findings = lint_source(SUPPRESSED, PATH, respect_suppressions=False)
+        assert len(findings) == 3
+
+
+class TestDirectives:
+    def test_file_level(self):
+        src = (
+            "# hdlint: disable-file=HD001\n"
+            "import numpy as np\n"
+            "np.random.seed(1)\n"
+            "np.random.rand(2)\n"
+        )
+        assert lint_source(src, PATH) == []
+
+    def test_disable_all(self):
+        src = (
+            "import numpy as np\n"
+            "np.random.seed(1)  # hdlint: disable=all\n"
+        )
+        assert lint_source(src, PATH) == []
+
+    def test_suppression_is_code_specific(self):
+        src = (
+            "import numpy as np\n"
+            "np.random.seed(1)  # hdlint: disable=HD002\n"
+        )
+        findings = lint_source(src, PATH)
+        assert [f.code for f in findings] == ["HD001"]
+
+    def test_parser_maps_lines(self):
+        sup = parse_suppressions(
+            "x = 1  # hdlint: disable=HD001\n"
+            "# hdlint: disable-next-line=HD003,HD004\n"
+            "y = 2\n"
+        )
+        assert sup.is_suppressed("HD001", 1)
+        assert sup.is_suppressed("HD003", 3)
+        assert sup.is_suppressed("HD004", 3)
+        assert not sup.is_suppressed("HD001", 3)
+        assert not sup.is_suppressed("HD003", 2)

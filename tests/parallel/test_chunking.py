@@ -66,6 +66,18 @@ class TestChunkedPairwise:
         out = chunked_pairwise(self.kernel, np.zeros((0, 3)), np.zeros((5, 3)))
         assert out.shape == (0, 5)
 
+    def test_empty_defaults_to_int64(self):
+        # Regression: the zero-row result used to come back float64 even
+        # though this decomposition fronts integer Hamming kernels.
+        out = chunked_pairwise(self.kernel, np.zeros((0, 3)), np.zeros((5, 3)))
+        assert out.dtype == np.int64
+
+    def test_empty_respects_out_dtype(self):
+        out = chunked_pairwise(
+            self.kernel, np.zeros((0, 3)), np.zeros((5, 3)), out_dtype=np.float32
+        )
+        assert out.dtype == np.float32
+
     def test_column_mismatch(self, rng):
         with pytest.raises(ValueError, match="column"):
             chunked_pairwise(self.kernel, rng.normal(size=(3, 2)), rng.normal(size=(3, 4)))

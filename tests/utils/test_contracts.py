@@ -1,0 +1,177 @@
+"""Runtime-contract tests: the four corruption modes must raise loudly.
+
+Decorators are exercised with ``enabled=True`` so the checks run
+regardless of the ``REPRO_CONTRACTS`` environment; one subprocess test
+verifies the env-armed path end to end (a deliberately corrupted tail
+bit must raise inside the *production* ``unpack_bits``).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import n_words, pack_bits, random_packed, tail_mask
+from repro.utils.contracts import (
+    ContractViolation,
+    check_packed_array,
+    check_same_dim,
+    check_same_words,
+    checks_packed,
+    checks_same_dim,
+    contracts_enabled,
+)
+
+DIM = 70  # deliberately not a multiple of 64 so the tail mask is partial
+
+
+def guarded_identity(**decorator_kwargs):
+    @checks_packed("packed", dim_param="dim", enabled=True, **decorator_kwargs)
+    def fn(packed, dim):
+        return packed
+
+    return fn
+
+
+class TestCheckPackedArray:
+    def test_valid_batch_passes(self):
+        check_packed_array(random_packed(4, DIM, seed=0), DIM)
+
+    def test_corrupted_tail_bits_raise(self):
+        packed = random_packed(3, DIM, seed=1)
+        packed[1, -1] |= np.uint64(1) << np.uint64(DIM % 64)  # beyond dim
+        with pytest.raises(ContractViolation, match="padding bits"):
+            check_packed_array(packed, DIM)
+
+    def test_wrong_word_count_raises(self):
+        packed = np.zeros((2, n_words(DIM) + 1), dtype=np.uint64)
+        with pytest.raises(ContractViolation, match="n_words"):
+            check_packed_array(packed, DIM)
+
+    def test_non_uint64_dtype_raises(self):
+        with pytest.raises(ContractViolation, match="uint64"):
+            check_packed_array(np.zeros((2, 2), dtype=np.int64), DIM)
+
+    def test_non_ndarray_skipped(self):
+        # Coercion is the decorated function's job; lists pass through.
+        check_packed_array([[1, 2]], None)
+
+    def test_message_is_actionable(self):
+        with pytest.raises(ContractViolation, match="pack_bits"):
+            check_packed_array(np.zeros(2, dtype=np.float64))
+
+
+class TestMismatch:
+    def test_word_count_mismatch_raises(self):
+        a = np.zeros((2, 3), dtype=np.uint64)
+        b = np.zeros((2, 4), dtype=np.uint64)
+        with pytest.raises(ContractViolation, match="word-count mismatch"):
+            check_same_words(a, b)
+
+    def test_mismatched_dim_raises(self):
+        from repro.core.hypervector import Hypervector
+
+        a = Hypervector.random(64, seed=0)
+        b = Hypervector.random(128, seed=0)
+        with pytest.raises(ContractViolation, match="dimension mismatch"):
+            check_same_dim(a, b)
+
+
+class TestDecorators:
+    def test_disabled_decorator_is_identity(self):
+        def fn(packed, dim):
+            return packed
+
+        assert checks_packed("packed", dim_param="dim", enabled=False)(fn) is fn
+        assert checks_same_dim("packed", "dim", enabled=False)(fn) is fn
+
+    def test_enabled_decorator_validates(self):
+        fn = guarded_identity()
+        packed = random_packed(2, DIM, seed=2)
+        assert fn(packed, DIM) is packed
+        packed = packed.copy()
+        packed[0, -1] |= ~tail_mask(DIM)
+        with pytest.raises(ContractViolation, match="padding bits"):
+            fn(packed, DIM)
+
+    def test_enabled_decorator_checks_dtype_and_words(self):
+        fn = guarded_identity()
+        with pytest.raises(ContractViolation, match="uint64"):
+            fn(np.zeros((1, n_words(DIM)), dtype=np.int32), DIM)
+        with pytest.raises(ContractViolation, match="n_words"):
+            fn(np.zeros((1, n_words(DIM) + 2), dtype=np.uint64), DIM)
+
+    def test_same_dim_decorator(self):
+        @checks_same_dim("A", "B", enabled=True)
+        def fn(A, B=None):
+            return A
+
+        a = random_packed(2, 64, seed=3)
+        assert fn(a, a) is a
+        assert fn(a) is a  # B=None tolerated (B = A idiom)
+        with pytest.raises(ContractViolation, match="word-count"):
+            fn(a, random_packed(2, 256, seed=3))
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="nope"):
+            @checks_packed("nope", enabled=True)
+            def fn(packed):
+                return packed
+
+    def test_wraps_preserves_identity(self):
+        fn = guarded_identity()
+        assert fn.__name__ == "fn"
+
+
+class TestEnvArming:
+    def test_env_flag_arms_production_kernels(self):
+        """REPRO_CONTRACTS=1 must make repro.core.hypervector.unpack_bits
+        reject a corrupted tail bit — proves decorators are active, not
+        just importable."""
+        code = (
+            "import numpy as np\n"
+            "from repro.core.hypervector import random_packed, unpack_bits, tail_mask\n"
+            "from repro.utils.contracts import ContractViolation, contracts_enabled\n"
+            "assert contracts_enabled()\n"
+            f"packed = random_packed(2, {DIM}, seed=0)\n"
+            f"packed[0, -1] |= ~tail_mask({DIM})\n"
+            "try:\n"
+            f"    unpack_bits(packed, {DIM})\n"
+            "except ContractViolation:\n"
+            "    print('CONTRACT_RAISED')\n"
+            "else:\n"
+            "    raise SystemExit('corrupted tail bit was NOT caught')\n"
+        )
+        env = dict(os.environ, REPRO_CONTRACTS="1")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CONTRACT_RAISED" in proc.stdout
+
+    def test_contracts_enabled_reflects_env_snapshot(self):
+        expected = os.environ.get("REPRO_CONTRACTS", "").strip().lower() in {
+            "1", "true", "yes", "on",
+        }
+        assert contracts_enabled() == expected
+
+    @pytest.mark.skipif(not contracts_enabled(), reason="REPRO_CONTRACTS not set")
+    def test_armed_kernels_catch_corruption_in_process(self):
+        from repro.core.hypervector import unpack_bits
+
+        packed = random_packed(1, DIM, seed=4)
+        packed[0, -1] |= ~tail_mask(DIM)
+        with pytest.raises(ContractViolation):
+            unpack_bits(packed, DIM)
+
+    def test_valid_roundtrip_unchanged_either_way(self):
+        bits = (np.arange(DIM) % 2).astype(np.uint8)[None, :]
+        packed = pack_bits(bits, DIM)
+        from repro.core.hypervector import unpack_bits
+
+        assert np.array_equal(unpack_bits(packed, DIM), bits)
