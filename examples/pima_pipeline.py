@@ -64,11 +64,17 @@ def main() -> None:
     variants = {"Pima R": load_pima_r(base=base), "Pima M": load_pima_m(base=base)}
     print(f"\n{'Dataset':8s}  {'Hamming':>8s}  {'NN feat':>8s}  {'NN HV':>8s}")
     for label, ds in variants.items():
-        enc = RecordEncoder(specs=ds.specs, dim=DIM, seed=SEED).fit(ds.X)
+        # n_jobs=None consults REPRO_WORKERS/REPRO_BACKEND (serial when
+        # unset); the fast preset shrinks chunks so a worker fan-out is
+        # exercised even on the small table.
+        enc = RecordEncoder(
+            specs=ds.specs, dim=DIM, seed=SEED,
+            n_jobs=None, chunk_rows=256 if FAST else 2048,
+        ).fit(ds.X)
         packed = enc.transform(ds.X)
         dense = enc.transform_dense(ds.X).astype(float)
 
-        ham = leave_one_out_hamming(packed, ds.y).accuracy
+        ham = leave_one_out_hamming(packed, ds.y, n_jobs=None).accuracy
         nn_f = nn_test_accuracy(ds.X, ds.y, scaled=True)
         nn_h = nn_test_accuracy(dense, ds.y, scaled=False)
         print(f"{label:8s}  {ham:8.1%}  {nn_f:8.1%}  {nn_h:8.1%}")

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.hypervector import add_bits_into, pack_bits, unpack_bits
+from repro.obs import span
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -129,8 +130,9 @@ def majority_vote_counts(
         out = np.zeros((n, dim), dtype=vote_count_dtype(m))
     elif out.shape != (n, dim):
         raise ValueError(f"out shape {out.shape} != ({n}, {dim})")
-    for j in range(m):
-        add_bits_into(packed_stack[:, j, :], dim, out)
+    with span("bundle.vote_counts", rows=n, features=m, dim=dim):
+        for j in range(m):
+            add_bits_into(packed_stack[:, j, :], dim, out)
     return out
 
 

@@ -36,6 +36,7 @@ from repro.core.distance import pairwise_distance, pairwise_hamming
 from repro.core.hypervector import n_words, pack_bits
 from repro.core.search import argmin_hamming, topk_hamming, topk_rows, vote_counts
 from repro.ml.base import BaseEstimator, ClassifierMixin
+from repro.utils.deprecation import renamed_kwargs
 from repro.utils.validation import check_positive_int, column_or_1d
 
 
@@ -74,9 +75,11 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
     metric:
         Distance metric name (see ``repro.core.distance.available_metrics``);
         the paper uses ``"hamming"``.
-    block_rows:
+    chunk_rows:
         Query-tile rows for the streaming engine (and row blocking for the
         dense fallback kernel) — a memory bound, never a semantics knob.
+        (Spelled ``block_rows`` before PR 4; the old keyword still works
+        but emits a ``DeprecationWarning``.)
     tile_cols:
         Candidate-tile columns for the streaming engine.
     n_jobs:
@@ -96,19 +99,20 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
     ``tests/core/test_search.py``.
     """
 
+    @renamed_kwargs(block_rows="chunk_rows")
     def __init__(
         self,
         dim: int = 10_000,
         n_neighbors: int = 1,
         metric: str = "hamming",
-        block_rows: int = 64,
+        chunk_rows: int = 64,
         tile_cols: int = 1024,
         n_jobs: Optional[int] = 1,
     ) -> None:
         self.dim = check_positive_int(dim, "dim", minimum=2)
         self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
         self.metric = metric
-        self.block_rows = check_positive_int(block_rows, "block_rows")
+        self.chunk_rows = check_positive_int(chunk_rows, "chunk_rows")
         self.tile_cols = check_positive_int(tile_cols, "tile_cols")
         self.n_jobs = n_jobs
 
@@ -150,7 +154,7 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
                 packed,
                 self.X_train_,
                 k,
-                tile_rows=self.block_rows,
+                chunk_rows=self.chunk_rows,
                 tile_cols=self.tile_cols,
                 n_jobs=self.n_jobs,
             )
@@ -169,7 +173,7 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
                 _, idx = argmin_hamming(
                     packed,
                     self.X_train_,
-                    tile_rows=self.block_rows,
+                    chunk_rows=self.chunk_rows,
                     tile_cols=self.tile_cols,
                     n_jobs=self.n_jobs,
                 )

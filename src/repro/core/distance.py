@@ -17,6 +17,7 @@ import numpy as np
 from repro.parallel.chunking import chunk_spans
 from repro.parallel.pool import parallel_map
 from repro.utils.contracts import checks_same_dim
+from repro.utils.deprecation import renamed_kwargs
 from repro.utils.validation import check_positive_int
 
 
@@ -76,12 +77,13 @@ def _pairwise_span(A: np.ndarray, B: np.ndarray, span: Tuple[int, int]) -> np.nd
     return _pairwise_block(A[span[0]:span[1]], B)
 
 
+@renamed_kwargs(block_rows="chunk_rows")
 @checks_same_dim("A", "B")
 def pairwise_hamming(
     A: np.ndarray,
     B: Optional[np.ndarray] = None,
     *,
-    block_rows: int = 64,
+    chunk_rows: int = 64,
     n_jobs: Optional[int] = 1,
 ) -> np.ndarray:
     """Full Hamming distance matrix between packed batches.
@@ -91,10 +93,12 @@ def pairwise_hamming(
     A : (m, words) uint64
     B : (n, words) uint64 or None
         ``None`` means ``B = A`` (the LOOCV case).
-    block_rows:
+    chunk_rows:
         Rows of ``A`` processed per block; each block materialises an
-        ``block_rows x n x words`` XOR temporary, so this bounds memory at
-        roughly ``block_rows * n * words * 9`` bytes.
+        ``chunk_rows x n x words`` XOR temporary, so this bounds memory at
+        roughly ``chunk_rows * n * words * 9`` bytes.  (Spelled
+        ``block_rows`` before PR 4; the old keyword still works but emits
+        a ``DeprecationWarning``.)
     n_jobs:
         Worker count for block dispatch (default 1 = serial; ``None``/``0``
         defers to the ``REPRO_WORKERS`` env var via
@@ -111,25 +115,26 @@ def pairwise_hamming(
         raise ValueError("packed batches must be 2-d (n, words)")
     if A.shape[1] != B.shape[1]:
         raise ValueError(f"word-count mismatch: {A.shape[1]} vs {B.shape[1]}")
-    spans = chunk_spans(A.shape[0], block_rows)
+    spans = chunk_spans(A.shape[0], chunk_rows)
     if not spans:
         return np.zeros((0, B.shape[0]), dtype=np.int64)
     blocks = parallel_map(partial(_pairwise_span, A, B), spans, n_jobs=n_jobs)
     return np.concatenate(blocks, axis=0)
 
 
+@renamed_kwargs(block_rows="chunk_rows")
 def normalized_pairwise_hamming(
     A: np.ndarray,
     B: Optional[np.ndarray] = None,
     *,
     dim: int,
-    block_rows: int = 64,
+    chunk_rows: int = 64,
     n_jobs: Optional[int] = 1,
 ) -> np.ndarray:
     """Pairwise Hamming distances scaled by ``dim`` into [0, 1]."""
     if dim < 1:
         raise ValueError(f"dim must be >= 1, got {dim}")
-    return pairwise_hamming(A, B, block_rows=block_rows, n_jobs=n_jobs) / float(dim)
+    return pairwise_hamming(A, B, chunk_rows=chunk_rows, n_jobs=n_jobs) / float(dim)
 
 
 def euclidean_on_bits(A: np.ndarray, B: Optional[np.ndarray] = None, *, dim: int) -> np.ndarray:

@@ -9,13 +9,17 @@ categorical encoder, the prototype classifier and the examples.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.distance import pairwise_hamming
 from repro.core.hypervector import Hypervector, n_words
-from repro.core.search import argmin_hamming, topk_hamming
+from repro.core.search import TILE_COLS, TILE_ROWS, WORD_CHUNK, argmin_hamming, topk_hamming
+
+# Distinguishes "argument not passed" from an explicit n_jobs=None (which
+# means: resolve from the environment / cpu count).
+_UNSET = object()
 
 
 class ItemMemory:
@@ -32,6 +36,15 @@ class ItemMemory:
     ----------
     dim:
         Dimensionality of stored vectors.
+    chunk_rows, tile_cols, word_chunk, n_jobs:
+        Default engine parameters forwarded to the streaming search
+        kernels (:func:`repro.core.search.topk_hamming` /
+        :func:`~repro.core.search.argmin_hamming`) by :meth:`cleanup`,
+        :meth:`cleanup_batch` and :meth:`nearest`; each of those methods
+        also accepts the same keywords as per-call overrides.  Before
+        PR 4 these were not plumbed through at all (signature drift vs.
+        the engine); they are memory/parallelism bounds only and never
+        change results.
 
     Examples
     --------
@@ -43,13 +56,42 @@ class ItemMemory:
     'a'
     """
 
-    def __init__(self, dim: int) -> None:
+    def __init__(
+        self,
+        dim: int,
+        *,
+        chunk_rows: int = TILE_ROWS,
+        tile_cols: int = TILE_COLS,
+        word_chunk: int = WORD_CHUNK,
+        n_jobs: Optional[int] = 1,
+    ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self.dim = dim
+        self.chunk_rows = chunk_rows
+        self.tile_cols = tile_cols
+        self.word_chunk = word_chunk
+        self.n_jobs = n_jobs
         self._keys: List[Hashable] = []
         self._index: dict = {}
         self._buf = np.empty((0, n_words(dim)), dtype=np.uint64)
+
+    def _engine_kwargs(
+        self,
+        chunk_rows: Optional[int],
+        tile_cols: Optional[int],
+        word_chunk: Optional[int],
+        n_jobs: object,
+    ) -> dict:
+        # Per-call overrides fall back to the instance defaults; n_jobs
+        # uses the _UNSET sentinel because None is a meaningful value
+        # (= resolve from REPRO_WORKERS).
+        return {
+            "chunk_rows": self.chunk_rows if chunk_rows is None else chunk_rows,
+            "tile_cols": self.tile_cols if tile_cols is None else tile_cols,
+            "word_chunk": self.word_chunk if word_chunk is None else word_chunk,
+            "n_jobs": self.n_jobs if n_jobs is _UNSET else n_jobs,
+        }
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -136,21 +178,43 @@ class ItemMemory:
             rows[i] = self._index[key]
         return self._packed[rows]
 
-    def cleanup(self, query, *, return_distance: bool = True) -> Tuple[Hashable, int]:
+    def cleanup(
+        self,
+        query,
+        *,
+        return_distance: bool = True,
+        chunk_rows: Optional[int] = None,
+        tile_cols: Optional[int] = None,
+        word_chunk: Optional[int] = None,
+        n_jobs: object = _UNSET,
+    ) -> Tuple[Hashable, int]:
         """Return the stored key nearest (Hamming) to ``query``.
 
         Ties resolve to the earliest-stored key, making cleanup
-        deterministic.
+        deterministic.  Engine keywords override the instance defaults
+        for this call only.
         """
         if not self._keys:
             raise ValueError("cleanup on an empty ItemMemory")
         packed = self._coerce(query)
-        dist, best = argmin_hamming(packed[None, :], self._packed)
+        dist, best = argmin_hamming(
+            packed[None, :],
+            self._packed,
+            **self._engine_kwargs(chunk_rows, tile_cols, word_chunk, n_jobs),
+        )
         if return_distance:
             return self._keys[int(best[0])], int(dist[0])
         return self._keys[int(best[0])]  # type: ignore[return-value]
 
-    def cleanup_batch(self, queries: np.ndarray) -> Tuple[List[Hashable], np.ndarray]:
+    def cleanup_batch(
+        self,
+        queries: np.ndarray,
+        *,
+        chunk_rows: Optional[int] = None,
+        tile_cols: Optional[int] = None,
+        word_chunk: Optional[int] = None,
+        n_jobs: object = _UNSET,
+    ) -> Tuple[List[Hashable], np.ndarray]:
         """Vectorised cleanup of a packed ``(n, words)`` query batch.
 
         Streams through :func:`repro.core.search.argmin_hamming`, so the
@@ -158,6 +222,7 @@ class ItemMemory:
         Returns ``(keys, distances)`` where ``keys[i]`` is the nearest
         stored key to row ``i`` (ties to the earliest-stored key, as in
         :meth:`cleanup`) and ``distances`` the int64 Hamming distances.
+        Engine keywords override the instance defaults for this call.
         """
         if not self._keys:
             raise ValueError("cleanup on an empty ItemMemory")
@@ -166,23 +231,42 @@ class ItemMemory:
             raise ValueError(
                 f"queries must be (n, {n_words(self.dim)}), got {queries.shape}"
             )
-        dists, best = argmin_hamming(queries, self._packed)
+        dists, best = argmin_hamming(
+            queries,
+            self._packed,
+            **self._engine_kwargs(chunk_rows, tile_cols, word_chunk, n_jobs),
+        )
         return [self._keys[int(i)] for i in best], dists
 
-    def nearest(self, query, k: int = 1) -> List[Tuple[Hashable, int]]:
+    def nearest(
+        self,
+        query,
+        k: int = 1,
+        *,
+        chunk_rows: Optional[int] = None,
+        tile_cols: Optional[int] = None,
+        word_chunk: Optional[int] = None,
+        n_jobs: object = _UNSET,
+    ) -> List[Tuple[Hashable, int]]:
         """The ``k`` nearest stored items as ``(key, distance)`` pairs.
 
         Selection uses the streaming top-k engine (``np.argpartition``
         merges, no full sort); ties resolve to the earliest-stored key
         and results are ascending by ``(distance, insertion order)`` —
-        the same order a stable full sort would produce.
+        the same order a stable full sort would produce.  Engine keywords
+        override the instance defaults for this call.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if not self._keys:
             raise ValueError("nearest on an empty ItemMemory")
         packed = self._coerce(query)
-        dists, idx = topk_hamming(packed[None, :], self._packed, k)
+        dists, idx = topk_hamming(
+            packed[None, :],
+            self._packed,
+            k,
+            **self._engine_kwargs(chunk_rows, tile_cols, word_chunk, n_jobs),
+        )
         return [
             (self._keys[int(i)], int(d)) for i, d in zip(idx[0], dists[0])
         ]

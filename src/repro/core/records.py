@@ -45,6 +45,9 @@ from repro.core.bundling import (
 )
 from repro.core.encoding import BaseEncoder, BinaryEncoder, CategoricalEncoder, LevelEncoder
 from repro.core.hypervector import add_bits_into, n_words, unpack_bits
+# Aliased because `span` is the local name for (start, stop) row ranges
+# throughout this module.
+from repro.obs import span as span_ctx
 from repro.parallel import chunk_spans, parallel_map
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.validation import check_array, check_positive_int
@@ -174,6 +177,10 @@ class RecordEncoder:
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "RecordEncoder":
         """Fit one encoder per column on the training matrix."""
+        with span_ctx("encode.fit", dim=self.dim):
+            return self._fit(X)
+
+    def _fit(self, X: np.ndarray) -> "RecordEncoder":
         X = check_array(X, dtype=np.float64, name="X")
         if self.specs is None:
             self.specs_: List[FeatureSpec] = infer_feature_specs(X)
@@ -245,15 +252,16 @@ class RecordEncoder:
         unpacked bits, one feature at a time.
         """
         start, stop = span
-        counts = np.zeros(
-            (stop - start, self.dim), dtype=vote_count_dtype(len(self.encoders_))
-        )
-        for j, enc in enumerate(self.encoders_):
-            rows = enc.codebook()[enc.quantize(X[start:stop, j])]
-            if self.bind_ids:
-                rows ^= self.id_vectors_[j]
-            add_bits_into(rows, self.dim, counts)
-        return counts
+        with span_ctx("encode.count_chunk", rows=stop - start):
+            counts = np.zeros(
+                (stop - start, self.dim), dtype=vote_count_dtype(len(self.encoders_))
+            )
+            for j, enc in enumerate(self.encoders_):
+                rows = enc.codebook()[enc.quantize(X[start:stop, j])]
+                if self.bind_ids:
+                    rows ^= self.id_vectors_[j]
+                add_bits_into(rows, self.dim, counts)
+            return counts
 
     def _bundle_chunk(self, X: np.ndarray, span: Tuple[int, int]) -> np.ndarray:
         """Packed majority bundle for one row chunk (tie rules without RNG)."""
@@ -279,23 +287,30 @@ class RecordEncoder:
         X = self._check_transform_input(X)
         n_jobs = self.n_jobs if n_jobs is _UNSET else n_jobs
         chunk = chunk_rows if chunk_rows is not None else self.chunk_rows
-        spans = chunk_spans(X.shape[0], chunk)
-        if not spans:
-            return np.zeros((0, n_words(self.dim)), dtype=np.uint64)
-        if self.tie == "random":
-            # The random tie rule consumes one RNG stream over the whole
-            # batch (row-major), so counts are assembled first and the tie
-            # is broken globally — keeping the output independent of
-            # chunking and identical to the reference path.
-            blocks = parallel_map(
-                partial(self._count_chunk, X), spans, n_jobs=n_jobs
-            )
-            counts = np.concatenate(blocks, axis=0)
-            return majority_from_counts(
-                counts, len(self.encoders_), self.dim, tie=self.tie, seed=self.seed
-            )
-        blocks = parallel_map(partial(self._bundle_chunk, X), spans, n_jobs=n_jobs)
-        return np.concatenate(blocks, axis=0)
+        with span_ctx(
+            "encode.transform",
+            rows=X.shape[0],
+            features=len(self.encoders_),
+            dim=self.dim,
+            chunk_rows=chunk,
+        ):
+            spans = chunk_spans(X.shape[0], chunk)
+            if not spans:
+                return np.zeros((0, n_words(self.dim)), dtype=np.uint64)
+            if self.tie == "random":
+                # The random tie rule consumes one RNG stream over the whole
+                # batch (row-major), so counts are assembled first and the tie
+                # is broken globally — keeping the output independent of
+                # chunking and identical to the reference path.
+                blocks = parallel_map(
+                    partial(self._count_chunk, X), spans, n_jobs=n_jobs
+                )
+                counts = np.concatenate(blocks, axis=0)
+                return majority_from_counts(
+                    counts, len(self.encoders_), self.dim, tie=self.tie, seed=self.seed
+                )
+            blocks = parallel_map(partial(self._bundle_chunk, X), spans, n_jobs=n_jobs)
+            return np.concatenate(blocks, axis=0)
 
     def transform_reference(self, X: np.ndarray) -> np.ndarray:
         """The pre-fusion per-row path, kept as a bit-exact oracle.

@@ -5,7 +5,7 @@ Every nearest-neighbour path in the repo used to materialise the full
 the paper's 392 Pima rows but hostile at scale: a 100k-record store would
 need ~80 GB for one leave-one-out pass.  This module replaces all of it
 with a **tiled, streaming top-k engine** that never holds more than one
-``(tile_rows, tile_cols)`` distance block:
+``(chunk_rows, tile_cols)`` distance block:
 
 * :func:`topk_hamming` — exact k smallest Hamming distances per query,
   processed in (query-tile × candidate-tile) blocks with a running
@@ -32,10 +32,14 @@ dense paths are bit-identical — pinned by ``tests/core/test_search.py``.
 
 Memory bound
 ------------
-Each in-flight tile costs ``tile_rows * tile_cols * (word_chunk * 9 + 8)``
+Each in-flight tile costs ``chunk_rows * tile_cols * (word_chunk * 9 + 8)``
 bytes (XOR temporary + popcount bytes + int64 accumulator); the running
 state is ``O(m * k)``.  Workers process disjoint query tiles, so the bound
 scales linearly with ``n_jobs`` and nothing ever materialises ``(m, n)``.
+
+Keyword unification (PR 4): the query-tile knob is now spelled
+``chunk_rows`` everywhere; the legacy ``tile_rows`` / ``tile`` /
+``block_rows`` spellings still work through deprecation shims.
 """
 
 from __future__ import annotations
@@ -47,7 +51,9 @@ import numpy as np
 
 from repro.core.distance import hamming_block
 from repro.core.hypervector import Hypervector, n_words
+from repro.obs import span
 from repro.utils.contracts import checks_packed, checks_same_dim
+from repro.utils.deprecation import renamed_kwargs
 from repro.parallel.chunking import chunk_spans
 from repro.parallel.pool import parallel_map, resolve_config
 
@@ -194,13 +200,14 @@ def _topk_span(
     return best_d, best_i
 
 
+@renamed_kwargs(tile_rows="chunk_rows")
 @checks_same_dim("Q", "X")
 def topk_hamming(
     Q: np.ndarray,
     X: np.ndarray,
     k: int,
     *,
-    tile_rows: int = TILE_ROWS,
+    chunk_rows: int = TILE_ROWS,
     tile_cols: int = TILE_COLS,
     word_chunk: int = WORD_CHUNK,
     n_jobs: Optional[int] = 1,
@@ -215,10 +222,12 @@ def topk_hamming(
         Packed candidate store.
     k:
         Neighbours per query; clamped to ``n``.
-    tile_rows, tile_cols:
+    chunk_rows, tile_cols:
         Query/candidate tile geometry; bounds peak memory at
-        ``tile_rows * tile_cols * (word_chunk * 9 + 8)`` bytes per worker.
-        Results are invariant to the geometry.
+        ``chunk_rows * tile_cols * (word_chunk * 9 + 8)`` bytes per worker.
+        Results are invariant to the geometry.  (``chunk_rows`` was spelled
+        ``tile_rows`` before PR 4; the old keyword still works but emits a
+        ``DeprecationWarning``.)
     word_chunk:
         Words per popcount slice inside a tile (see
         :func:`repro.core.distance.hamming_block`).
@@ -240,23 +249,25 @@ def topk_hamming(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     k = min(k, X.shape[0])
-    spans = chunk_spans(Q.shape[0], tile_rows)
-    if not spans:
-        empty = np.empty((0, k), dtype=np.int64)
-        return empty, empty.copy()
-    worker = partial(_topk_span, Q, X, k, tile_cols, word_chunk)
-    parts = parallel_map(worker, spans, n_jobs=n_jobs)
-    return (
-        np.concatenate([d for d, _ in parts], axis=0),
-        np.concatenate([i for _, i in parts], axis=0),
-    )
+    with span("search.topk", queries=Q.shape[0], candidates=X.shape[0], k=k):
+        spans = chunk_spans(Q.shape[0], chunk_rows)
+        if not spans:
+            empty = np.empty((0, k), dtype=np.int64)
+            return empty, empty.copy()
+        worker = partial(_topk_span, Q, X, k, tile_cols, word_chunk)
+        parts = parallel_map(worker, spans, n_jobs=n_jobs)
+        return (
+            np.concatenate([d for d, _ in parts], axis=0),
+            np.concatenate([i for _, i in parts], axis=0),
+        )
 
 
+@renamed_kwargs(tile_rows="chunk_rows")
 def argmin_hamming(
     Q: np.ndarray,
     X: np.ndarray,
     *,
-    tile_rows: int = TILE_ROWS,
+    chunk_rows: int = TILE_ROWS,
     tile_cols: int = TILE_COLS,
     word_chunk: int = WORD_CHUNK,
     n_jobs: Optional[int] = 1,
@@ -270,7 +281,7 @@ def argmin_hamming(
         Q,
         X,
         1,
-        tile_rows=tile_rows,
+        chunk_rows=chunk_rows,
         tile_cols=tile_cols,
         word_chunk=word_chunk,
         n_jobs=n_jobs,
@@ -313,12 +324,13 @@ def _loo_block(
     return hamming_block(X[rspan[0] : rspan[1]], X[cspan[0] : cspan[1]], word_chunk=word_chunk)
 
 
+@renamed_kwargs(tile="chunk_rows")
 @checks_packed("X")
 def loo_topk_hamming(
     X: np.ndarray,
     k: int = 1,
     *,
-    tile: int = 256,
+    chunk_rows: int = 256,
     word_chunk: int = WORD_CHUNK,
     n_jobs: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -335,6 +347,8 @@ def loo_topk_hamming(
     Tile pairs are visited so that every row receives its candidate tiles
     in ascending-index order, preserving the lowest-index tie-break
     contract.  Returns ``(distances, indices)`` of shape ``(n, k)``.
+    (``chunk_rows`` was spelled ``tile`` before PR 4; the old keyword
+    still works but emits a ``DeprecationWarning``.)
     """
     X = np.ascontiguousarray(X, dtype=np.uint64)
     if X.ndim != 2:
@@ -349,38 +363,40 @@ def loo_topk_hamming(
     best_d = np.full((n, k), _EMPTY, dtype=np.int64)
     best_i = np.full((n, k), -1, dtype=np.int64)
     group = max(1, resolve_config(n_jobs).workers)
-    for r0, r1 in chunk_spans(n, tile):
-        # Diagonal tile: covers all intra-tile pairs (both orientations),
-        # with self-distances masked out.
-        diag = hamming_block(X[r0:r1], X[r0:r1], word_chunk=word_chunk)
-        np.fill_diagonal(diag, sentinel)
-        best_d[r0:r1], best_i[r0:r1] = _merge_topk(
-            best_d[r0:r1], best_i[r0:r1], diag, r0
-        )
-        # Strictly-upper tiles, in batches of `group` so parallel block
-        # computation never holds more than `group` tiles at once.
-        cspans = chunk_spans(n - r1, tile)
-        cspans = [(r1 + a, r1 + b) for a, b in cspans]
-        for g0 in range(0, len(cspans), group):
-            batch = cspans[g0 : g0 + group]
-            blocks = parallel_map(
-                partial(_loo_block, X, (r0, r1), word_chunk), batch, n_jobs=n_jobs
+    with span("search.loo_topk", rows=n, k=k):
+        for r0, r1 in chunk_spans(n, chunk_rows):
+            # Diagonal tile: covers all intra-tile pairs (both orientations),
+            # with self-distances masked out.
+            diag = hamming_block(X[r0:r1], X[r0:r1], word_chunk=word_chunk)
+            np.fill_diagonal(diag, sentinel)
+            best_d[r0:r1], best_i[r0:r1] = _merge_topk(
+                best_d[r0:r1], best_i[r0:r1], diag, r0
             )
-            for (c0, c1), block in zip(batch, blocks):
-                best_d[r0:r1], best_i[r0:r1] = _merge_topk(
-                    best_d[r0:r1], best_i[r0:r1], block, c0
+            # Strictly-upper tiles, in batches of `group` so parallel block
+            # computation never holds more than `group` tiles at once.
+            cspans = chunk_spans(n - r1, chunk_rows)
+            cspans = [(r1 + a, r1 + b) for a, b in cspans]
+            for g0 in range(0, len(cspans), group):
+                batch = cspans[g0 : g0 + group]
+                blocks = parallel_map(
+                    partial(_loo_block, X, (r0, r1), word_chunk), batch, n_jobs=n_jobs
                 )
-                best_d[c0:c1], best_i[c0:c1] = _merge_topk(
-                    best_d[c0:c1],
-                    best_i[c0:c1],
-                    np.ascontiguousarray(block.T),
-                    r0,
-                )
+                for (c0, c1), block in zip(batch, blocks):
+                    best_d[r0:r1], best_i[r0:r1] = _merge_topk(
+                        best_d[r0:r1], best_i[r0:r1], block, c0
+                    )
+                    best_d[c0:c1], best_i[c0:c1] = _merge_topk(
+                        best_d[c0:c1],
+                        best_i[c0:c1],
+                        np.ascontiguousarray(block.T),
+                        r0,
+                    )
     return best_d, best_i
 
 
+@renamed_kwargs(block_rows="chunk_rows")
 def loo_topk_hamming_reference(
-    X: np.ndarray, k: int = 1, *, block_rows: int = 128
+    X: np.ndarray, k: int = 1, *, chunk_rows: int = 128
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Dense reference for :func:`loo_topk_hamming`.
 
@@ -398,7 +414,7 @@ def loo_topk_hamming_reference(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     k = min(k, n - 1)
-    D = pairwise_hamming(X, block_rows=block_rows)
+    D = pairwise_hamming(X, chunk_rows=chunk_rows)
     np.fill_diagonal(D, np.int64(64 * words + 1))
     idx = np.argsort(D, axis=1, kind="stable")[:, :k]
     return np.take_along_axis(D, idx, axis=1), idx
@@ -433,11 +449,12 @@ class HDIndex:
     (['a'], array([0]))
     """
 
+    @renamed_kwargs(tile_rows="chunk_rows")
     def __init__(
         self,
         dim: int,
         *,
-        tile_rows: int = TILE_ROWS,
+        chunk_rows: int = TILE_ROWS,
         tile_cols: int = TILE_COLS,
         word_chunk: int = WORD_CHUNK,
         n_jobs: Optional[int] = 1,
@@ -445,7 +462,7 @@ class HDIndex:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self.dim = dim
-        self.tile_rows = tile_rows
+        self.chunk_rows = chunk_rows
         self.tile_cols = tile_cols
         self.word_chunk = word_chunk
         self.n_jobs = n_jobs
@@ -558,28 +575,31 @@ class HDIndex:
         """
         if not self._keys:
             raise ValueError("query on an empty HDIndex")
-        d, idx = topk_hamming(
-            self._coerce_queries(Q),
-            self._packed,
-            k,
-            tile_rows=self.tile_rows,
-            tile_cols=self.tile_cols,
-            word_chunk=self.word_chunk,
-            n_jobs=self.n_jobs,
-        )
-        keys = [[self._keys[int(j)] for j in row] for row in idx]
-        return keys, d
+        Qp = self._coerce_queries(Q)
+        with span("index.query_topk", queries=Qp.shape[0], size=len(self._keys), k=k):
+            d, idx = topk_hamming(
+                Qp,
+                self._packed,
+                k,
+                chunk_rows=self.chunk_rows,
+                tile_cols=self.tile_cols,
+                word_chunk=self.word_chunk,
+                n_jobs=self.n_jobs,
+            )
+            keys = [[self._keys[int(j)] for j in row] for row in idx]
+            return keys, d
 
     def query_argmin(self, Q) -> Tuple[List[Hashable], np.ndarray]:
         """Nearest stored key per query row: ``(keys, distances)``."""
         if not self._keys:
             raise ValueError("query on an empty HDIndex")
-        d, idx = argmin_hamming(
-            self._coerce_queries(Q),
-            self._packed,
-            tile_rows=self.tile_rows,
-            tile_cols=self.tile_cols,
-            word_chunk=self.word_chunk,
-            n_jobs=self.n_jobs,
-        )
-        return [self._keys[int(j)] for j in idx], d
+        with span("index.query_argmin", size=len(self._keys)):
+            d, idx = argmin_hamming(
+                self._coerce_queries(Q),
+                self._packed,
+                chunk_rows=self.chunk_rows,
+                tile_cols=self.tile_cols,
+                word_chunk=self.word_chunk,
+                n_jobs=self.n_jobs,
+            )
+            return [self._keys[int(j)] for j in idx], d

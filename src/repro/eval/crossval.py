@@ -21,7 +21,9 @@ import numpy as np
 from repro.core.search import loo_topk_hamming, loo_topk_hamming_reference, vote_counts
 from repro.eval.metrics import classification_report
 from repro.ml.base import clone
+from repro.obs import span
 from repro.parallel import parallel_map
+from repro.utils.deprecation import renamed_kwargs
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_consistent_length, check_positive_int, column_or_1d
 
@@ -212,11 +214,13 @@ def cross_validate(
 
     def run_fold(split: Tuple[np.ndarray, np.ndarray]) -> Tuple[float, float]:
         train, test = split
-        model = clone(estimator)
-        model.fit(X[train], y[train])
-        return model.score(X[train], y[train]), model.score(X[test], y[test])
+        with span("eval.fold", train=train.size, test=test.size):
+            model = clone(estimator)
+            model.fit(X[train], y[train])
+            return model.score(X[train], y[train]), model.score(X[test], y[test])
 
-    scores = parallel_map(run_fold, splits, n_jobs=n_jobs)
+    with span("eval.crossval", folds=len(splits), rows=X.shape[0]):
+        scores = parallel_map(run_fold, splits, n_jobs=n_jobs)
     tr, te = zip(*scores)
     return CVResult(np.asarray(tr), np.asarray(te))
 
@@ -262,13 +266,14 @@ def _loo_result(
     return LOOResult(y_true=y.copy(), y_pred=y_pred, report=report)
 
 
+@renamed_kwargs(block_rows="chunk_rows")
 def leave_one_out_hamming(
     packed: np.ndarray,
     y: np.ndarray,
     *,
     n_neighbors: int = 1,
     positive=1,
-    block_rows: int = 128,
+    chunk_rows: int = 128,
     n_jobs: Optional[int] = 1,
 ) -> LOOResult:
     """§II-C's validation: each record classified by its nearest *other* record.
@@ -280,22 +285,26 @@ def leave_one_out_hamming(
     in flight plus the ``(n, k)`` running top-k state.  With
     ``n_neighbors > 1`` the k nearest non-self records vote.  Predictions
     are bit-identical to :func:`leave_one_out_hamming_reference` (ties to
-    the lowest record index); ``block_rows``/``n_jobs`` only change the
-    tile geometry and dispatch, never the result.
+    the lowest record index); ``chunk_rows``/``n_jobs`` only change the
+    tile geometry and dispatch, never the result.  (``chunk_rows`` was
+    spelled ``block_rows`` before PR 4; the old keyword still works but
+    emits a ``DeprecationWarning``.)
     """
     packed, y = _loo_validate(packed, y)
     k = min(n_neighbors, packed.shape[0] - 1)
-    _, neighbors = loo_topk_hamming(packed, k, tile=block_rows, n_jobs=n_jobs)
-    return _loo_result(neighbors, y, positive)
+    with span("eval.loo", records=packed.shape[0], k=k):
+        _, neighbors = loo_topk_hamming(packed, k, chunk_rows=chunk_rows, n_jobs=n_jobs)
+        return _loo_result(neighbors, y, positive)
 
 
+@renamed_kwargs(block_rows="chunk_rows")
 def leave_one_out_hamming_reference(
     packed: np.ndarray,
     y: np.ndarray,
     *,
     n_neighbors: int = 1,
     positive=1,
-    block_rows: int = 128,
+    chunk_rows: int = 128,
 ) -> LOOResult:
     """Dense-matrix reference for :func:`leave_one_out_hamming`.
 
@@ -306,5 +315,5 @@ def leave_one_out_hamming_reference(
     """
     packed, y = _loo_validate(packed, y)
     k = min(n_neighbors, packed.shape[0] - 1)
-    _, neighbors = loo_topk_hamming_reference(packed, k, block_rows=block_rows)
+    _, neighbors = loo_topk_hamming_reference(packed, k, chunk_rows=chunk_rows)
     return _loo_result(neighbors, y, positive)

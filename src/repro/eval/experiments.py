@@ -32,6 +32,7 @@ from repro.eval.crossval import (
 )
 from repro.eval.metrics import classification_report
 from repro.ml.base import BaseEstimator
+from repro.obs import span
 from repro.ml.ensemble import (
     CatBoostClassifier,
     LGBMClassifier,
@@ -131,12 +132,13 @@ def encode_dataset(
     encoder's min/max and the per-feature seeds are data-wide properties
     (the paper computes hypervectors once, before any split).
     """
-    enc = RecordEncoder(
-        specs=ds.specs, dim=config.dim, seed=derive_seed(config.seed, "encode", ds.name)
-    ).fit(ds.X)
-    packed = enc.transform(ds.X)
-    dense = enc.transform_dense(ds.X).astype(np.float64)
-    return packed, dense, enc
+    with span("eval.encode_dataset", dataset=ds.name, rows=ds.X.shape[0], dim=config.dim):
+        enc = RecordEncoder(
+            specs=ds.specs, dim=config.dim, seed=derive_seed(config.seed, "encode", ds.name)
+        ).fit(ds.X)
+        packed = enc.transform(ds.X)
+        dense = enc.transform_dense(ds.X).astype(np.float64)
+        return packed, dense, enc
 
 
 # ----------------------------------------------------------------------
@@ -209,20 +211,28 @@ def run_table2(
     datasets = datasets or default_datasets(config)
     out: Dict[str, Dict[str, float]] = {}
     for name, ds in datasets.items():
-        packed, dense, _ = encode_dataset(ds, config)
-        loo = leave_one_out_hamming(packed, ds.y, n_jobs=config.loo_n_jobs)
-        # The paper's NN does "little preprocessing of data": raw features
-        # go in unscaled (which is what caps its Pima accuracy at ~71%
-        # and gives hypervectors their +8-point headroom).  Hypervector
-        # input is 0/1 and needs no scaling either.
-        nn_feat = _nn_repeated_accuracy(ds.X, ds.y, config, scaled=False, tag=f"{name}-f")
-        nn_hv = _nn_repeated_accuracy(dense, ds.y, config, scaled=False, tag=f"{name}-h")
-        out[name] = {
-            "hamming": loo.accuracy,
-            "nn_features": nn_feat,
-            "nn_hypervectors": nn_hv,
-        }
+        with span("eval.experiments.table2", dataset=name):
+            out[name] = _table2_dataset(name, ds, config)
     return out
+
+
+def _table2_dataset(
+    name: str, ds: Dataset, config: ExperimentConfig
+) -> Dict[str, float]:
+    """One dataset's Table II row (split out so each gets its own span)."""
+    packed, dense, _ = encode_dataset(ds, config)
+    loo = leave_one_out_hamming(packed, ds.y, n_jobs=config.loo_n_jobs)
+    # The paper's NN does "little preprocessing of data": raw features
+    # go in unscaled (which is what caps its Pima accuracy at ~71%
+    # and gives hypervectors their +8-point headroom).  Hypervector
+    # input is 0/1 and needs no scaling either.
+    nn_feat = _nn_repeated_accuracy(ds.X, ds.y, config, scaled=False, tag=f"{name}-f")
+    nn_hv = _nn_repeated_accuracy(dense, ds.y, config, scaled=False, tag=f"{name}-h")
+    return {
+        "hamming": loo.accuracy,
+        "nn_features": nn_feat,
+        "nn_hypervectors": nn_hv,
+    }
 
 
 def _nn_repeated_accuracy(
@@ -279,24 +289,25 @@ def run_table3(
     chosen = models or MODEL_ORDER
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name, ds in datasets.items():
-        _, dense, _ = encode_dataset(ds, config)
-        grid_f = model_grid(config, scaled=True)
-        grid_h = model_grid(config, scaled=False)
-        per_model: Dict[str, Dict[str, float]] = {}
-        for model_name in chosen:
-            res_f = cross_validate(
-                grid_f[model_name](), ds.X, ds.y, n_splits=config.n_folds, seed=config.seed
-            )
-            res_h = cross_validate(
-                grid_h[model_name](), dense, ds.y, n_splits=config.n_folds, seed=config.seed
-            )
-            per_model[model_name] = {
-                "features": res_f.mean_train,
-                "hypervectors": res_h.mean_train,
-                "features_test": res_f.mean_test,
-                "hypervectors_test": res_h.mean_test,
-            }
-        out[name] = per_model
+        with span("eval.experiments.table3", dataset=name, models=len(chosen)):
+            _, dense, _ = encode_dataset(ds, config)
+            grid_f = model_grid(config, scaled=True)
+            grid_h = model_grid(config, scaled=False)
+            per_model: Dict[str, Dict[str, float]] = {}
+            for model_name in chosen:
+                res_f = cross_validate(
+                    grid_f[model_name](), ds.X, ds.y, n_splits=config.n_folds, seed=config.seed
+                )
+                res_h = cross_validate(
+                    grid_h[model_name](), dense, ds.y, n_splits=config.n_folds, seed=config.seed
+                )
+                per_model[model_name] = {
+                    "features": res_f.mean_train,
+                    "hypervectors": res_h.mean_train,
+                    "features_test": res_f.mean_test,
+                    "hypervectors_test": res_h.mean_test,
+                }
+            out[name] = per_model
     return out
 
 
@@ -325,6 +336,21 @@ def run_table45(
     if include_hamming is None:
         include_hamming = dataset_name == "sylhet"
     chosen = models or MODEL_ORDER
+    with span("eval.experiments.table45", dataset=dataset_name, models=len(chosen)):
+        return _table45_body(
+            dataset_name, ds, config, chosen, include_hamming=include_hamming
+        )
+
+
+def _table45_body(
+    dataset_name: str,
+    ds: Dataset,
+    config: ExperimentConfig,
+    chosen: List[str],
+    *,
+    include_hamming: bool,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Table IV/V body (split out so the span wraps one clean call)."""
     packed, dense, _ = encode_dataset(ds, config)
 
     split_seed = derive_seed(config.seed, "table45", dataset_name)
@@ -378,6 +404,14 @@ def run_runtime_study(
     config = config or ExperimentConfig.paper()
     datasets = datasets or default_datasets(config)
     ds = datasets[dataset_name]
+    with span("eval.experiments.runtime_study", dataset=dataset_name):
+        return _runtime_study_body(ds, config, nn_epochs=nn_epochs)
+
+
+def _runtime_study_body(
+    ds: Dataset, config: ExperimentConfig, *, nn_epochs: int
+) -> Dict[str, Dict[str, float]]:
+    """Runtime-study body (split out so the span wraps one clean call)."""
     _, dense, _ = encode_dataset(ds, config)
     out: Dict[str, Dict[str, float]] = {}
 
@@ -431,9 +465,10 @@ def run_dimension_ablation(
     ds = datasets[dataset_name]
     out: Dict[int, float] = {}
     for dim in dims:
-        cfg = replace(config, dim=dim)
-        packed, _, _ = encode_dataset(ds, cfg)
-        out[dim] = leave_one_out_hamming(packed, ds.y, n_jobs=cfg.loo_n_jobs).accuracy
+        with span("eval.experiments.dim_ablation", dataset=dataset_name, dim=dim):
+            cfg = replace(config, dim=dim)
+            packed, _, _ = encode_dataset(ds, cfg)
+            out[dim] = leave_one_out_hamming(packed, ds.y, n_jobs=cfg.loo_n_jobs).accuracy
     return out
 
 
@@ -454,6 +489,12 @@ def run_encoding_ablation(
     config = config or ExperimentConfig.paper()
     datasets = datasets or default_datasets(config)
     ds = datasets[dataset_name]
+    with span("eval.experiments.encoding_ablation", dataset=dataset_name):
+        return _encoding_ablation_body(ds, config)
+
+
+def _encoding_ablation_body(ds: Dataset, config: ExperimentConfig) -> Dict[str, float]:
+    """Encoding-ablation body (split out so the span wraps one clean call)."""
     out: Dict[str, float] = {}
 
     for tie in ("one", "zero", "random"):

@@ -1,4 +1,4 @@
-"""hdlint rule registry: the HD001–HD006 invariant catalogue.
+"""hdlint rule registry: the HD001–HD007 invariant catalogue.
 
 Each rule is an :class:`ast`-level checker encoding one contract the hot
 paths of this repository actually depend on (see DESIGN.md §7 for the
@@ -295,9 +295,34 @@ class QuadraticMemoryRule(Rule):
         "`range(X.shape[0])` with X[i] in the body iterates records in "
         "Python — batch it; (c) streaming-path functions (loo/topk/argmin) "
         "must not call dense pairwise materialisers. `*_reference` oracles "
-        "are exempt from (b) and (c) by design."
+        "are exempt from (b) and (c) by design, and (b) skips loops over "
+        "results collected from repro.parallel.parallel_map — those "
+        "iterate O(n_chunks) dispatched blocks, not O(n) records (the "
+        "span-instrumented streaming wrappers collect this way)."
     )
     scope = ("repro/core", "repro/eval")
+
+    @staticmethod
+    def _parallel_result_names(fn: ast.FunctionDef) -> set:
+        """Names bound to ``parallel_map(...)`` results inside ``fn``."""
+        names: set = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            dispatched = any(
+                isinstance(c, ast.Call) and _call_func_name(c) == "parallel_map"
+                for c in ast.walk(node.value)
+            )
+            if not dispatched:
+                continue
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+                elif isinstance(tgt, (ast.Tuple, ast.List)):
+                    names.update(
+                        e.id for e in tgt.elts if isinstance(e, ast.Name)
+                    )
+        return names
 
     @staticmethod
     def _row_loop_target(node: ast.For) -> Optional[str]:
@@ -335,10 +360,13 @@ class QuadraticMemoryRule(Rule):
         for fn, _cls in iter_functions(tree):
             if fn.name.endswith("_reference"):
                 continue
+            chunk_results = self._parallel_result_names(fn)
             for node in ast.walk(fn):
                 # (b) row-at-a-time loops over an array variable.
                 if isinstance(node, ast.For):
                     target = self._row_loop_target(node)
+                    if target in chunk_results:
+                        continue
                     if target is not None and any(
                         isinstance(sub, ast.Subscript)
                         and isinstance(sub.value, ast.Name)
@@ -586,6 +614,140 @@ class ReferenceDriftRule(Rule):
                         f"{self._positional_sig(ref)}); differential tests "
                         f"call both with the same positional args",
                     )
+
+
+# ----------------------------------------------------------------------
+# HD007 — public facade integrity (repro.api)
+# ----------------------------------------------------------------------
+
+
+@register
+class ApiFacadeRule(Rule):
+    """``repro.api`` must be a complete, resolvable re-export surface."""
+
+    code = "HD007"
+    name = "api-facade-integrity"
+    description = (
+        "The public facade (repro/api) is a pure re-export module: it must "
+        "define __all__ as a literal list of unique string names, every "
+        "entry must be bound by a top-level import or definition, every "
+        "public top-level import must be listed in __all__ (no silent "
+        "surface drift), wildcard imports are banned, and `from repro...` "
+        "imports must resolve — the source module imports and exposes "
+        "each imported attribute. Signature equality with the defining "
+        "modules is additionally pinned by tests/api/test_facade.py."
+    )
+    scope = ("repro/api",)
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> Optional[ast.Assign]:
+        for stmt in tree.body:
+            if (isinstance(stmt, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "__all__"
+                            for t in stmt.targets)):
+                return stmt
+        return None
+
+    @staticmethod
+    def _resolve(module: str, name: str) -> bool:
+        """True when ``from module import name`` would succeed."""
+        import importlib
+
+        try:
+            mod = importlib.import_module(module)
+        except ImportError:
+            return False
+        if hasattr(mod, name):
+            return True
+        try:  # submodule not yet imported as an attribute
+            importlib.import_module(f"{module}.{name}")
+            return True
+        except ImportError:
+            return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        bound: set = set()
+        imported: List[Tuple[str, ast.ImportFrom]] = []
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        yield self.finding(
+                            stmt, path,
+                            "wildcard import in the public facade; enumerate "
+                            "every re-exported name so __all__ stays auditable",
+                        )
+                        continue
+                    bound.add(alias.asname or alias.name)
+                    imported.append((alias.asname or alias.name, stmt))
+                    if (stmt.module and stmt.module.split(".")[0] == "repro"
+                            and not self._resolve(stmt.module, alias.name)):
+                        yield self.finding(
+                            stmt, path,
+                            f"facade import `{alias.name}` does not resolve "
+                            f"from `{stmt.module}`",
+                        )
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+                    imported.append(
+                        (alias.asname or alias.name.split(".")[0], stmt)  # type: ignore[arg-type]
+                    )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                bound.update(
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+
+        all_stmt = self._find_all(tree)
+        if all_stmt is None:
+            yield self.finding(
+                tree.body[0] if tree.body else tree, path,
+                "public facade defines no __all__; the blessed surface must "
+                "be an explicit literal list",
+            )
+            return
+        if not isinstance(all_stmt.value, (ast.List, ast.Tuple)):
+            yield self.finding(
+                all_stmt, path,
+                "__all__ must be a literal list/tuple of string names",
+            )
+            return
+        entries: List[str] = []
+        for elt in all_stmt.value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                entries.append(elt.value)
+            else:
+                yield self.finding(
+                    elt, path,
+                    "__all__ entries must be plain string literals",
+                )
+        seen: set = set()
+        for name in entries:
+            if name in seen:
+                yield self.finding(
+                    all_stmt, path, f"duplicate __all__ entry `{name}`",
+                )
+            seen.add(name)
+            if name not in bound:
+                yield self.finding(
+                    all_stmt, path,
+                    f"__all__ exports `{name}` but the facade never binds it",
+                )
+        for name, stmt in imported:
+            if not name.startswith("_") and name not in seen:
+                yield self.finding(
+                    stmt, path,
+                    f"facade imports `{name}` but omits it from __all__; "
+                    f"the blessed surface must list every public re-export",
+                )
 
 
 __all__ = [

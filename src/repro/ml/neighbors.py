@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
 from repro.parallel.chunking import chunk_spans
+from repro.utils.deprecation import renamed_kwargs
 from repro.utils.validation import check_array, check_positive_int
 
 
@@ -32,22 +33,24 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         (votes weighted by inverse distance; exact matches dominate).
     metric:
         ``"euclidean"`` (default) or ``"manhattan"``.
-    block_rows:
+    chunk_rows:
         Query rows per distance block, bounding peak memory for wide
-        hypervector matrices.
+        hypervector matrices.  (Spelled ``block_rows`` before PR 4; the
+        old keyword still works but emits a ``DeprecationWarning``.)
     """
 
+    @renamed_kwargs(block_rows="chunk_rows")
     def __init__(
         self,
         n_neighbors: int = 5,
         weights: str = "uniform",
         metric: str = "euclidean",
-        block_rows: int = 256,
+        chunk_rows: int = 256,
     ) -> None:
         self.n_neighbors = n_neighbors
         self.weights = weights
         self.metric = metric
-        self.block_rows = block_rows
+        self.chunk_rows = chunk_rows
 
     def fit(self, X, y) -> "KNeighborsClassifier":
         check_positive_int(self.n_neighbors, "n_neighbors")
@@ -92,7 +95,7 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         n_classes = self.classes_.size
         votes = np.empty((X.shape[0], n_classes), dtype=np.float64)
         k = self.n_neighbors
-        for start, stop in chunk_spans(X.shape[0], self.block_rows):
+        for start, stop in chunk_spans(X.shape[0], self.chunk_rows):
             D = self._distance_block(X[start:stop])
             # argpartition for the k smallest, then stable ordering inside.
             part = np.argpartition(D, k - 1, axis=1)[:, :k]

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, validate_fit_args
+from repro.obs import span
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_array, check_in_range, check_positive_int
 
@@ -164,25 +165,26 @@ class SequentialNN(BaseEstimator, ClassifierMixin):
         t_step = 0
         self.history_: List[Tuple[float, Optional[float]]] = []
         best_weights = None
-        for epoch in range(self.epochs):
-            order = rng.permutation(n_tr)
-            for start in range(0, n_tr, batch):
-                idx = order[start : start + batch]
-                t_step += 1
-                self._train_batch(X_tr[idx], y_tr[idx], t_step)
-            train_loss = self._loss(X_tr, y_tr)
-            val_loss = self._loss(X_val, y_val) if X_val is not None else None
-            self.history_.append((train_loss, val_loss))
-            monitored = val_loss if val_loss is not None else train_loss
-            if self.patience is not None:
-                if monitored < best_loss - 1e-6:
-                    best_loss = monitored
-                    stall = 0
-                    best_weights = [(l.W.copy(), l.b.copy()) for l in self.layers_]
-                else:
-                    stall += 1
-                    if stall >= self.patience:
-                        break
+        with span("ml.nn.fit", rows=n, features=f, max_epochs=self.epochs):
+            for epoch in range(self.epochs):
+                order = rng.permutation(n_tr)
+                for start in range(0, n_tr, batch):
+                    idx = order[start : start + batch]
+                    t_step += 1
+                    self._train_batch(X_tr[idx], y_tr[idx], t_step)
+                train_loss = self._loss(X_tr, y_tr)
+                val_loss = self._loss(X_val, y_val) if X_val is not None else None
+                self.history_.append((train_loss, val_loss))
+                monitored = val_loss if val_loss is not None else train_loss
+                if self.patience is not None:
+                    if monitored < best_loss - 1e-6:
+                        best_loss = monitored
+                        stall = 0
+                        best_weights = [(l.W.copy(), l.b.copy()) for l in self.layers_]
+                    else:
+                        stall += 1
+                        if stall >= self.patience:
+                            break
         if best_weights is not None:
             for layer, (W, b) in zip(self.layers_, best_weights):
                 layer.W, layer.b = W, b

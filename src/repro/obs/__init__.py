@@ -1,0 +1,74 @@
+"""Lightweight, dependency-free observability for the HDC hot paths.
+
+Public surface:
+
+* :func:`span` — ``with span("encode.transform", rows=n):`` tracing with
+  parent/child nesting, propagated across ``repro.parallel`` process
+  workers; a shared no-op unless armed.
+* :data:`REGISTRY` / :class:`MetricsRegistry` — process-local counters,
+  gauges and fixed-bucket histograms.
+* :mod:`repro.obs.export` — JSON and Prometheus text renderers plus the
+  :func:`~repro.obs.export.span_coverage` summary.
+* ``repro-obs`` CLI (:mod:`repro.obs.cli`) — run any script with tracing
+  armed and export the result.
+
+Armed by ``REPRO_OBS=1`` (or :func:`enable` at runtime); disabled, every
+instrumentation point costs one global check.  See DESIGN.md §8.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    TRACER,
+    current_span_id,
+    disable,
+    drain_spans,
+    enable,
+    enabled,
+    ingest_spans,
+    reset,
+    run_with_parent,
+    span,
+    spans,
+    worker_begin,
+    worker_collect,
+)
+from repro.obs.export import snapshot, span_coverage, to_json, to_prometheus
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "NULL_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "TRACER",
+    "current_span_id",
+    "disable",
+    "drain_spans",
+    "enable",
+    "enabled",
+    "ingest_spans",
+    "reset",
+    "run_with_parent",
+    "span",
+    "spans",
+    "worker_begin",
+    "worker_collect",
+    "snapshot",
+    "span_coverage",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` == the ``repro-obs`` CLI."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

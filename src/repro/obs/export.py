@@ -1,0 +1,163 @@
+"""Exporters for the observability subsystem: JSON and Prometheus text.
+
+Two render targets over the same snapshot:
+
+* :func:`to_json` — a machine-readable dump of every completed span (the
+  full call tree, ids and parent ids intact) plus the metrics registry.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): span durations aggregated per span name into
+  ``repro_span_seconds_total`` / ``repro_span_total`` counters and the
+  registry's counters/gauges/histograms with cumulative ``le`` buckets,
+  ``_sum`` and ``_count`` series.
+
+:func:`span_coverage` computes the wall-clock share of a root span
+accounted for by its direct children — the metric the acceptance
+criterion ("spans cover >= 90% of wall-clock") is checked against by
+the ``repro-obs`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.spans import SpanRecord, spans
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary dotted name onto the Prometheus name grammar."""
+    cleaned = _NAME_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _fmt(value: float) -> str:
+    # Integral values render without a trailing ".0" (Prometheus style).
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def snapshot(
+    records: Optional[Sequence[SpanRecord]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Combined serializable snapshot of spans + metrics."""
+    records = spans() if records is None else list(records)
+    registry = REGISTRY if registry is None else registry
+    return {
+        "spans": [rec.as_dict() for rec in records],
+        "metrics": registry.collect(),
+    }
+
+
+def to_json(
+    records: Optional[Sequence[SpanRecord]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    indent: int = 2,
+) -> str:
+    """Render the snapshot as a JSON document."""
+    return json.dumps(snapshot(records, registry), indent=indent, sort_keys=True)
+
+
+def _span_aggregates(records: Sequence[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    agg: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        entry = agg.setdefault(rec.name, {"seconds": 0.0, "count": 0.0})
+        entry["seconds"] += rec.duration
+        entry["count"] += 1
+    return agg
+
+
+def to_prometheus(
+    records: Optional[Sequence[SpanRecord]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Render the snapshot in the Prometheus text exposition format."""
+    records = spans() if records is None else list(records)
+    registry = REGISTRY if registry is None else registry
+    lines: List[str] = []
+
+    agg = _span_aggregates(records)
+    if agg:
+        lines.append("# HELP repro_span_seconds_total Cumulative span duration by span name.")
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(agg):
+            lines.append(
+                f'repro_span_seconds_total{{span="{_escape_label(name)}"}} '
+                f"{_fmt(agg[name]['seconds'])}"
+            )
+        lines.append("# HELP repro_span_total Completed span count by span name.")
+        lines.append("# TYPE repro_span_total counter")
+        for name in sorted(agg):
+            lines.append(
+                f'repro_span_total{{span="{_escape_label(name)}"}} '
+                f"{_fmt(agg[name]['count'])}"
+            )
+
+    for name, state in registry.collect().items():
+        kind = state["kind"]
+        metric = f"repro_{sanitize_metric_name(name)}"
+        if kind == "counter":
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(f"{metric}_total {_fmt(float(state['value']))}")  # type: ignore[arg-type]
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(float(state['value']))}")  # type: ignore[arg-type]
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            counts: Sequence[int] = state["counts"]  # type: ignore[assignment]
+            bounds: Sequence[float] = state["boundaries"]  # type: ignore[assignment]
+            for bound, count in zip(bounds, counts):
+                cumulative += int(count)
+                lines.append(f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}')
+            cumulative += int(counts[-1])
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_fmt(float(state['sum']))}")  # type: ignore[arg-type]
+            lines.append(f"{metric}_count {int(state['count'])}")  # type: ignore[call-overload]
+    return "\n".join(lines) + "\n"
+
+
+def span_coverage(
+    records: Sequence[SpanRecord], root_id: Optional[int] = None
+) -> Dict[str, Any]:
+    """Share of a root span's wall-clock covered by its direct children.
+
+    With ``root_id=None`` the root is the longest parentless span.
+    Returns the root name/duration, summed direct-child duration and the
+    ``coverage`` ratio (0.0 when there is no root or it has no duration).
+    """
+    root: Optional[SpanRecord] = None
+    if root_id is not None:
+        for rec in records:
+            if rec.span_id == root_id:
+                root = rec
+                break
+    else:
+        roots = [rec for rec in records if rec.parent_id is None]
+        if roots:
+            root = max(roots, key=lambda rec: rec.duration)
+    if root is None:
+        return {"root": None, "root_seconds": 0.0, "child_seconds": 0.0, "coverage": 0.0}
+    child_seconds = sum(
+        rec.duration for rec in records if rec.parent_id == root.span_id
+    )
+    coverage = child_seconds / root.duration if root.duration > 0 else 0.0
+    return {
+        "root": root.name,
+        "root_seconds": root.duration,
+        "child_seconds": child_seconds,
+        "coverage": coverage,
+    }

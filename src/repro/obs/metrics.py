@@ -1,0 +1,229 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Dependency-free and deliberately small.  Three metric kinds cover the
+observability needs of the HDC hot paths:
+
+* :class:`Counter` — monotonically increasing totals (rows encoded,
+  queries served).
+* :class:`Gauge` — last-write-wins instantaneous values (active workers,
+  index size).
+* :class:`Histogram` — fixed-boundary bucketed distributions following
+  the Prometheus convention: each boundary is an *inclusive* upper bound
+  (``le``), plus an implicit ``+Inf`` overflow bucket, with running
+  ``sum`` and ``count``.
+
+All metrics live in a :class:`MetricsRegistry`; the module-level
+:data:`REGISTRY` is the process-local default that span instrumentation
+and the exporters use.  Registries support :meth:`MetricsRegistry.merge`
+so process-pool workers can ship their deltas back to the parent (see
+:mod:`repro.obs.spans` and :mod:`repro.parallel.pool`).
+
+Thread safety: every mutation takes the owning registry's lock.  The
+hot paths record at chunk granularity (not per row), so contention is
+negligible.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+# Default histogram boundaries in seconds, spanning sub-millisecond span
+# bodies up to multi-minute experiment sweeps.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+class Counter:
+    """Monotonic counter; ``add`` rejects negative increments."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def add(self, value: Union[int, float] = 1) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0, got {value}")
+        self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed-boundary histogram (Prometheus ``le``-inclusive convention).
+
+    ``boundaries`` are strictly increasing finite upper bounds; a value
+    ``v`` lands in the first bucket whose boundary satisfies ``v <= le``,
+    or in the implicit ``+Inf`` overflow bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        boundaries: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r}: need at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r}: boundaries must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.boundaries = bounds
+        # One slot per boundary plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        v = float(value)
+        # bisect_left gives the first index with boundaries[idx] >= v,
+        # which is exactly the inclusive-upper-bound bucket; values above
+        # the last boundary fall through to the +Inf slot.
+        self._counts[bisect_left(self.boundaries, v)] += 1
+        self._sum += v
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow slot last."""
+        return list(self._counts)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "boundaries": list(self.boundaries),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create accessors and delta merging."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        boundaries: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, boundaries), "histogram"
+        )  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Serializable snapshot of every metric (sorted by name)."""
+        with self._lock:
+            return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`collect` snapshot (e.g. a worker's delta) into this
+        registry.  Counters and histogram bucket counts add; gauges take the
+        incoming value (last write wins)."""
+        for name, state in snapshot.items():
+            kind = state["kind"]
+            if kind == "counter":
+                self.counter(name).add(float(state["value"]))  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name).set(float(state["value"]))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name, boundaries=state["boundaries"]  # type: ignore[arg-type]
+                )
+                incoming = state["counts"]
+                if list(hist.boundaries) != [float(b) for b in state["boundaries"]]:  # type: ignore[union-attr]
+                    raise ValueError(
+                        f"histogram {name!r}: boundary mismatch on merge"
+                    )
+                with self._lock:
+                    for i, c in enumerate(incoming):  # type: ignore[arg-type]
+                        hist._counts[i] += int(c)
+                    hist._sum += float(state["sum"])  # type: ignore[arg-type]
+                    hist._count += int(state["count"])  # type: ignore[arg-type]
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: Process-local default registry used by span instrumentation + exporters.
+REGISTRY = MetricsRegistry()

@@ -20,7 +20,9 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro import obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -79,6 +81,28 @@ def resolve_config(n_jobs: Optional[int] = None, backend: Optional[str] = None) 
     return WorkerConfig(workers=effective_workers(n_jobs), backend=resolved_backend)
 
 
+class _ObsShuttle:
+    """Picklable wrapper shipping worker spans/metrics back with results.
+
+    Used by :func:`parallel_map` for the ``processes`` backend when
+    :mod:`repro.obs` tracing is armed: the worker records spans as usual,
+    and each item's result is returned as ``(value, span_dicts,
+    metric_deltas)`` for the parent to unwrap, re-parent under the
+    dispatch-time active span and fold into its own registry.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        obs.worker_begin()
+        value = self.fn(item)
+        span_dicts, deltas = obs.worker_collect()
+        return value, span_dicts, deltas
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -113,12 +137,29 @@ def parallel_map(
     seq: Sequence[T] = list(items)
     cfg = resolve_config(n_jobs, backend)
     if cfg.backend == "serial" or cfg.workers == 1 or len(seq) < chunk_threshold:
+        # Serial path needs no propagation: spans opened inside ``fn``
+        # nest naturally under the caller's active span.
         return [fn(x) for x in seq]
+
+    # Span propagation (repro.obs): capture the dispatch-time active span
+    # so worker-side spans stay attached to the caller's trace tree.
+    # Costs a single enabled() check when tracing is disarmed.
+    tracing = obs.enabled()
+    obs_parent = obs.current_span_id() if tracing else None
+    shuttle = cfg.backend == "processes" and tracing
 
     executor_cls = ThreadPoolExecutor if cfg.backend == "threads" else ProcessPoolExecutor
     workers = min(cfg.workers, len(seq))
     with executor_cls(max_workers=workers) as pool:
-        futures = [pool.submit(fn, x) for x in seq]
+        if shuttle:
+            wrapped = _ObsShuttle(fn)
+            futures = [pool.submit(wrapped, x) for x in seq]
+        elif tracing and cfg.backend == "threads":
+            futures = [
+                pool.submit(obs.run_with_parent, obs_parent, fn, x) for x in seq
+            ]
+        else:
+            futures = [pool.submit(fn, x) for x in seq]
         results: List[R] = []
         try:
             for fut in futures:
@@ -127,4 +168,14 @@ def parallel_map(
             for fut in futures:
                 fut.cancel()
             raise
+    if shuttle:
+        values: List[R] = []
+        for value, span_dicts, deltas in results:  # type: ignore[misc]
+            obs.ingest_spans(
+                [obs.SpanRecord.from_dict(d) for d in span_dicts],
+                parent_id=obs_parent,
+            )
+            obs.REGISTRY.merge(deltas)
+            values.append(value)
+        return values
     return results

@@ -1,0 +1,58 @@
+"""Keyword-argument deprecation shims for the unified public API.
+
+PR 4 unifies the parallelism/chunking knobs to one spelling across the
+library (``n_jobs`` / ``chunk_rows`` / ``tile_cols``).  The old
+spellings (``tile_rows``, ``tile``, ``block_rows``) keep working for one
+release through :func:`renamed_kwargs`: a decorator that rewrites the
+deprecated keyword to its new name, emitting exactly one
+``DeprecationWarning`` per deprecated keyword per call.
+
+The wrapper must sit *outermost* (above runtime-contract decorators such
+as ``@checks_same_dim``), because those bind the wrapped function's real
+signature and would reject the legacy spelling before it is renamed.
+``functools.wraps`` preserves ``__wrapped__``, so ``inspect.signature``
+— and therefore ``BaseEstimator.get_params`` / ``clone`` — see the new
+parameter names.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def renamed_kwargs(**renames: str) -> Callable[[F], F]:
+    """Decorator factory mapping deprecated keyword names to new ones.
+
+    ``renamed_kwargs(tile_rows="chunk_rows")`` makes ``fn(tile_rows=8)``
+    behave exactly like ``fn(chunk_rows=8)`` while emitting a
+    ``DeprecationWarning``.  Passing both spellings raises ``TypeError``
+    (mirroring Python's duplicate-keyword error).
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for old, new in renames.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__qualname__}() got both deprecated keyword "
+                            f"{old!r} and its replacement {new!r}"
+                        )
+                    warnings.warn(
+                        f"{fn.__qualname__}(): keyword {old!r} is deprecated; "
+                        f"use {new!r} instead",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        wrapper.__deprecated_kwargs__ = dict(renames)  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

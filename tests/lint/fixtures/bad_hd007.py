@@ -1,0 +1,11 @@
+"""Fixture: facade-integrity violations (HD007 only)."""
+
+from repro.core.records import NoSuchEncoder, RecordEncoder
+from repro.core.search import topk_hamming
+from repro.ml import *
+
+__all__ = [
+    "RecordEncoder",
+    "RecordEncoder",
+    "phantom_symbol",
+]

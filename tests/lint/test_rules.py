@@ -21,6 +21,7 @@ BAD_FIXTURES = [
     ("bad_hd004.py", "src/repro/core/bad_hd004.py", "HD004", 3),
     ("bad_hd005.py", "src/repro/core/bad_hd005.py", "HD005", 2),
     ("bad_hd006.py", "src/repro/core/bad_hd006.py", "HD006", 1),
+    ("bad_hd007.py", "src/repro/api/bad_hd007.py", "HD007", 6),
 ]
 
 
@@ -30,7 +31,7 @@ def read(name: str) -> str:
 
 class TestRegistry:
     def test_catalogue_complete(self):
-        assert sorted(RULES) == [f"HD00{i}" for i in range(1, 7)]
+        assert sorted(RULES) == [f"HD00{i}" for i in range(1, 8)]
 
     def test_rules_carry_metadata(self):
         for rule in all_rules():
@@ -59,6 +60,19 @@ class TestGoodFixture:
     )
     def test_clean_under_every_rule(self, path):
         findings = lint_source(read("good_clean.py"), path)
+        assert findings == [], [f.render() for f in findings]
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/core/obs_streaming_clean.py",
+            "src/repro/eval/obs_streaming_clean.py",
+        ],
+    )
+    def test_instrumented_streaming_path_clean(self, path):
+        # Regression: the span-decorated wrapper collects parallel_map
+        # blocks and merges them in a Python loop — HD003 must not fire.
+        findings = lint_source(read("obs_streaming_clean.py"), path)
         assert findings == [], [f.render() for f in findings]
 
 
@@ -129,3 +143,28 @@ class TestRuleDetails:
     def test_hd006_orphan_reference_ignored(self):
         src = "def cohort_reference(x):\n    return x\n"
         assert lint_source(src, "src/repro/core/m.py") == []
+
+    def test_hd007_outside_facade_is_silent(self):
+        findings = lint_source(
+            read("bad_hd007.py"), "src/repro/eval/m.py", select=["HD007"]
+        )
+        assert findings == []
+
+    def test_hd007_real_facade_is_clean(self):
+        real = (
+            Path(__file__).resolve().parents[2] / "src" / "repro" / "api.py"
+        ).read_text(encoding="utf-8")
+        findings = lint_source(real, "src/repro/api.py", select=["HD007"])
+        assert findings == [], [f.render() for f in findings]
+
+    def test_hd003_parallel_map_results_exempt(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "def merge(fn, items):\n"
+            "    blocks = parallel_map(fn, items)\n"
+            "    out = []\n"
+            "    for i in range(len(blocks)):\n"
+            "        out.append(blocks[i])\n"
+            "    return out\n"
+        )
+        assert lint_source(src, "src/repro/eval/m.py", select=["HD003"]) == []

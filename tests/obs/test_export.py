@@ -1,0 +1,101 @@
+"""Exporters: JSON snapshot, Prometheus text format, coverage computation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    sanitize_metric_name,
+    snapshot,
+    span_coverage,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+
+def make_records():
+    return [
+        SpanRecord(name="root", span_id=1, parent_id=None, start=0.0, duration=1.0),
+        SpanRecord(name="encode.transform", span_id=2, parent_id=1,
+                   start=0.1, duration=0.6, attrs={"rows": 100}),
+        SpanRecord(name="search.topk", span_id=3, parent_id=1,
+                   start=0.7, duration=0.3),
+        SpanRecord(name="encode.count_chunk", span_id=4, parent_id=2,
+                   start=0.2, duration=0.5),
+    ]
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("span.encode.transform.seconds") == (
+            "span_encode_transform_seconds"
+        )
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+
+class TestJson:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("rows").add(3)
+        snap = snapshot(make_records(), reg)
+        assert [s["name"] for s in snap["spans"]] == [
+            "root", "encode.transform", "search.topk", "encode.count_chunk"
+        ]
+        assert snap["metrics"]["rows"]["value"] == 3
+
+    def test_to_json_parses_back(self):
+        doc = json.loads(to_json(make_records(), MetricsRegistry()))
+        assert len(doc["spans"]) == 4
+        assert doc["spans"][1]["attrs"] == {"rows": 100}
+
+
+class TestPrometheus:
+    def test_span_aggregates(self):
+        text = to_prometheus(make_records(), MetricsRegistry())
+        assert 'repro_span_seconds_total{span="root"} 1' in text
+        assert 'repro_span_total{span="encode.transform"} 1' in text
+        assert text.endswith("\n")
+
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("rows.encoded").add(10)
+        reg.gauge("index.size").set(42)
+        text = to_prometheus([], reg)
+        assert "repro_rows_encoded_total 10" in text
+        assert "repro_index_size 42" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", boundaries=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        text = to_prometheus([], reg)
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="2"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 11" in text
+        assert "repro_lat_count 3" in text
+
+
+class TestCoverage:
+    def test_direct_children_only(self):
+        # Grandchild (0.5s) must not double-count under root.
+        cov = span_coverage(make_records())
+        assert cov["root"] == "root"
+        assert cov["child_seconds"] == pytest.approx(0.9)
+        assert cov["coverage"] == pytest.approx(0.9)
+
+    def test_explicit_root_id(self):
+        cov = span_coverage(make_records(), root_id=2)
+        assert cov["root"] == "encode.transform"
+        assert cov["coverage"] == pytest.approx(0.5 / 0.6)
+
+    def test_no_records(self):
+        cov = span_coverage([])
+        assert cov["root"] is None
+        assert cov["coverage"] == 0.0

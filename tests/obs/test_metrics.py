@@ -1,0 +1,102 @@
+"""Metrics registry: counters, gauges, histogram bucket edges, merge."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("n")
+        c.add(2)
+        c.add(3)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").add(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(2.0)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogramBuckets:
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(1.0, 1.0, 2.0))
+
+    def test_le_inclusive_edges(self):
+        # le-semantics: a value equal to a boundary lands in that bucket.
+        h = Histogram("h", boundaries=(1.0, 2.0, 5.0))
+        h.observe(1.0)    # le=1
+        h.observe(1.5)    # le=2
+        h.observe(5.0)    # le=5
+        h.observe(7.0)    # +Inf overflow
+        assert h.bucket_counts() == [1, 1, 1, 1]
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(14.5)
+
+    def test_below_first_boundary(self):
+        h = Histogram("h", boundaries=(1.0, 2.0))
+        h.observe(0.0)
+        assert h.bucket_counts() == [1, 0, 0]
+
+    def test_default_buckets_cover_hot_path_range(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] <= 1e-3
+        assert DEFAULT_SECONDS_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_collect_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").add(2)
+        reg.histogram("lat", boundaries=(1.0,)).observe(0.5)
+        state = reg.collect()
+        assert state["calls"]["value"] == 2
+        assert state["lat"]["counts"] == [1, 0]
+        reg.reset()
+        assert reg.collect() == {}
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("calls").add(1)
+        b.counter("calls").add(4)
+        a.histogram("lat", boundaries=(1.0, 2.0)).observe(0.5)
+        b.histogram("lat", boundaries=(1.0, 2.0)).observe(1.5)
+        b.gauge("level").set(3.0)
+        a.merge(b.collect())
+        state = a.collect()
+        assert state["calls"]["value"] == 5
+        assert state["lat"]["counts"] == [1, 1, 0]
+        assert state["lat"]["count"] == 2
+        assert state["level"]["value"] == 3.0
+
+    def test_merge_boundary_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", boundaries=(1.0,))
+        b.histogram("lat", boundaries=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b.collect())

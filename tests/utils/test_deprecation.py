@@ -1,0 +1,56 @@
+"""renamed_kwargs: forwarding, warning discipline, conflict detection."""
+
+import inspect
+import warnings
+
+import pytest
+
+from repro.utils.deprecation import renamed_kwargs
+
+
+@renamed_kwargs(block_rows="chunk_rows")
+def scaled(x, *, chunk_rows=4):
+    return x * chunk_rows
+
+
+class TestRenamedKwargs:
+    def test_new_spelling_passes_through_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert scaled(2, chunk_rows=8) == 16
+
+    def test_old_spelling_forwards_and_warns_once(self):
+        with pytest.warns(DeprecationWarning, match="block_rows.*chunk_rows") as rec:
+            assert scaled(2, block_rows=8) == 16
+        assert len(rec) == 1
+
+    def test_both_spellings_raise_type_error(self):
+        with pytest.raises(TypeError, match="block_rows"):
+            scaled(2, block_rows=8, chunk_rows=8)
+
+    def test_unrelated_kwargs_untouched(self):
+        @renamed_kwargs(tile="chunk_rows")
+        def f(**kw):
+            return kw
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert f(other=1) == {"other": 1}
+
+    def test_signature_shows_new_names(self):
+        # functools.wraps sets __wrapped__, so get_params/clone introspect
+        # the real signature with the new spelling.
+        params = inspect.signature(scaled).parameters
+        assert "chunk_rows" in params and "block_rows" not in params
+
+    def test_deprecated_kwargs_attribute(self):
+        assert scaled.__deprecated_kwargs__ == {"block_rows": "chunk_rows"}
+
+    def test_multiple_renames(self):
+        @renamed_kwargs(a="x", b="y")
+        def g(*, x=0, y=0):
+            return x, y
+
+        with pytest.warns(DeprecationWarning) as rec:
+            assert g(a=1, b=2) == (1, 2)
+        assert len(rec) == 2
