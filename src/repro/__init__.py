@@ -1,2 +1,36 @@
 """repro: HDC feature extraction for type-2 diabetes detection (IPDPSW 2023 reproduction)."""
-__version__ = "1.0.0"
+
+from __future__ import annotations
+
+
+def _resolve_version() -> str:
+    """Single-source version: installed metadata first, pyproject fallback.
+
+    ``pyproject.toml`` is the only place the version is written.  Installed
+    (``pip install -e .`` or a wheel) the canonical value comes back through
+    ``importlib.metadata``; running straight off ``PYTHONPATH=src`` the
+    checkout's own pyproject is parsed instead, so artifacts stamped by
+    :mod:`repro.persist` carry the right version either way.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    except Exception:  # pragma: no cover - metadata backend misbehaving
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(encoding="utf-8"), re.M
+        )
+    except OSError:
+        match = None
+    return match.group(1) if match else "0.0.0+unknown"
+
+
+__version__ = _resolve_version()

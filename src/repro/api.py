@@ -114,6 +114,15 @@ from repro.data import (
     sylhet_feature_specs,
 )
 
+# --- pipelines, persistence, serving ------------------------------------
+from repro.ml.pipeline import HDCFeaturePipeline, ScaledClassifier
+from repro.persist import (
+    artifact_info,
+    load_artifact,
+    save_artifact,
+)
+from repro.serve import InferenceService, ModelServer, ServeConfig
+
 # --- parallel + observability -------------------------------------------
 from repro.parallel import parallel_map
 from repro import obs
@@ -194,6 +203,15 @@ __all__ = [
     "load_sylhet",
     "pima_feature_specs",
     "sylhet_feature_specs",
+    # pipelines / persistence / serving
+    "HDCFeaturePipeline",
+    "ScaledClassifier",
+    "artifact_info",
+    "load_artifact",
+    "save_artifact",
+    "InferenceService",
+    "ModelServer",
+    "ServeConfig",
     # parallel + observability
     "parallel_map",
     "obs",

@@ -97,6 +97,28 @@ class BaseEncoder:
         self._require_fitted()
         return self.codebook()[self.quantize(values)]
 
+    # -- persistence hooks (repro.persist) -----------------------------
+    def _state_params(self) -> Dict[str, object]:
+        """Constructor arguments, overridden by subclasses with extras."""
+        return {"dim": self.dim, "seed": self.seed}
+
+    def get_state(self) -> Dict[str, object]:
+        """Fitted state for :mod:`repro.persist`: params + ``*_`` attrs."""
+        self._require_fitted()
+        fitted = {
+            name: value
+            for name, value in vars(self).items()
+            if name.endswith("_") and not name.startswith("_")
+        }
+        return {"params": self._state_params(), "fitted": fitted}
+
+    def set_state(self, state: Dict[str, object]) -> "BaseEncoder":
+        self.__init__(**state["params"])  # type: ignore[arg-type]
+        for name, value in state["fitted"].items():  # type: ignore[union-attr]
+            setattr(self, name, value)
+        self._fitted = True
+        return self
+
 
 class LevelEncoder(BaseEncoder):
     """The paper's linear (level) encoding for continuous features.
@@ -261,6 +283,30 @@ class LevelEncoder(BaseEncoder):
         )
         return flip_bits(self.seed_vector_, self.dim, positions)
 
+    # -- persistence hooks ---------------------------------------------
+    def _state_params(self) -> Dict[str, object]:
+        return {
+            "dim": self.dim,
+            "seed": self.seed,
+            "levels": self.levels,
+            "clip": self.clip,
+        }
+
+    def get_state(self) -> Dict[str, object]:
+        state = super().get_state()
+        # The level table is a pure function of the seed vector and the
+        # flip schedules; dropping its dim/2+1 packed rows keeps artifacts
+        # small and the rebuild on load is bit-identical.
+        state["fitted"].pop("level_table_", None)  # type: ignore[union-attr]
+        return state
+
+    def set_state(self, state: Dict[str, object]) -> "LevelEncoder":
+        super().set_state(state)
+        self.flip_ones_ = np.asarray(self.flip_ones_, dtype=np.int64)
+        self.flip_zeros_ = np.asarray(self.flip_zeros_, dtype=np.int64)
+        self.level_table_ = self._build_level_table()
+        return self
+
 class BinaryEncoder(BaseEncoder):
     """Encoder for yes/no features (§II-B, Sylhet).
 
@@ -333,6 +379,10 @@ class CategoricalEncoder(BaseEncoder):
                 self.table_[key] = exact_half_dense(self.dim, rng)
         if not self.table_:
             raise ValueError("cannot fit CategoricalEncoder on an empty value list")
+        self._finalize()
+        return self
+
+    def _finalize(self) -> None:
         # Cache the packed codebook (insertion order) plus a key → row map
         # so batch encoding is a gather; when every category is numeric a
         # sorted key array enables a fully vectorised searchsorted lookup.
@@ -347,7 +397,6 @@ class CategoricalEncoder(BaseEncoder):
             self._sorted_keys = None
             self._sorted_rows = None
         self._fitted = True
-        return self
 
     @staticmethod
     def _key(value: Hashable) -> Hashable:
@@ -398,3 +447,36 @@ class CategoricalEncoder(BaseEncoder):
                 )
             out[i] = self.index_[key]
         return out
+
+    # -- persistence hooks ---------------------------------------------
+    def get_state(self) -> Dict[str, object]:
+        """Categories + codebook; the lookup caches rebuild on load.
+
+        ``table_`` maps arbitrary hashables to rows, and JSON dict keys
+        must be strings — so the keys are stored as an ordered *list*
+        (JSON-safe scalars only) alongside the stacked codebook.
+        """
+        self._require_fitted()
+        for key in self.table_:
+            if not isinstance(key, (str, int, float, bool)):
+                raise TypeError(
+                    f"CategoricalEncoder category {key!r} is not a "
+                    f"JSON-serializable scalar; cannot persist this encoder"
+                )
+        return {
+            "params": self._state_params(),
+            "categories": list(self.table_),
+            "codebook": self.codebook_,
+        }
+
+    def set_state(self, state: Dict[str, object]) -> "CategoricalEncoder":
+        self.__init__(**state["params"])  # type: ignore[arg-type]
+        codebook = np.asarray(state["codebook"], dtype=np.uint64)
+        categories = state["categories"]
+        if codebook.ndim != 2 or codebook.shape[0] != len(categories):  # type: ignore[arg-type]
+            raise ValueError("codebook rows must match the category count")
+        self.table_ = {
+            self._key(key): codebook[row] for row, key in enumerate(categories)  # type: ignore[arg-type]
+        }
+        self._finalize()
+        return self

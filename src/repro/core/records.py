@@ -341,6 +341,49 @@ class RecordEncoder:
         """
         return unpack_bits(self.transform(X), self.dim)
 
+    # -- persistence hooks (repro.persist) -----------------------------
+    def get_state(self) -> dict:
+        """Fitted state for :mod:`repro.persist` artifacts.
+
+        Captures the constructor parameters plus the fitted per-column
+        encoders (each persisting through its own state hooks) so a
+        loaded encoder transforms bit-identically without refitting.
+        """
+        self._check_fitted()
+        state = {
+            "params": {
+                "dim": self.dim,
+                "seed": self.seed,
+                "tie": self.tie,
+                "bind_ids": self.bind_ids,
+                "n_jobs": self.n_jobs,
+                "chunk_rows": self.chunk_rows,
+            },
+            "specs": self.specs_,
+            "encoders": self.encoders_,
+        }
+        if self.bind_ids:
+            state["id_vectors"] = self.id_vectors_
+        return state
+
+    def set_state(self, state: dict) -> "RecordEncoder":
+        params = state["params"]
+        self.__init__(
+            specs=state["specs"],
+            dim=params["dim"],
+            seed=params["seed"],
+            tie=params["tie"],
+            bind_ids=params["bind_ids"],
+            n_jobs=params["n_jobs"],
+            chunk_rows=params["chunk_rows"],
+        )
+        self.specs_ = list(state["specs"])
+        self.encoders_ = list(state["encoders"])
+        if self.bind_ids:
+            self.id_vectors_ = np.asarray(state["id_vectors"], dtype=np.uint64)
+        self._fitted = True
+        return self
+
     # ------------------------------------------------------------------
     @property
     def n_features_in_(self) -> int:

@@ -589,6 +589,36 @@ class HDIndex:
             keys = [[self._keys[int(j)] for j in row] for row in idx]
             return keys, d
 
+    # -- persistence hooks (repro.persist) -----------------------------
+    def get_state(self) -> dict:
+        """Keys + live packed store (slot order preserved bit-exactly)."""
+        return {
+            "params": {
+                "dim": self.dim,
+                "chunk_rows": self.chunk_rows,
+                "tile_cols": self.tile_cols,
+                "word_chunk": self.word_chunk,
+                "n_jobs": self.n_jobs,
+            },
+            "keys": list(self._keys),
+            "packed": self._packed.copy(),
+        }
+
+    def set_state(self, state: dict) -> "HDIndex":
+        params = state["params"]
+        self.__init__(
+            params["dim"],
+            chunk_rows=params["chunk_rows"],
+            tile_cols=params["tile_cols"],
+            word_chunk=params["word_chunk"],
+            n_jobs=params["n_jobs"],
+        )
+        keys = state["keys"]
+        packed = np.asarray(state["packed"], dtype=np.uint64)
+        if keys:
+            self.add_batch(keys, packed)
+        return self
+
     def query_argmin(self, Q) -> Tuple[List[Hashable], np.ndarray]:
         """Nearest stored key per query row: ``(keys, distances)``."""
         if not self._keys:

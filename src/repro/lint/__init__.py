@@ -21,6 +21,11 @@ HD003     quadratic-memory smells (apply_along_axis, row loops,
 HD004     packed-array hygiene (unmasked NOT, non-uint64 casts)
 HD005     mutable defaults; unvalidated public ``dim`` params
 HD006     engine / ``*_reference`` oracle signature drift
+HD007     ``repro.api`` facade integrity (__all__ complete and
+          resolvable, no wildcard imports)
+HD008     unsafe serialization on the artifact/serving paths
+          (pickle imports, eval/exec, allow_pickle, unverified
+          np.load)
 ========  =====================================================
 
 Suppress a finding with ``# hdlint: disable=HD0xx`` (same line),

@@ -22,7 +22,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Project-specific static analysis for packed-hypervector "
-            "invariants (rules HD001-HD007; see DESIGN.md section 7)."
+            "invariants (rules HD001-HD008; see DESIGN.md section 7)."
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""hdlint rule registry: the HD001–HD007 invariant catalogue.
+"""hdlint rule registry: the HD001–HD008 invariant catalogue.
 
 Each rule is an :class:`ast`-level checker encoding one contract the hot
 paths of this repository actually depend on (see DESIGN.md §7 for the
@@ -748,6 +748,114 @@ class ApiFacadeRule(Rule):
                     f"facade imports `{name}` but omits it from __all__; "
                     f"the blessed surface must list every public re-export",
                 )
+
+
+# ----------------------------------------------------------------------
+# HD008 — serialization safety on the artifact/serving paths
+# ----------------------------------------------------------------------
+
+_PICKLE_MODULES = {"pickle", "cPickle", "_pickle", "dill", "joblib", "shelve"}
+_CHECKSUM_HINT = re.compile(r"sha256|sha512|checksum|digest|verify|hmac", re.IGNORECASE)
+
+
+@register
+class SerializationSafetyRule(Rule):
+    """Model artifacts load untrusted bytes; the load path must stay inert."""
+
+    code = "HD008"
+    name = "unsafe-serialization"
+    description = (
+        "In repro/persist and repro/serve — the code that parses "
+        "on-disk/network model bytes: (a) pickle-family imports (pickle/"
+        "dill/joblib/shelve) are banned, artifacts are raw .npy + JSON "
+        "resolved through the explicit class registry; (b) eval/exec on "
+        "artifact content is banned; (c) np.load/np.save must pass "
+        "allow_pickle=False explicitly (True, or relying on the default, "
+        "both flag); (d) a function that parses payload bytes with "
+        "np.load must also reference the checksum machinery "
+        "(sha256/digest/verify) so no artifact read skips integrity "
+        "verification."
+    )
+    scope = ("repro/persist", "repro/serve")
+
+    @staticmethod
+    def _is_np_io(call: ast.Call, member: str) -> bool:
+        name = dotted_name(call.func)
+        if name is None:
+            return False
+        return _numpy_tail(name) == member
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for stmt in ast.walk(tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.name.split(".")[0] in _PICKLE_MODULES:
+                        yield self.finding(
+                            stmt, path,
+                            f"import of `{alias.name}` in the artifact path; "
+                            f"model artifacts are pickle-free (raw .npy + "
+                            f"JSON manifest, classes via the explicit registry)",
+                        )
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module and stmt.module.split(".")[0] in _PICKLE_MODULES:
+                    yield self.finding(
+                        stmt, path,
+                        f"import from `{stmt.module}` in the artifact path; "
+                        f"model artifacts are pickle-free",
+                    )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in ("eval", "exec")):
+                yield self.finding(
+                    node, path,
+                    f"`{node.func.id}()` on the artifact/serving path; "
+                    f"manifest content must never reach the interpreter",
+                )
+                continue
+            if self._is_np_io(node, "load") or self._is_np_io(node, "save"):
+                member = "np.load" if self._is_np_io(node, "load") else "np.save"
+                flag = next(
+                    (kw for kw in node.keywords if kw.arg == "allow_pickle"),
+                    None,
+                )
+                if flag is None:
+                    yield self.finding(
+                        node, path,
+                        f"`{member}` without an explicit allow_pickle=False; "
+                        f"the artifact path pins pickle off even if numpy's "
+                        f"default changes",
+                    )
+                elif not (isinstance(flag.value, ast.Constant)
+                          and flag.value.value is False):
+                    yield self.finding(
+                        node, path,
+                        f"`{member}` with allow_pickle enabled; a pickled "
+                        f"payload executes on load — artifacts must stay "
+                        f"pure-array .npy",
+                    )
+        for fn, _cls in iter_functions(tree):
+            loads = [
+                node for node in ast.walk(fn)
+                if isinstance(node, ast.Call) and self._is_np_io(node, "load")
+            ]
+            if not loads:
+                continue
+            verified = any(
+                _CHECKSUM_HINT.search(dotted_name(n) or "")
+                for n in ast.walk(fn)
+                if isinstance(n, (ast.Name, ast.Attribute))
+            )
+            if not verified:
+                for node in loads:
+                    yield self.finding(
+                        node, path,
+                        f"`{fn.name}` parses payload bytes with np.load but "
+                        f"never references the checksum machinery "
+                        f"(sha256/digest/verify); artifact reads must verify "
+                        f"integrity before parsing",
+                    )
 
 
 __all__ = [

@@ -66,6 +66,30 @@ class BaseEstimator:
                 f"{type(self).__name__} is not fitted; call fit(X, y) first"
             )
 
+    # -- persistence hooks (repro.persist) -----------------------------
+    def get_state(self) -> Dict[str, Any]:
+        """Serializable state: hyper-parameters plus fitted attributes.
+
+        The default captures ``get_params()`` and every instance attribute
+        whose name ends with ``_`` (the fitted-state convention; single
+        leading underscores like ``_gamma_`` are included, dunders are
+        not).  Estimators whose fitted state is not expressible by the
+        :mod:`repro.persist` codec override this pair.
+        """
+        fitted = {
+            name: value
+            for name, value in vars(self).items()
+            if name.endswith("_") and not name.startswith("__")
+        }
+        return {"params": self.get_params(), "fitted": fitted}
+
+    def set_state(self, state: Dict[str, Any]) -> "BaseEstimator":
+        """Rebuild from :meth:`get_state` output: re-init, then restore."""
+        self.__init__(**state["params"])  # type: ignore[misc]
+        for name, value in state["fitted"].items():
+            setattr(self, name, value)
+        return self
+
 
 def clone(estimator: BaseEstimator) -> BaseEstimator:
     """Unfitted copy with identical hyper-parameters."""

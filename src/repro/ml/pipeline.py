@@ -1,18 +1,28 @@
-"""Minimal pipeline: standardise-then-classify wrapper.
+"""Pipelines: standardise-then-classify, and the end-to-end HDC hybrid.
 
-The Kaggle/reference notebooks the paper normalises against standardise
-raw clinical features before the scale-sensitive models (KNN, SGD, SVC,
-logistic regression, the NN).  Hypervector inputs are 0/1 and are passed
-to models unscaled, so scaling is expressed as an estimator wrapper that
-the experiment grid applies only on the raw-feature side.
+:class:`ScaledClassifier` mirrors the Kaggle/reference notebooks the
+paper normalises against: standardise raw clinical features before the
+scale-sensitive models (KNN, SGD, SVC, logistic regression, the NN).
+
+:class:`HDCFeaturePipeline` is the deployable unit of the paper's
+pipeline: a fitted :class:`~repro.core.records.RecordEncoder` plus a
+downstream classifier behind one ``predict(raw_rows)`` surface.  Pure-HDC
+models (:class:`~repro.core.classifier.HammingClassifier` /
+:class:`~repro.core.classifier.PrototypeClassifier`) receive packed
+``(n, words)`` batches; every other estimator receives the dense 0/1
+hypervector matrix (the §II-D "hypervectors as features" hybrid).  This
+is the object :mod:`repro.persist` saves and :mod:`repro.serve` loads.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, clone
 from repro.ml.preprocessing import StandardScaler
+from repro.utils.validation import check_array
 
 
 class ScaledClassifier(BaseEstimator, ClassifierMixin):
@@ -49,3 +59,103 @@ class ScaledClassifier(BaseEstimator, ClassifierMixin):
                 f"{type(inner).__name__} has no decision_function"
             )
         return inner.decision_function(self.scaler_.transform(X))
+
+
+class HDCFeaturePipeline(BaseEstimator, ClassifierMixin):
+    """Raw clinical rows → hypervectors → classifier, as one estimator.
+
+    Parameters
+    ----------
+    encoder:
+        A :class:`~repro.core.records.RecordEncoder` (fitted or not; an
+        unfitted encoder is fitted on the training matrix inside
+        :meth:`fit`).
+    estimator:
+        Downstream classifier template; :meth:`fit` trains a fresh
+        :func:`~repro.ml.base.clone` so the template stays unfitted.
+    dense:
+        Feature representation handed to the classifier.  ``None`` (the
+        default) auto-selects: packed ``(n, words)`` uint64 for the
+        native-Hamming models, dense 0/1 ``(n, dim)`` for everything
+        else.  Force with ``True``/``False`` for ablations.
+
+    Notes
+    -----
+    The pipeline is the unit of deployment: it is registered with
+    :mod:`repro.persist` (``save_artifact(pipe, dir)``) and served by
+    :mod:`repro.serve`, which feeds whole micro-batches through one
+    :meth:`predict` call.
+    """
+
+    def __init__(
+        self,
+        encoder,
+        estimator: BaseEstimator,
+        *,
+        dense: Optional[bool] = None,
+    ) -> None:
+        self.encoder = encoder
+        self.estimator = estimator
+        self.dense = dense
+
+    def _wants_dense(self) -> bool:
+        if self.dense is not None:
+            return bool(self.dense)
+        from repro.core.classifier import HammingClassifier, PrototypeClassifier
+
+        return not isinstance(self.estimator, (HammingClassifier, PrototypeClassifier))
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        enc = self.encoder_
+        return enc.transform_dense(X) if self._dense_ else enc.transform(X)
+
+    def fit(self, X, y) -> "HDCFeaturePipeline":
+        """Fit the encoder (if needed) and a fresh estimator clone."""
+        X = check_array(X, dtype=np.float64, name="X")
+        enc = self.encoder
+        if not getattr(enc, "_fitted", False):
+            enc.fit(X)
+        self.encoder_ = enc
+        self._dense_ = self._wants_dense()
+        self.estimator_ = clone(self.estimator)
+        self.estimator_.fit(self._features(X), y)
+        self.classes_ = self.estimator_.classes_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimator_")
+        X = check_array(X, dtype=np.float64, name="X")
+        return self.estimator_.predict(self._features(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("estimator_")
+        X = check_array(X, dtype=np.float64, name="X")
+        return self.estimator_.predict_proba(self._features(X))
+
+    # -- persistence hooks (repro.persist) -----------------------------
+    def get_state(self) -> dict:
+        """Fitted components only — the encoder state is stored once.
+
+        The template ``estimator``/``encoder`` params would duplicate the
+        fitted objects' (potentially large) packed tables in the artifact,
+        so the fitted pair stands in for both on reload.
+        """
+        self._check_fitted("estimator_")
+        return {
+            "dense": self.dense,
+            "encoder": self.encoder_,
+            "estimator": self.estimator_,
+            "classes": self.classes_,
+            "n_features_in": self.n_features_in_,
+            "used_dense": self._dense_,
+        }
+
+    def set_state(self, state: dict) -> "HDCFeaturePipeline":
+        self.__init__(state["encoder"], state["estimator"], dense=state["dense"])
+        self.encoder_ = state["encoder"]
+        self.estimator_ = state["estimator"]
+        self.classes_ = np.asarray(state["classes"])
+        self.n_features_in_ = int(state["n_features_in"])
+        self._dense_ = bool(state["used_dense"])
+        return self

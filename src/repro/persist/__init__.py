@@ -1,0 +1,54 @@
+"""repro.persist — versioned, pickle-free model artifact store.
+
+``save_artifact(fitted_model, "artifact/")`` writes a directory of raw
+``.npy`` payloads plus a JSON manifest (schema version, repro version,
+per-payload SHA-256 checksums); ``load_artifact`` verifies every checksum
+before parsing and rebuilds the object through an explicit class registry
+— no pickle anywhere on either path.  See DESIGN.md §9.
+
+Supported objects: fitted :class:`~repro.core.records.RecordEncoder`,
+:class:`~repro.core.classifier.HammingClassifier` /
+:class:`~repro.core.classifier.PrototypeClassifier`,
+:class:`~repro.core.search.HDIndex`, the ``repro.ml`` estimators with
+array state, and end-to-end
+:class:`~repro.ml.pipeline.HDCFeaturePipeline` hybrids.
+"""
+
+from repro.persist.artifact import (
+    ARTIFACT_FORMAT,
+    MANIFEST_NAME,
+    PAYLOAD_DIR,
+    SCHEMA_VERSION,
+    artifact_info,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+from repro.persist.errors import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactSchemaError,
+    StateError,
+)
+from repro.persist.registry import register, registered_names, registry_name
+from repro.persist.state import decode_state, encode_state
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "MANIFEST_NAME",
+    "PAYLOAD_DIR",
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "ArtifactSchemaError",
+    "StateError",
+    "artifact_info",
+    "decode_state",
+    "encode_state",
+    "load_artifact",
+    "read_manifest",
+    "register",
+    "registered_names",
+    "registry_name",
+    "save_artifact",
+]

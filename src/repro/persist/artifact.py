@@ -1,0 +1,237 @@
+"""Versioned on-disk model artifacts: a manifest plus checksummed payloads.
+
+Layout of an artifact directory::
+
+    artifact/
+      manifest.json        # schema version, repro version, kind, state tree,
+                           # payload table (file, sha256, dtype, shape)
+      payloads/
+        a0000.npy          # raw .npy arrays, one per hoisted ndarray
+        a0001.npy
+        ...
+
+Guarantees:
+
+* **No pickle.**  Payloads are written and read with ``allow_pickle=False``
+  and the state tree resolves classes through the explicit registry —
+  nothing in an artifact can cause code execution on load.
+* **Tamper-evident.**  Every payload's SHA-256 is recorded in the manifest
+  and re-verified over the file's raw bytes *before* the array is parsed;
+  a single flipped byte fails with :class:`ArtifactIntegrityError` naming
+  the offending file.  Dtype and shape are cross-checked after parsing.
+* **Versioned.**  ``schema_version`` gates the layout; loaders reject
+  artifacts from a future schema with a clear upgrade message instead of
+  mis-reading them.  ``repro_version`` stamps the producing build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.persist.errors import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactSchemaError,
+)
+from repro.persist.state import decode_state, encode_state
+
+#: Bump when the directory layout or state-tree grammar changes shape.
+SCHEMA_VERSION = 1
+ARTIFACT_FORMAT = "repro-artifact"
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_DIR = "payloads"
+
+PathLike = Union[str, Path]
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def save_artifact(
+    obj: Any,
+    path: PathLike,
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+    overwrite: bool = False,
+) -> Path:
+    """Persist a registered (fitted) object as an artifact directory.
+
+    Parameters
+    ----------
+    obj:
+        Any object registered in :mod:`repro.persist.registry` — fitted
+        :class:`~repro.core.records.RecordEncoder`, the HDC classifiers,
+        :class:`~repro.core.search.HDIndex`, the supported ``repro.ml``
+        estimators, or a whole
+        :class:`~repro.ml.pipeline.HDCFeaturePipeline`.
+    path:
+        Target directory.  Created if missing; refuses to clobber an
+        existing artifact unless ``overwrite=True``.
+    meta:
+        Optional JSON-able user metadata stored verbatim in the manifest
+        (dataset name, git revision, training accuracy, ...).
+    """
+    import repro
+
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    payload_root = path / PAYLOAD_DIR
+    if manifest_path.exists() and not overwrite:
+        raise ArtifactError(
+            f"{path} already contains an artifact; pass overwrite=True to replace it"
+        )
+    tree, payloads = encode_state(obj)
+
+    payload_root.mkdir(parents=True, exist_ok=True)
+    if overwrite:
+        for stale in payload_root.glob("*.npy"):
+            stale.unlink()
+    payload_table: Dict[str, Dict[str, Any]] = {}
+    for ref in sorted(payloads):
+        arr = np.ascontiguousarray(payloads[ref])
+        buf = io.BytesIO()
+        np.save(buf, arr, allow_pickle=False)
+        data = buf.getvalue()
+        rel = f"{PAYLOAD_DIR}/{ref}.npy"
+        (path / rel).write_bytes(data)
+        payload_table[ref] = {
+            "file": rel,
+            "sha256": _sha256_hex(data),
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "bytes": len(data),
+        }
+
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": repro.__version__,
+        "created_unix": time.time(),
+        "kind": tree["class"],
+        "state": tree,
+        "payloads": payload_table,
+        "meta": dict(meta) if meta else {},
+    }
+    tmp = manifest_path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
+    tmp.replace(manifest_path)
+    return path
+
+
+def read_manifest(path: PathLike) -> Dict[str, Any]:
+    """Parse and structurally validate an artifact manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not an artifact directory (no {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ArtifactSchemaError(f"{manifest_path}: manifest is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactSchemaError(
+            f"{manifest_path}: not a {ARTIFACT_FORMAT} manifest"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ArtifactSchemaError(
+            f"{manifest_path}: artifact schema version {version!r} is not "
+            f"supported by this build (reads version {SCHEMA_VERSION}); "
+            f"re-save the model with a matching repro release"
+        )
+    for key in ("state", "payloads"):
+        if key not in manifest:
+            raise ArtifactSchemaError(f"{manifest_path}: manifest lacks {key!r}")
+    return manifest
+
+
+def _read_payload(path: Path, entry: Dict[str, Any], ref: str) -> np.ndarray:
+    """Read one payload file, verifying its checksum *before* parsing.
+
+    The raw bytes are hashed and compared against the manifest first; only
+    verified bytes reach the ``.npy`` parser (with pickle disabled), and
+    the parsed array's dtype/shape must match the recorded layout.
+    """
+    rel = entry.get("file")
+    file_path = path / rel
+    try:
+        data = file_path.read_bytes()
+    except OSError as exc:
+        raise ArtifactIntegrityError(
+            f"payload {rel!r} (ref {ref}) is missing or unreadable: {exc}"
+        ) from exc
+    digest = _sha256_hex(data)
+    if digest != entry.get("sha256"):
+        raise ArtifactIntegrityError(
+            f"payload {rel!r} (ref {ref}) failed checksum verification: "
+            f"sha256 {digest} != recorded {entry.get('sha256')}; the artifact "
+            f"has been corrupted or tampered with"
+        )
+    try:
+        arr = np.load(io.BytesIO(data), allow_pickle=False)
+    except ValueError as exc:
+        raise ArtifactIntegrityError(
+            f"payload {rel!r} (ref {ref}) is not a readable .npy array: {exc}"
+        ) from exc
+    if str(arr.dtype) != entry.get("dtype") or list(arr.shape) != list(
+        entry.get("shape", [])
+    ):
+        raise ArtifactIntegrityError(
+            f"payload {rel!r} (ref {ref}) layout drifted: got "
+            f"{arr.dtype}/{list(arr.shape)}, manifest records "
+            f"{entry.get('dtype')}/{entry.get('shape')}"
+        )
+    return arr
+
+
+def load_artifact(path: PathLike) -> Any:
+    """Load an artifact directory back into a live object.
+
+    Every payload is checksum-verified before parsing; schema versions
+    other than :data:`SCHEMA_VERSION` are rejected.  Returns the decoded
+    object (same class, bit-identical arrays).
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    payloads: Dict[str, np.ndarray] = {}
+    table = manifest["payloads"]
+    if not isinstance(table, dict):
+        raise ArtifactSchemaError(f"{path}: manifest payload table must be an object")
+    for ref in sorted(table):
+        payloads[ref] = _read_payload(path, table[ref], ref)
+    return decode_state(manifest["state"], payloads)
+
+
+def artifact_info(path: PathLike) -> Dict[str, Any]:
+    """Manifest summary without loading payloads (kind, versions, sizes)."""
+    manifest = read_manifest(path)
+    table = manifest["payloads"]
+    return {
+        "kind": manifest.get("kind"),
+        "schema_version": manifest.get("schema_version"),
+        "repro_version": manifest.get("repro_version"),
+        "created_unix": manifest.get("created_unix"),
+        "n_payloads": len(table),
+        "payload_bytes": int(sum(int(e.get("bytes", 0)) for e in table.values())),
+        "meta": manifest.get("meta", {}),
+    }
+
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "MANIFEST_NAME",
+    "PAYLOAD_DIR",
+    "SCHEMA_VERSION",
+    "artifact_info",
+    "load_artifact",
+    "read_manifest",
+    "save_artifact",
+]

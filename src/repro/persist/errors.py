@@ -1,0 +1,28 @@
+"""Error taxonomy for the artifact store.
+
+Every failure mode a loader can hit maps to its own exception so callers
+(and the serving layer's admission control) can distinguish "this is not
+an artifact" from "this artifact was tampered with" from "this artifact
+is from a future schema".
+"""
+
+from __future__ import annotations
+
+
+class ArtifactError(RuntimeError):
+    """Base class for every artifact save/load failure."""
+
+
+class StateError(ArtifactError):
+    """An object's state tree contains a value the codec cannot express
+    (unregistered class, non-string dict key, object-dtype array, ...)."""
+
+
+class ArtifactSchemaError(ArtifactError):
+    """Manifest schema version (or manifest shape) this build cannot read."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """A payload's bytes do not match the manifest checksum, or its
+    dtype/shape drifted from the recorded layout.  The message always
+    names the offending file."""

@@ -1,0 +1,43 @@
+"""Micro-batched model serving over HTTP (stdlib only).
+
+Public surface:
+
+* :class:`~repro.serve.config.ServeConfig` — every serving knob, one
+  validated frozen dataclass.
+* :class:`~repro.serve.service.InferenceService` — validated requests
+  in, micro-batched predictions out (usable without HTTP, e.g. by the
+  serving benchmark).
+* :class:`~repro.serve.http.ModelServer` — ThreadingHTTPServer front-end
+  with ``POST /predict``, ``GET /healthz`` / ``/readyz`` / ``/metrics``.
+* :class:`~repro.serve.batcher.MicroBatcher` /
+  :class:`~repro.serve.batcher.QueueFullError` — the batching scheduler
+  and its admission-control signal.
+* ``repro-serve`` CLI (:mod:`repro.serve.cli`) — serve a
+  :mod:`repro.persist` artifact directory.
+
+See DESIGN.md §9 for the scheduler's flush rules and the error-to-status
+mapping.
+"""
+
+from repro.serve.batcher import MicroBatcher, QueueFullError
+from repro.serve.config import ServeConfig
+from repro.serve.http import ModelServer
+from repro.serve.service import (
+    InferenceService,
+    NotReadyError,
+    PayloadTooLargeError,
+    ServeError,
+    ValidationError,
+)
+
+__all__ = [
+    "InferenceService",
+    "MicroBatcher",
+    "ModelServer",
+    "NotReadyError",
+    "PayloadTooLargeError",
+    "QueueFullError",
+    "ServeConfig",
+    "ServeError",
+    "ValidationError",
+]

@@ -1,0 +1,203 @@
+"""Micro-batching scheduler: many concurrent requests, one fused call.
+
+The paper's encoder and classifiers are batch kernels — encoding 64 rows
+in one :meth:`RecordEncoder.transform` call costs barely more than one
+row, because the per-call overhead (level-table lookup, array setup,
+dispatch) is amortised.  A naive HTTP server throws that away by calling
+``predict`` once per request.  The :class:`MicroBatcher` recovers it:
+
+1. handler threads :meth:`submit` their row blocks into a bounded queue
+   (full queue → :class:`QueueFullError`, i.e. admission control);
+2. a single background worker takes the oldest request, then keeps
+   draining the queue until the pending rows reach ``max_batch`` or
+   ``max_wait_ms`` has elapsed since it started collecting;
+3. the collected blocks are stacked into one matrix, pushed through one
+   fused ``flush_fn`` call, and the result rows are fanned back out to
+   the waiting handler threads via per-request events.
+
+With ``max_batch=1`` the worker degenerates to a per-request predict
+loop — exactly the baseline the serving benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve.metrics import record_flush, record_rejected
+
+
+class QueueFullError(RuntimeError):
+    """Submission refused: the pending-request queue is at capacity."""
+
+
+class _Pending:
+    """One submitted request waiting for its slice of a flushed batch."""
+
+    __slots__ = ("rows", "n", "event", "result", "error")
+
+    def __init__(self, rows: np.ndarray) -> None:
+        self.rows = rows
+        self.n = int(rows.shape[0])
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+    def finish(self, result: np.ndarray) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class MicroBatcher:
+    """Bounded-queue batching worker around a fused ``flush_fn``.
+
+    Parameters
+    ----------
+    flush_fn:
+        ``(rows_matrix) -> per_row_outputs``; called from the worker
+        thread with the vertically stacked rows of every request in the
+        batch, must return an array-like with one entry per input row.
+    max_batch:
+        Flush as soon as the collected rows reach this bound.
+    max_wait_ms:
+        Flush a partial batch this long after collection started.
+    queue_size:
+        Bound on queued requests; :meth:`submit` beyond it raises
+        :class:`QueueFullError` instead of blocking.
+    """
+
+    _POLL_S = 0.05  # worker wake-up period while idle (shutdown latency)
+
+    def __init__(
+        self,
+        flush_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        max_batch: int,
+        max_wait_ms: float,
+        queue_size: int,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._flush_fn = flush_fn
+        self._max_batch = int(max_batch)
+        self._max_wait_s = float(max_wait_ms) / 1000.0
+        self._queue: "queue.Queue[_Pending]" = queue.Queue(maxsize=queue_size)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._worker, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, drain_timeout_s: float = 5.0) -> None:
+        """Stop the worker; fail any requests still queued so no caller hangs."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=drain_timeout_s)
+        self._thread = None
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.fail(RuntimeError("server shutting down"))
+
+    # -- submission ----------------------------------------------------
+    def submit(self, rows: np.ndarray) -> _Pending:
+        """Enqueue a request; returns the pending handle to wait on."""
+        if not self.running:
+            raise RuntimeError("MicroBatcher is not running; call start() first")
+        pending = _Pending(rows)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            record_rejected()
+            raise QueueFullError(
+                f"request queue is full ({self._queue.maxsize} pending); retry later"
+            ) from None
+        return pending
+
+    # -- worker --------------------------------------------------------
+    def _collect(self, first: _Pending) -> List[_Pending]:
+        """Drain the queue until max_batch rows, the window closes, or the
+        arrival stream pauses.
+
+        ``max_wait_ms`` is a *cap*, not a mandatory hold: once arrivals go
+        quiet for a grace period (window/8, >= 0.2 ms) the partial batch
+        flushes immediately.  Under closed-loop load (clients waiting on
+        their responses) this collects exactly the outstanding burst
+        instead of idling out the whole window on every flush.
+        """
+        batch = [first]
+        total = first.n
+        deadline = time.perf_counter() + self._max_wait_s
+        grace = min(self._max_wait_s, max(self._max_wait_s / 8.0, 0.0002))
+        while total < self._max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                nxt = self._queue.get(timeout=min(grace, remaining))
+            except queue.Empty:
+                break  # arrivals paused — flush what we have
+            batch.append(nxt)
+            total += nxt.n
+        return batch
+
+    def _flush(self, batch: List[_Pending]) -> None:
+        depth = self._queue.qsize()
+        total = sum(p.n for p in batch)
+        if len(batch) == 1:
+            stacked = batch[0].rows
+        else:
+            stacked = np.concatenate([p.rows for p in batch], axis=0)
+        started = time.perf_counter()
+        try:
+            out = np.asarray(self._flush_fn(stacked))
+        except BaseException as exc:  # noqa: BLE001 — fanned back to callers
+            for pending in batch:
+                pending.fail(exc)
+            return
+        elapsed = time.perf_counter() - started
+        if out.shape[0] != total:
+            mismatch = RuntimeError(
+                f"flush_fn returned {out.shape[0]} outputs for {total} rows"
+            )
+            for pending in batch:
+                pending.fail(mismatch)
+            return
+        record_flush(total, elapsed, depth)
+        offset = 0
+        for pending in batch:
+            pending.finish(out[offset : offset + pending.n])
+            offset += pending.n
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=self._POLL_S)
+            except queue.Empty:
+                continue
+            self._flush(self._collect(first))
+
+
+__all__ = ["MicroBatcher", "QueueFullError"]

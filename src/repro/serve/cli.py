@@ -1,0 +1,102 @@
+"""Command-line entry point: ``repro-serve`` / ``python -m repro.serve``.
+
+Loads a :mod:`repro.persist` artifact directory and serves it over HTTP::
+
+    repro-serve --artifact runs/pima-hamming --port 8100
+
+Exit codes: 0 = clean shutdown (Ctrl-C), 2 = bad arguments or an
+unloadable artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.persist import ArtifactError, artifact_info
+from repro.serve.config import ServeConfig
+from repro.serve.http import ModelServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    defaults = ServeConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve a saved model artifact over HTTP with micro-batched "
+            "inference (endpoints: POST /predict, GET /healthz, /readyz, "
+            "/metrics)."
+        ),
+    )
+    parser.add_argument(
+        "--artifact", required=True, metavar="DIR",
+        help="artifact directory written by repro.persist.save_artifact",
+    )
+    parser.add_argument("--host", default=defaults.host, help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=defaults.port,
+        help="bind port (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=defaults.max_batch, metavar="ROWS",
+        help="max rows fused into one model call",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=defaults.max_wait_ms, metavar="MS",
+        help="batching window after the first queued request",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=defaults.queue_size, metavar="N",
+        help="pending-request bound before 429 rejections",
+    )
+    parser.add_argument(
+        "--max-rows-per-request", type=int,
+        default=defaults.max_rows_per_request, metavar="N",
+        help="per-request row cap before 413 rejections",
+    )
+    parser.add_argument(
+        "--log-requests", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_size=args.queue_size,
+            max_rows_per_request=args.max_rows_per_request,
+            log_requests=args.log_requests,
+        )
+    except ValueError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        info = artifact_info(args.artifact)
+        server = ModelServer.from_artifact(args.artifact, config)
+    except ArtifactError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.start()
+    print(
+        f"repro-serve: serving {info['kind']} "
+        f"(schema v{info['schema_version']}, repro {info['repro_version']}) "
+        f"on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Serving configuration: one frozen dataclass, validated at construction.
+
+Every knob the service exposes lives here so the CLI, the tests and the
+benchmark construct servers the same way.  The defaults target the
+paper's deployment sketch: a single-host service in front of a 10k-bit
+Pima model, where a ~5 ms batching window is invisible next to network
+latency but lets the fused encoder amortise its per-call overhead over
+dozens of rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Immutable settings for :class:`~repro.serve.http.ModelServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` asks the OS for a free port (tests);
+        the bound port is reported by ``ModelServer.address``.
+    max_batch:
+        Maximum *rows* fused into one model call.  The micro-batcher
+        flushes as soon as the pending rows reach this bound, so
+        ``max_batch=1`` degenerates to a per-request predict loop (the
+        benchmark baseline).
+    max_wait_ms:
+        How long the batcher waits after the first queued request for
+        more work before flushing a partial batch.  Bounds the latency
+        cost of batching.
+    queue_size:
+        Bound on requests waiting for the batcher.  Admission control:
+        submissions beyond it are rejected immediately (HTTP 429) rather
+        than queued into unbounded latency.
+    max_rows_per_request:
+        Per-request row cap (HTTP 413 beyond it), so one client cannot
+        monopolise a whole flush window.
+    request_timeout_s:
+        Safety bound a request waits for its batch result before the
+        server gives up and reports an internal error.
+    log_requests:
+        When True the HTTP handler logs one line per request to stderr
+        (quiet by default: the service is benchmarked).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    max_batch: int = 64
+    max_wait_ms: float = 5.0
+    queue_size: int = 256
+    max_rows_per_request: int = 1024
+    request_timeout_s: float = 30.0
+    log_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.max_rows_per_request < 1:
+            raise ValueError(
+                f"max_rows_per_request must be >= 1, got {self.max_rows_per_request}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        if not (0 <= self.port <= 65535):
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+
+
+__all__ = ["ServeConfig"]

@@ -1,0 +1,218 @@
+"""HTTP front-end: a stdlib ThreadingHTTPServer around the service.
+
+Endpoints:
+
+* ``POST /predict`` — body ``{"rows": [[...], ...]}``; responds
+  ``{"predictions": [...], "n": k}``.  Handler threads block on the
+  micro-batcher, so concurrent requests are fused into shared flushes.
+* ``GET /healthz`` — process liveness (always 200 while the server runs).
+* ``GET /readyz`` — 200 with the model summary once the service is
+  started, 503 before/after.
+* ``GET /metrics`` — Prometheus text exposition via
+  :func:`repro.obs.export.to_prometheus`, including the ``serve.*``
+  counters/histograms (queue depth, batch size, request latency).
+
+No web framework, no dependencies: :class:`ModelServer` is deployable
+anywhere the package itself runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.obs.export import to_prometheus
+from repro.serve.batcher import QueueFullError
+from repro.serve.config import ServeConfig
+from repro.serve.service import (
+    InferenceService,
+    NotReadyError,
+    PayloadTooLargeError,
+    ServeError,
+    ValidationError,
+)
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024  # hard cap before JSON parsing
+
+
+def _make_handler(service: InferenceService, config: ServeConfig):
+    class _Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve"
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing --------------------------------------------------
+        def log_message(self, fmt: str, *args: Any) -> None:
+            if config.log_requests:
+                BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+        def _send(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: Any) -> None:
+            self._send(
+                status,
+                json.dumps(payload).encode("utf-8"),
+                "application/json; charset=utf-8",
+            )
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        # -- GET -------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+            path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                self._send(200, b"ok\n", "text/plain; charset=utf-8")
+            elif path == "/readyz":
+                if service.ready:
+                    self._send_json(200, service.describe())
+                else:
+                    self._send_error_json(503, "model is not loaded")
+            elif path == "/metrics":
+                self._send(
+                    200,
+                    to_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_error_json(404, f"unknown path {path!r}")
+
+        # -- POST ------------------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+            path = self.path.split("?", 1)[0]
+            if path != "/predict":
+                self._send_error_json(404, f"unknown path {path!r}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                self._send_error_json(400, "invalid Content-Length")
+                return
+            if length <= 0:
+                self._send_error_json(400, "empty request body")
+                return
+            if length > _MAX_BODY_BYTES:
+                self._send_error_json(413, "request body too large")
+                return
+            try:
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._send_error_json(400, f"body is not valid JSON: {exc}")
+                return
+            if not isinstance(payload, dict) or "rows" not in payload:
+                self._send_error_json(400, 'body must be {"rows": [[...], ...]}')
+                return
+            try:
+                predictions = service.predict(payload["rows"])
+            except ValidationError as exc:
+                self._send_error_json(400, str(exc))
+            except PayloadTooLargeError as exc:
+                self._send_error_json(413, str(exc))
+            except QueueFullError as exc:
+                self._send_error_json(429, str(exc))
+            except NotReadyError as exc:
+                self._send_error_json(503, str(exc))
+            except ServeError as exc:
+                self._send_error_json(500, str(exc))
+            else:
+                self._send_json(
+                    200, {"predictions": predictions, "n": len(predictions)}
+                )
+
+    return _Handler
+
+
+class ModelServer:
+    """Bind an :class:`InferenceService` to a threaded HTTP server.
+
+    ``model`` may be a fitted estimator/pipeline or an already-built
+    :class:`InferenceService`.  :meth:`start` is non-blocking (the accept
+    loop runs on a daemon thread); use :meth:`serve_forever` from a CLI.
+    """
+
+    def __init__(
+        self, model: Any, config: Optional[ServeConfig] = None
+    ) -> None:
+        if isinstance(model, InferenceService):
+            self.service = model
+            self.config = config or model.config
+        else:
+            self.config = config or ServeConfig()
+            self.service = InferenceService(model, self.config)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def from_artifact(
+        cls, path: Any, config: Optional[ServeConfig] = None
+    ) -> "ModelServer":
+        """Load a :mod:`repro.persist` artifact directory and serve it."""
+        return cls(InferenceService.from_artifact(path, config), config)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)``; resolves ``port=0`` to the real port."""
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> Tuple[str, int]:
+        if self._httpd is not None:
+            return self.address
+        self.service.start()
+        httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port),
+            _make_handler(self.service, self.config),
+        )
+        httpd.daemon_threads = True
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI; Ctrl-C stops cleanly."""
+        self.start()
+        assert self._thread is not None
+        try:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ModelServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+__all__ = ["ModelServer"]

@@ -1,0 +1,174 @@
+"""Inference service: validated requests in, micro-batched predictions out.
+
+:class:`InferenceService` owns the loaded model and the
+:class:`~repro.serve.batcher.MicroBatcher`; the HTTP layer
+(:mod:`repro.serve.http`) is a thin translation of its exceptions to
+status codes:
+
+===============================  ====
+:class:`ValidationError`          400
+:class:`PayloadTooLargeError`     413
+:class:`~repro.serve.batcher.QueueFullError`  429
+:class:`NotReadyError`            503
+anything else                     500
+===============================  ====
+
+The served model is anything with ``predict(rows) -> labels`` — in
+practice a :class:`~repro.ml.pipeline.HDCFeaturePipeline` loaded from a
+:mod:`repro.persist` artifact, so one flush runs one fused
+record-encoding pass and one batched classifier call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import record_error, record_request, set_model_loaded
+
+
+class ServeError(RuntimeError):
+    """Base class for request-level serving failures."""
+
+
+class ValidationError(ServeError):
+    """Malformed request payload (bad JSON shape, non-numeric rows...)."""
+
+
+class PayloadTooLargeError(ServeError):
+    """Request exceeds ``max_rows_per_request``."""
+
+
+class NotReadyError(ServeError):
+    """Service not started or no model loaded."""
+
+
+class InferenceService:
+    """Micro-batched prediction front-end over one fitted model."""
+
+    def __init__(self, model: Any, config: Optional[ServeConfig] = None) -> None:
+        if not hasattr(model, "predict"):
+            raise TypeError(
+                f"model must expose predict(rows); got {type(model).__name__}"
+            )
+        self.model = model
+        self.config = config or ServeConfig()
+        self._batcher = MicroBatcher(
+            self._predict_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            queue_size=self.config.queue_size,
+        )
+
+    @classmethod
+    def from_artifact(
+        cls, path: Any, config: Optional[ServeConfig] = None
+    ) -> "InferenceService":
+        """Load a :mod:`repro.persist` artifact and wrap it for serving."""
+        from repro.persist import load_artifact
+
+        return cls(load_artifact(path), config)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return self._batcher.running
+
+    def start(self) -> "InferenceService":
+        self._batcher.start()
+        set_model_loaded(True)
+        return self
+
+    def stop(self) -> None:
+        self._batcher.stop()
+        set_model_loaded(False)
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------
+    def _validate(self, rows: Sequence[Sequence[float]]) -> np.ndarray:
+        if not isinstance(rows, (list, tuple)) or len(rows) == 0:
+            raise ValidationError("rows must be a non-empty list of feature rows")
+        if len(rows) > self.config.max_rows_per_request:
+            raise PayloadTooLargeError(
+                f"request carries {len(rows)} rows; the per-request limit is "
+                f"{self.config.max_rows_per_request}"
+            )
+        try:
+            arr = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"rows are not a numeric matrix: {exc}") from exc
+        if arr.ndim != 2:
+            raise ValidationError(
+                f"rows must form a 2-d matrix, got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError("rows contain NaN or infinite values")
+        expected = getattr(self.model, "n_features_in_", None)
+        if expected is not None and arr.shape[1] != expected:
+            raise ValidationError(
+                f"rows have {arr.shape[1]} features; the model expects {expected}"
+            )
+        return arr
+
+    def _predict_batch(self, stacked: np.ndarray) -> np.ndarray:
+        return np.asarray(self.model.predict(stacked))
+
+    def predict(self, rows: Sequence[Sequence[float]]) -> List[Any]:
+        """Validate, enqueue, wait for the fused flush, return labels.
+
+        Raises the exception hierarchy above; the returned labels are
+        plain Python scalars (JSON-ready).
+        """
+        started = time.perf_counter()
+        arr = self._validate(rows)
+        if not self.ready:
+            raise NotReadyError("service is not running; no model is being served")
+        pending = self._batcher.submit(arr)  # QueueFullError propagates
+        if not pending.event.wait(timeout=self.config.request_timeout_s):
+            record_error()
+            raise ServeError(
+                f"request timed out after {self.config.request_timeout_s}s "
+                f"waiting for a batch slot"
+            )
+        if pending.error is not None:
+            record_error()
+            raise ServeError(f"batched predict failed: {pending.error}") from pending.error
+        record_request(time.perf_counter() - started)
+        assert pending.result is not None
+        return np.asarray(pending.result).tolist()
+
+    def describe(self) -> dict:
+        """Model/runtime summary served by ``GET /readyz`` and the CLI."""
+        model = self.model
+        info = {
+            "model": type(model).__name__,
+            "ready": self.ready,
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "queue_size": self.config.queue_size,
+        }
+        n_features = getattr(model, "n_features_in_", None)
+        if n_features is not None:
+            info["n_features"] = int(n_features)
+        classes = getattr(model, "classes_", None)
+        if classes is not None:
+            info["classes"] = np.asarray(classes).tolist()
+        return info
+
+
+__all__ = [
+    "InferenceService",
+    "NotReadyError",
+    "PayloadTooLargeError",
+    "ServeError",
+    "ValidationError",
+]

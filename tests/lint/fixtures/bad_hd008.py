@@ -1,0 +1,39 @@
+"""Deliberately unsafe artifact handling (HD008 corpus).
+
+Expected findings (7):
+  1. ``import pickle``                               — pickle-family import
+  2. ``np.load(..., allow_pickle=True)``             — pickle enabled
+  3.    ... same call, no checksum reference in fn   — unverified read
+  4. ``np.load(path)``                               — allow_pickle unset
+  5.    ... same call, no checksum reference in fn   — unverified read
+  6. ``eval(...)`` on manifest content               — eval on artifact bytes
+  7. ``np.load(..., allow_pickle=False)`` in a fn
+     with no checksum reference                      — unverified read
+"""
+
+import io
+import pickle
+
+import numpy as np
+
+
+def load_model(path):
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def load_payload_trusting(path):
+    return np.load(path, allow_pickle=True)
+
+
+def load_payload_default(path):
+    return np.load(path)
+
+
+def parse_meta(blob):
+    return eval(blob)
+
+
+def read_without_checksum(path):
+    data = open(path, "rb").read()
+    return np.load(io.BytesIO(data), allow_pickle=False)

@@ -22,6 +22,7 @@ BAD_FIXTURES = [
     ("bad_hd005.py", "src/repro/core/bad_hd005.py", "HD005", 2),
     ("bad_hd006.py", "src/repro/core/bad_hd006.py", "HD006", 1),
     ("bad_hd007.py", "src/repro/api/bad_hd007.py", "HD007", 6),
+    ("bad_hd008.py", "src/repro/persist/bad_hd008.py", "HD008", 7),
 ]
 
 
@@ -31,7 +32,7 @@ def read(name: str) -> str:
 
 class TestRegistry:
     def test_catalogue_complete(self):
-        assert sorted(RULES) == [f"HD00{i}" for i in range(1, 8)]
+        assert sorted(RULES) == [f"HD00{i}" for i in range(1, 9)]
 
     def test_rules_carry_metadata(self):
         for rule in all_rules():
@@ -155,6 +156,35 @@ class TestRuleDetails:
             Path(__file__).resolve().parents[2] / "src" / "repro" / "api.py"
         ).read_text(encoding="utf-8")
         findings = lint_source(real, "src/repro/api.py", select=["HD007"])
+        assert findings == [], [f.render() for f in findings]
+
+    def test_hd008_outside_artifact_paths_is_silent(self):
+        findings = lint_source(
+            read("bad_hd008.py"), "src/repro/core/m.py", select=["HD008"]
+        )
+        assert findings == []
+
+    def test_hd008_verified_pickle_free_read_is_clean(self):
+        src = (
+            "import hashlib\n"
+            "import io\n"
+            "import numpy as np\n"
+            "def read_payload(path, expected):\n"
+            "    data = open(path, 'rb').read()\n"
+            "    if hashlib.sha256(data).hexdigest() != expected:\n"
+            "        raise ValueError(path)\n"
+            "    return np.load(io.BytesIO(data), allow_pickle=False)\n"
+        )
+        assert lint_source(src, "src/repro/persist/m.py", select=["HD008"]) == []
+
+    def test_hd008_real_artifact_reader_is_clean(self):
+        real = (
+            Path(__file__).resolve().parents[2]
+            / "src" / "repro" / "persist" / "artifact.py"
+        ).read_text(encoding="utf-8")
+        findings = lint_source(
+            real, "src/repro/persist/artifact.py", select=["HD008"]
+        )
         assert findings == [], [f.render() for f in findings]
 
     def test_hd003_parallel_map_results_exempt(self):

@@ -1,0 +1,156 @@
+"""MicroBatcher unit tests: fusing, admission control, failure fan-out."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, QueueFullError
+
+
+def _echo(stacked):
+    """Identity flush: returns one output row per input row."""
+    return np.asarray(stacked)
+
+
+def _rows(n, value=1.0):
+    return np.full((n, 3), value, dtype=np.float64)
+
+
+def test_submit_requires_running():
+    batcher = MicroBatcher(_echo, max_batch=4, max_wait_ms=1.0, queue_size=8)
+    with pytest.raises(RuntimeError, match="not running"):
+        batcher.submit(_rows(1))
+
+
+def test_single_request_round_trip():
+    batcher = MicroBatcher(_echo, max_batch=4, max_wait_ms=1.0, queue_size=8)
+    batcher.start()
+    try:
+        pending = batcher.submit(_rows(2, value=7.0))
+        assert pending.event.wait(timeout=5.0)
+        assert pending.error is None
+        np.testing.assert_array_equal(pending.result, _rows(2, value=7.0))
+    finally:
+        batcher.stop()
+
+
+def test_concurrent_submissions_fuse_into_one_flush():
+    batch_sizes = []
+    gate = threading.Event()
+
+    def slow_echo(stacked):
+        gate.wait(timeout=5.0)  # hold the first flush until all are queued
+        batch_sizes.append(int(stacked.shape[0]))
+        return np.asarray(stacked)
+
+    batcher = MicroBatcher(slow_echo, max_batch=64, max_wait_ms=50.0, queue_size=64)
+    batcher.start()
+    try:
+        plug = batcher.submit(_rows(1))  # occupies the worker inside slow_echo
+        time.sleep(0.05)
+        pendings = [batcher.submit(_rows(1, value=i)) for i in range(8)]
+        gate.set()
+        assert plug.event.wait(timeout=5.0)
+        for p in pendings:
+            assert p.event.wait(timeout=5.0)
+            assert p.error is None
+    finally:
+        batcher.stop()
+    # first flush is the plug alone; the 8 queued requests fuse afterwards
+    assert batch_sizes[0] == 1
+    assert sum(batch_sizes[1:]) == 8
+    assert max(batch_sizes[1:]) > 1, "queued requests never fused"
+
+
+def test_max_batch_bounds_each_flush():
+    batch_sizes = []
+
+    def recording_echo(stacked):
+        batch_sizes.append(int(stacked.shape[0]))
+        return np.asarray(stacked)
+
+    batcher = MicroBatcher(recording_echo, max_batch=4, max_wait_ms=20.0, queue_size=64)
+    batcher.start()
+    try:
+        pendings = [batcher.submit(_rows(1)) for _ in range(12)]
+        for p in pendings:
+            assert p.event.wait(timeout=5.0)
+    finally:
+        batcher.stop()
+    assert max(batch_sizes) <= 4
+
+
+def test_queue_full_raises_and_does_not_block():
+    release = threading.Event()
+
+    def stuck(stacked):
+        release.wait(timeout=10.0)
+        return np.asarray(stacked)
+
+    batcher = MicroBatcher(stuck, max_batch=1, max_wait_ms=0.0, queue_size=2)
+    batcher.start()
+    try:
+        held = [batcher.submit(_rows(1))]  # worker takes this one
+        time.sleep(0.05)
+        held += [batcher.submit(_rows(1)), batcher.submit(_rows(1))]  # queue full
+        with pytest.raises(QueueFullError, match="queue is full"):
+            batcher.submit(_rows(1))
+    finally:
+        release.set()
+        batcher.stop()
+    for p in held:
+        assert p.event.wait(timeout=5.0)
+
+
+def test_flush_exception_fans_out_to_all_pendings():
+    def broken(stacked):
+        raise ValueError("model exploded")
+
+    batcher = MicroBatcher(broken, max_batch=4, max_wait_ms=1.0, queue_size=8)
+    batcher.start()
+    try:
+        pending = batcher.submit(_rows(1))
+        assert pending.event.wait(timeout=5.0)
+        assert isinstance(pending.error, ValueError)
+        assert pending.result is None
+    finally:
+        batcher.stop()
+
+
+def test_output_count_mismatch_is_an_error():
+    def lossy(stacked):
+        return np.asarray(stacked)[:-1]  # one output short
+
+    batcher = MicroBatcher(lossy, max_batch=4, max_wait_ms=1.0, queue_size=8)
+    batcher.start()
+    try:
+        pending = batcher.submit(_rows(2))
+        assert pending.event.wait(timeout=5.0)
+        assert pending.error is not None
+        assert "outputs" in str(pending.error)
+    finally:
+        batcher.stop()
+
+
+def test_stop_fails_queued_requests_instead_of_hanging():
+    release = threading.Event()
+
+    def stuck(stacked):
+        release.wait(timeout=10.0)
+        return np.asarray(stacked)
+
+    batcher = MicroBatcher(stuck, max_batch=1, max_wait_ms=0.0, queue_size=8)
+    batcher.start()
+    batcher.submit(_rows(1))
+    time.sleep(0.05)
+    queued = batcher.submit(_rows(1))
+    release.set()
+    batcher.stop()
+    assert queued.event.wait(timeout=5.0)
+    # either served during drain or failed with the shutdown error — never lost
+    assert queued.result is not None or "shutting down" in str(queued.error)
+    assert not batcher.running

@@ -1,0 +1,101 @@
+"""InferenceService: validation, lifecycle, and prediction parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.records import RecordEncoder
+from repro.ml.pipeline import HDCFeaturePipeline
+from repro.persist import save_artifact
+from repro.serve import (
+    InferenceService,
+    NotReadyError,
+    PayloadTooLargeError,
+    ServeConfig,
+    ValidationError,
+)
+
+DIM = 1024
+
+
+@pytest.fixture(scope="module")
+def model(pima_r):
+    encoder = RecordEncoder(specs=pima_r.specs, dim=DIM, seed=7)
+    return HDCFeaturePipeline(encoder, PrototypeClassifier(dim=DIM)).fit(
+        pima_r.X, pima_r.y
+    )
+
+
+@pytest.fixture
+def service(model):
+    with InferenceService(model, ServeConfig(max_rows_per_request=16)) as svc:
+        yield svc
+
+
+def test_requires_a_predicting_model():
+    with pytest.raises(TypeError, match="predict"):
+        InferenceService(object())
+
+
+def test_predict_matches_direct_model_call(service, model, pima_r):
+    rows = pima_r.X[:8].tolist()
+    got = service.predict(rows)
+    expected = model.predict(np.asarray(rows)).tolist()
+    assert got == expected
+
+
+def test_predict_before_start_raises_not_ready(model, pima_r):
+    svc = InferenceService(model)
+    with pytest.raises(NotReadyError):
+        svc.predict(pima_r.X[:1].tolist())
+
+
+def test_validation_rejects_bad_payloads(service, pima_r):
+    row = pima_r.X[0].tolist()
+    with pytest.raises(ValidationError, match="non-empty"):
+        service.predict([])
+    with pytest.raises(ValidationError, match="non-empty"):
+        service.predict("not rows")
+    with pytest.raises(ValidationError, match="numeric"):
+        service.predict([["a"] * len(row)])
+    with pytest.raises(ValidationError, match="2-d"):
+        service.predict([[row]])
+    with pytest.raises(ValidationError, match="NaN"):
+        service.predict([[float("nan")] * len(row)])
+    with pytest.raises(ValidationError, match="features"):
+        service.predict([row + [1.0]])
+
+
+def test_row_cap_maps_to_payload_too_large(service, pima_r):
+    rows = pima_r.X[:17].tolist()  # cap is 16 in the fixture's config
+    with pytest.raises(PayloadTooLargeError, match="limit is 16"):
+        service.predict(rows)
+
+
+def test_describe_reports_model_and_knobs(service):
+    info = service.describe()
+    assert info["model"] == "HDCFeaturePipeline"
+    assert info["ready"] is True
+    assert info["n_features"] == 8
+    assert info["classes"] == [0, 1]
+    assert info["max_batch"] == ServeConfig().max_batch
+
+
+def test_from_artifact_serves_saved_model(tmp_path, model, pima_r):
+    save_artifact(model, tmp_path / "model")
+    with InferenceService.from_artifact(tmp_path / "model") as svc:
+        rows = pima_r.X[:4].tolist()
+        assert svc.predict(rows) == model.predict(np.asarray(rows)).tolist()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(max_batch=0)
+    with pytest.raises(ValueError):
+        ServeConfig(max_wait_ms=-1.0)
+    with pytest.raises(ValueError):
+        ServeConfig(queue_size=0)
+    with pytest.raises(ValueError):
+        ServeConfig(port=70000)

@@ -24,6 +24,7 @@ CASES = {
     "ehr_longitudinal.py": "Trend-detection accuracy",
     "dna_ngram_screening.py": "Nearest-profile accuracy",
     "custom_dataset.py": "hypervectors",
+    "serve_quickstart.py": "Serving quickstart complete",
 }
 
 
