@@ -105,6 +105,7 @@ from repro.eval.experiments import (
 # --- data: the paper's three datasets -----------------------------------
 from repro.data import (
     Dataset,
+    generate_binarized_images,
     generate_pima,
     generate_sylhet,
     load_pima_m,
@@ -122,6 +123,19 @@ from repro.persist import (
     save_artifact,
 )
 from repro.serve import InferenceService, ModelServer, ServeConfig
+
+# --- scenarios: declarative workloads + load harness ---------------------
+from repro.scenarios import (
+    LoadReport,
+    ScenarioError,
+    ScenarioSpec,
+    apply_preset,
+    find_saturation,
+    load_bench,
+    load_scenario,
+    run_load,
+    run_scenario,
+)
 
 # --- parallel + observability -------------------------------------------
 from repro.parallel import parallel_map
@@ -196,6 +210,7 @@ __all__ = [
     "run_table45",
     # data
     "Dataset",
+    "generate_binarized_images",
     "generate_pima",
     "generate_sylhet",
     "load_pima_m",
@@ -212,6 +227,16 @@ __all__ = [
     "InferenceService",
     "ModelServer",
     "ServeConfig",
+    # scenarios / load harness
+    "LoadReport",
+    "ScenarioError",
+    "ScenarioSpec",
+    "apply_preset",
+    "find_saturation",
+    "load_bench",
+    "load_scenario",
+    "run_load",
+    "run_scenario",
     # parallel + observability
     "parallel_map",
     "obs",

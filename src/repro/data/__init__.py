@@ -23,6 +23,7 @@ from repro.data.impute import (
     mean_impute,
     missing_mask,
 )
+from repro.data.images import cross_mask, generate_binarized_images, ring_mask
 from repro.data.io import load_pima_csv, load_sylhet_csv, save_dataset_csv
 from repro.data.dpf import Relative, compute_dpf, GENE_SHARE
 from repro.data.synth import (
@@ -50,6 +51,9 @@ __all__ = [
     "median_impute_by_class",
     "mean_impute",
     "missing_mask",
+    "cross_mask",
+    "generate_binarized_images",
+    "ring_mask",
     "load_pima_csv",
     "load_sylhet_csv",
     "save_dataset_csv",

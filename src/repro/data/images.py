@@ -1,0 +1,94 @@
+"""Synthetic binarized-image workload (Smets et al.-style encoding input).
+
+The HDC literature the paper builds on (see PAPERS.md: Smets et al.'s
+binarized-image encodings) feeds *binary pixel grids* straight into the
+hypervector encoder — each pixel is a 0/1 feature bound to its position
+vector, no level quantisation involved.  This module synthesises such a
+workload so the scenario library can exercise the record encoder's
+**binary** path (seed/orthogonal pairs) at adjustable scale, instead of
+only the linear level encoders the two paper datasets use.
+
+Two pattern classes on a ``side x side`` grid:
+
+* class 0 — a **cross** (centre row + centre column lit);
+* class 1 — a **ring** (border frame lit);
+
+corrupted by per-pixel Bernoulli flips.  Flip probability controls task
+hardness smoothly: 0.0 is separable by a handful of pixels, 0.5 is pure
+noise.  Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import FeatureSpec
+from repro.data.datasets import Dataset
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def cross_mask(side: int) -> np.ndarray:
+    """Binary ``(side, side)`` mask with the centre row + column lit."""
+    check_positive_int(side, "side", minimum=3)
+    mask = np.zeros((side, side), dtype=np.int64)
+    mid = side // 2
+    mask[mid, :] = 1
+    mask[:, mid] = 1
+    return mask
+
+
+def ring_mask(side: int) -> np.ndarray:
+    """Binary ``(side, side)`` mask with the one-pixel border frame lit."""
+    check_positive_int(side, "side", minimum=3)
+    mask = np.zeros((side, side), dtype=np.int64)
+    mask[0, :] = mask[-1, :] = 1
+    mask[:, 0] = mask[:, -1] = 1
+    return mask
+
+
+def generate_binarized_images(
+    n_samples: int = 600,
+    *,
+    side: int = 12,
+    flip_prob: float = 0.05,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Labelled binarized-image dataset as flat 0/1 feature rows.
+
+    Parameters
+    ----------
+    n_samples:
+        Total images; classes are drawn balanced-in-expectation from the
+        seeded generator.
+    side:
+        Grid side length; the dataset has ``side * side`` binary features
+        named ``px_<row>_<col>``.
+    flip_prob:
+        Per-pixel label-noise probability in ``[0, 0.5]``.
+    seed:
+        Master seed (labels and flips derive from it deterministically).
+    """
+    check_positive_int(n_samples, "n_samples", minimum=4)
+    check_positive_int(side, "side", minimum=3)
+    check_in_range(flip_prob, "flip_prob", 0.0, 0.5, inclusive="both")
+    rng = as_generator(seed)
+    y = rng.integers(0, 2, size=n_samples).astype(np.int64)
+    prototypes = np.stack(
+        [cross_mask(side).ravel(), ring_mask(side).ravel()], axis=0
+    )
+    base = prototypes[y]
+    flips = (rng.random((n_samples, side * side)) < flip_prob).astype(np.int64)
+    X = np.bitwise_xor(base, flips).astype(np.float64)
+    names = [f"px_{r}_{c}" for r in range(side) for c in range(side)]
+    specs = [FeatureSpec(name, "binary") for name in names]
+    return Dataset(
+        name=f"images[{side}x{side}]",
+        X=X,
+        y=y,
+        feature_names=names,
+        specs=specs,
+    )
+
+
+__all__ = ["cross_mask", "generate_binarized_images", "ring_mask"]

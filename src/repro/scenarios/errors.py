@@ -1,0 +1,34 @@
+"""Typed errors for the scenario library.
+
+Every validation failure names the offending key with a dotted path
+(``"traffic.rate_rps"``), so a scenario author editing a JSON/TOML file
+is pointed at the exact field to fix — and the property-based tests can
+assert that malformed input is rejected *and* attributed correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ScenarioError(ValueError):
+    """A scenario definition (or bench report) failed validation.
+
+    Attributes
+    ----------
+    key:
+        Dotted path of the offending field (``"slo.p95_ms"``), or
+        ``None`` for document-level problems (unreadable file, wrong
+        top-level type).
+    """
+
+    def __init__(self, message: str, *, key: Optional[str] = None) -> None:
+        self.key = key
+        super().__init__(f"{key}: {message}" if key else message)
+
+
+class BenchSchemaError(ScenarioError):
+    """A ``BENCH_*.json`` document does not match the bench schema."""
+
+
+__all__ = ["BenchSchemaError", "ScenarioError"]

@@ -1,0 +1,526 @@
+"""Synthetic load generation: seeded arrivals, injectable clock, reports.
+
+Two arrival disciplines (the classic pair from load-testing literature):
+
+* **open loop** — a Poisson arrival schedule at ``rate_rps`` is drawn up
+  front from the traffic seed; requests fire at their scheduled instants
+  whether or not earlier ones have completed.  This is the discipline
+  that exposes saturation: the offered rate does not back off when the
+  server slows down.
+* **closed loop** — ``concurrency`` workers each hold one request in
+  flight (request → response → next request).  The offered rate adapts
+  to the server, which is what real interactive clients do.
+
+Determinism is a hard requirement (the same discipline hdlint HD001
+enforces on every other stochastic component): all randomness flows from
+``TrafficSpec.seed`` through :mod:`repro.utils.rng`, and the wall clock
+is injectable.  With :class:`FakeClock` plus a deterministic transport
+the *entire run* — arrival schedule, per-request latencies, the final
+report — is bit-identical across runs, so harness regressions are
+testable without wall-clock sleeps.
+
+Two execution engines share the reporting path:
+
+* :func:`run_load` with ``workers="threads"`` drives a real HTTP server
+  (:class:`HttpTransport`) with actual concurrency;
+* ``workers="inline"`` runs a single-threaded discrete-event simulation
+  of a FIFO server (service times supplied by the transport), used by
+  the deterministic tests and the queueing-math sanity checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import span
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.metrics import record_load_request, record_load_run
+from repro.scenarios.schema import SLOSpec, TrafficSpec
+from repro.utils.rng import as_generator, derive_seed
+
+LATENCY_PERCENTILES: Tuple[int, ...] = (50, 90, 95, 99)
+
+
+# ----------------------------------------------------------------------
+# clocks
+# ----------------------------------------------------------------------
+class SystemClock:
+    """Monotonic wall clock (``perf_counter``) with real sleeping."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock:
+    """Deterministic clock: ``sleep`` advances simulated time instantly.
+
+    Thread-safe so the threaded engine can also run against it, but its
+    home is the inline simulation engine where it makes whole load runs
+    reproducible bit-for-bit.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self._now += max(0.0, float(seconds))
+
+    def advance(self, seconds: float) -> None:
+        self.sleep(seconds)
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+class HttpTransport:
+    """POST rows to a live ``/predict`` endpoint; returns (status, seconds).
+
+    Transport-level failures (refused connection, timeout) report status
+    ``0`` so they are distinguishable from server-side 5xx in the
+    report's ``status_counts``.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.url = base_url.rstrip("/") + "/predict"
+        self.timeout_s = float(timeout_s)
+
+    def send(self, rows: Sequence[Sequence[float]]) -> Tuple[int, float]:
+        body = json.dumps({"rows": [list(map(float, r)) for r in rows]}).encode("utf-8")
+        req = urllib.request.Request(
+            self.url, data=body, headers={"Content-Type": "application/json"}
+        )
+        started = time.perf_counter()
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                resp.read()
+                status = int(resp.status)
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            status = int(exc.code)
+        except (urllib.error.URLError, OSError, TimeoutError):
+            status = 0
+        return status, time.perf_counter() - started
+
+
+class FakeTransport:
+    """Deterministic service-time model for the inline simulator.
+
+    ``service_s`` is either a constant or ``f(request_index) -> seconds``;
+    ``status_fn`` lets tests inject error codes at chosen indices.
+    """
+
+    def __init__(
+        self,
+        service_s: Any = 0.001,
+        status_fn: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        self._service = service_s
+        self._status_fn = status_fn
+        self._calls = 0
+
+    def send(self, rows: Sequence[Sequence[float]]) -> Tuple[int, float]:
+        i = self._calls
+        self._calls += 1
+        service = self._service(i) if callable(self._service) else float(self._service)
+        status = self._status_fn(i) if self._status_fn is not None else 200
+        return int(status), float(service)
+
+
+# ----------------------------------------------------------------------
+# arrival schedule
+# ----------------------------------------------------------------------
+def arrival_schedule(traffic: TrafficSpec) -> np.ndarray:
+    """Seeded open-loop arrival offsets (seconds from run start).
+
+    Poisson process at ``rate_rps``: exponential inter-arrival gaps drawn
+    from a generator derived from ``traffic.seed``, cumulatively summed.
+    Bit-identical for identical specs — the reproducibility anchor the
+    deterministic harness tests pin.
+    """
+    traffic.validate()
+    rng = as_generator(derive_seed(traffic.seed, "loadgen", "arrivals"))
+    gaps = rng.exponential(scale=1.0 / traffic.rate_rps, size=traffic.n_requests)
+    return np.cumsum(gaps)
+
+
+def request_row_indices(
+    traffic: TrafficSpec, n_rows_available: int
+) -> np.ndarray:
+    """Deterministic ``(n_requests, rows_per_request)`` row index plan.
+
+    Each request draws its rows from a seeded permutation of the dataset,
+    wrapping around — every run over the same spec replays the identical
+    row stream.
+    """
+    traffic.validate()
+    if n_rows_available < 1:
+        raise ScenarioError("dataset has no rows to sample requests from")
+    rng = as_generator(derive_seed(traffic.seed, "loadgen", "rows"))
+    order = rng.permutation(n_rows_available)
+    total = traffic.n_requests * traffic.rows_per_request
+    flat = order[np.arange(total) % n_rows_available]
+    return flat.reshape(traffic.n_requests, traffic.rows_per_request)
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run (the unit a BENCH file stores)."""
+
+    mode: str
+    n_requests: int
+    rows_per_request: int
+    concurrency: int
+    offered_rps: Optional[float]
+    duration_s: float
+    throughput_rps: float
+    row_throughput_rps: float
+    latency_ms: Dict[str, float]
+    status_counts: Dict[str, int]
+    error_rate: float
+    slo_violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.slo_violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "n_requests": self.n_requests,
+            "rows_per_request": self.rows_per_request,
+            "concurrency": self.concurrency,
+            "offered_rps": self.offered_rps,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "row_throughput_rps": self.row_throughput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "status_counts": dict(self.status_counts),
+            "error_rate": self.error_rate,
+            "slo_violations": list(self.slo_violations),
+        }
+
+
+def _latency_summary(latencies_s: np.ndarray) -> Dict[str, float]:
+    if latencies_s.size == 0:
+        return {f"p{p}": 0.0 for p in LATENCY_PERCENTILES} | {"mean": 0.0, "max": 0.0}
+    ms = latencies_s * 1000.0
+    out = {f"p{p}": float(np.percentile(ms, p)) for p in LATENCY_PERCENTILES}
+    out["mean"] = float(np.mean(ms))
+    out["max"] = float(np.max(ms))
+    return out
+
+
+def evaluate_slo(
+    slo: SLOSpec, latency_ms: Dict[str, float], error_rate: float, throughput_rps: float
+) -> List[str]:
+    """Human-readable list of violated objectives (empty = SLO met)."""
+    violations: List[str] = []
+    for pct_key, bound in (
+        ("p50", slo.p50_ms),
+        ("p95", slo.p95_ms),
+        ("p99", slo.p99_ms),
+    ):
+        if bound is not None and latency_ms.get(pct_key, 0.0) > bound:
+            violations.append(
+                f"latency {pct_key} {latency_ms[pct_key]:.2f} ms > {bound:.2f} ms"
+            )
+    if error_rate > slo.max_error_rate:
+        violations.append(
+            f"error rate {error_rate:.4f} > {slo.max_error_rate:.4f}"
+        )
+    if slo.min_throughput_rps is not None and throughput_rps < slo.min_throughput_rps:
+        violations.append(
+            f"throughput {throughput_rps:.2f} rps < {slo.min_throughput_rps:.2f} rps"
+        )
+    return violations
+
+
+def summarize(
+    traffic: TrafficSpec,
+    slo: SLOSpec,
+    latencies_s: Sequence[float],
+    statuses: Sequence[int],
+    duration_s: float,
+) -> LoadReport:
+    """Fold raw per-request outcomes into a :class:`LoadReport`."""
+    lat = np.asarray(latencies_s, dtype=np.float64)
+    statuses = [int(s) for s in statuses]
+    counts: Dict[str, int] = {}
+    for s in statuses:
+        key = str(s)
+        counts[key] = counts.get(key, 0) + 1
+    n = len(statuses)
+    n_ok = sum(1 for s in statuses if 200 <= s < 300)
+    error_rate = 0.0 if n == 0 else (n - n_ok) / n
+    duration = max(float(duration_s), 1e-12)
+    throughput = n / duration
+    latency_ms = _latency_summary(lat)
+    return LoadReport(
+        mode=traffic.mode,
+        n_requests=n,
+        rows_per_request=traffic.rows_per_request,
+        concurrency=traffic.concurrency,
+        offered_rps=traffic.rate_rps if traffic.mode == "open" else None,
+        duration_s=float(duration_s),
+        throughput_rps=throughput,
+        row_throughput_rps=throughput * traffic.rows_per_request,
+        latency_ms=latency_ms,
+        status_counts=dict(sorted(counts.items())),
+        error_rate=error_rate,
+        slo_violations=evaluate_slo(slo, latency_ms, error_rate, throughput),
+    )
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
+def _run_inline(
+    traffic: TrafficSpec,
+    transport: Any,
+    clock: Any,
+    request_rows: List[np.ndarray],
+) -> Tuple[List[float], List[int], float]:
+    """Single-threaded discrete-event simulation of a FIFO server.
+
+    The transport supplies each request's service time; the engine does
+    the queueing math.  Latency = completion − arrival, exactly as a
+    client would measure it.  Fully deterministic under a fake clock.
+    """
+    start = clock.now()
+    latencies: List[float] = []
+    statuses: List[int] = []
+    server_free = start
+    if traffic.mode == "open":
+        arrivals = start + arrival_schedule(traffic)
+        for i, arrival in enumerate(arrivals):
+            if clock.now() < arrival:
+                clock.sleep(arrival - clock.now())
+            status, service = transport.send(request_rows[i])
+            begin = max(arrival, server_free)
+            completion = begin + service
+            server_free = completion
+            if clock.now() < completion:
+                clock.sleep(completion - clock.now())
+            latencies.append(completion - arrival)
+            statuses.append(status)
+            record_load_request(completion - arrival, status)
+        end = max(clock.now(), server_free)
+    else:  # closed loop: one in-flight request per worker, FIFO server
+        ready = [(start, w) for w in range(traffic.concurrency)]
+        heapq.heapify(ready)
+        for i in range(traffic.n_requests):
+            arrival, worker = heapq.heappop(ready)
+            status, service = transport.send(request_rows[i])
+            begin = max(arrival, server_free)
+            completion = begin + service
+            server_free = completion
+            latencies.append(completion - arrival)
+            statuses.append(status)
+            record_load_request(completion - arrival, status)
+            heapq.heappush(ready, (completion, worker))
+        end = max(server_free, start)
+        if clock.now() < end:
+            clock.sleep(end - clock.now())
+    return latencies, statuses, end - start
+
+
+def _run_threaded(
+    traffic: TrafficSpec,
+    transport: Any,
+    clock: Any,
+    request_rows: List[np.ndarray],
+) -> Tuple[List[float], List[int], float]:
+    """Real-concurrency engine used against live servers."""
+    latencies: List[float] = [0.0] * traffic.n_requests
+    statuses: List[int] = [0] * traffic.n_requests
+
+    def fire(i: int, scheduled: Optional[float]) -> None:
+        issued = clock.now()
+        status, seconds = transport.send(request_rows[i])
+        # Open-loop latency is measured from the *scheduled* arrival, so
+        # dispatch backlog (coordinated omission) counts against the
+        # server, not in its favour.
+        base = issued if scheduled is None else min(issued, scheduled)
+        latency = (clock.now() - base) if scheduled is not None else seconds
+        latencies[i] = max(latency, seconds)
+        statuses[i] = status
+        record_load_request(latencies[i], status)
+
+    start = clock.now()
+    if traffic.mode == "open":
+        offsets = arrival_schedule(traffic)
+        with ThreadPoolExecutor(max_workers=traffic.concurrency) as pool:
+            futures = []
+            for i, offset in enumerate(offsets):
+                delay = (start + offset) - clock.now()
+                if delay > 0:
+                    clock.sleep(delay)
+                futures.append(pool.submit(fire, i, start + offset))
+            for fut in futures:
+                fut.result()
+    else:
+        counter = {"next": 0}
+        lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    i = counter["next"]
+                    if i >= traffic.n_requests:
+                        return
+                    counter["next"] = i + 1
+                fire(i, None)
+
+        threads = [
+            threading.Thread(target=worker, name=f"repro-loadgen-{w}")
+            for w in range(traffic.concurrency)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    return latencies, statuses, clock.now() - start
+
+
+def run_load(
+    traffic: TrafficSpec,
+    transport: Any,
+    *,
+    slo: Optional[SLOSpec] = None,
+    clock: Optional[Any] = None,
+    rows: Optional[np.ndarray] = None,
+    workers: str = "threads",
+) -> LoadReport:
+    """Run one load experiment and fold the outcome into a report.
+
+    Parameters
+    ----------
+    traffic:
+        Arrival process description (validated here).
+    transport:
+        ``send(rows) -> (status, seconds)`` — :class:`HttpTransport`
+        against a live server, or any deterministic stand-in.
+    slo:
+        Objectives to judge the run against (default: no bounds).
+    clock:
+        ``now()/sleep()`` provider; default :class:`SystemClock`.
+    rows:
+        ``(n, F)`` feature matrix requests sample from; defaults to a
+        single zero-feature row (transport stand-ins ignore payloads).
+    workers:
+        ``"threads"`` for real concurrency, ``"inline"`` for the
+        deterministic single-threaded simulation.
+    """
+    traffic.validate()
+    slo = slo or SLOSpec()
+    clock = clock or SystemClock()
+    if workers not in ("threads", "inline"):
+        raise ScenarioError(f"workers must be 'threads' or 'inline', got {workers!r}")
+    if rows is None:
+        rows = np.zeros((1, 1), dtype=np.float64)
+    rows = np.asarray(rows, dtype=np.float64)
+    plan = request_row_indices(traffic, rows.shape[0])
+    request_rows = [rows[plan[i]] for i in range(traffic.n_requests)]
+    engine = _run_inline if workers == "inline" else _run_threaded
+    with span(
+        "scenarios.load_run",
+        mode=traffic.mode,
+        n_requests=traffic.n_requests,
+        workers=workers,
+    ):
+        latencies, statuses, duration = engine(traffic, transport, clock, request_rows)
+    report = summarize(traffic, slo, latencies, statuses, duration)
+    record_load_run(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# saturation sweep
+# ----------------------------------------------------------------------
+def find_saturation(
+    traffic: TrafficSpec,
+    transport_factory: Callable[[], Any],
+    *,
+    slo: Optional[SLOSpec] = None,
+    clock: Optional[Any] = None,
+    rows: Optional[np.ndarray] = None,
+    workers: str = "threads",
+    start_rps: float = 25.0,
+    growth: float = 2.0,
+    max_steps: int = 8,
+) -> Dict[str, Any]:
+    """Step up open-loop offered load until the SLO breaks.
+
+    Runs geometric rate steps (``start_rps * growth**k``); the
+    *saturation point* is the highest offered rate whose report met the
+    SLO (latency bounds + error budget).  Each step gets a fresh
+    transport from ``transport_factory`` so per-step state (connection
+    pools, fake-transport call counts) does not leak across rates.
+
+    Returns ``{"saturation_rps": float | None, "steps": [...]}`` with one
+    report dict per step, in offered-rate order.
+    """
+    if growth <= 1.0:
+        raise ScenarioError(f"growth must be > 1, got {growth}")
+    if start_rps <= 0:
+        raise ScenarioError(f"start_rps must be > 0, got {start_rps}")
+    slo = slo or SLOSpec()
+    steps: List[Dict[str, Any]] = []
+    saturation: Optional[float] = None
+    rate = float(start_rps)
+    for _ in range(max_steps):
+        step_traffic = replace(traffic, mode="open", rate_rps=rate)
+        report = run_load(
+            step_traffic,
+            transport_factory(),
+            slo=slo,
+            clock=clock,
+            rows=rows,
+            workers=workers,
+        )
+        steps.append({"offered_rps": rate} | report.to_dict())
+        if report.ok:
+            saturation = rate
+        else:
+            break
+        rate *= growth
+    return {"saturation_rps": saturation, "steps": steps}
+
+
+__all__ = [
+    "FakeClock",
+    "FakeTransport",
+    "HttpTransport",
+    "LATENCY_PERCENTILES",
+    "LoadReport",
+    "SystemClock",
+    "arrival_schedule",
+    "evaluate_slo",
+    "find_saturation",
+    "request_row_indices",
+    "run_load",
+    "summarize",
+]

@@ -1,0 +1,57 @@
+"""loadgen.* metrics: the harness's view into :mod:`repro.obs`.
+
+Mirrors :mod:`repro.serve.metrics` on the client side of the wire, so a
+scenario run exposes both halves of the conversation in one registry —
+``serve.*`` says what the server did, ``loadgen.*`` says what the
+clients experienced.  Names (after the Prometheus exporter's ``repro_``
+prefix / ``_total`` suffix):
+
+==========================  =========  ==================================
+``loadgen.requests``        counter    requests issued by the harness
+``loadgen.errors``          counter    non-2xx (or transport-failed) ones
+``loadgen.runs``            counter    completed load runs
+``loadgen.latency_seconds`` histogram  client-observed per-request latency
+``loadgen.last_throughput`` gauge      throughput of the latest run (rps)
+==========================  =========  ==================================
+
+Same locking note as the serve metrics: registry metric objects are not
+internally locked, the threaded engine mutates from many workers, so one
+module lock serialises every event.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import REGISTRY
+
+if TYPE_CHECKING:  # circular at runtime: load.py imports this module
+    from repro.scenarios.load import LoadReport
+
+_LOCK = threading.Lock()
+
+
+def record_load_request(latency_s: float, status: int) -> None:
+    """One request the harness issued, successful or not."""
+    with _LOCK:
+        REGISTRY.counter("loadgen.requests", "Requests issued by the load harness.").add(1)
+        if not 200 <= status < 300:
+            REGISTRY.counter(
+                "loadgen.errors", "Harness requests answered non-2xx or failed."
+            ).add(1)
+        REGISTRY.histogram(
+            "loadgen.latency_seconds", "Client-observed per-request latency."
+        ).observe(latency_s)
+
+
+def record_load_run(report: "LoadReport") -> None:
+    """One completed load run (open or closed loop)."""
+    with _LOCK:
+        REGISTRY.counter("loadgen.runs", "Completed load-generator runs.").add(1)
+        REGISTRY.gauge(
+            "loadgen.last_throughput", "Throughput of the most recent load run (rps)."
+        ).set(report.throughput_rps)
+
+
+__all__ = ["record_load_request", "record_load_run"]

@@ -1,0 +1,239 @@
+"""Resolve a :class:`~repro.scenarios.schema.ScenarioSpec` into running parts.
+
+One spec, three consumers:
+
+* :func:`build_dataset` / :func:`build_pipeline` — the labelled
+  population and the fitted :class:`~repro.ml.pipeline.HDCFeaturePipeline`
+  the scenario describes (each dataset source exercises a different
+  encoder path: Pima/Sylhet the linear level encoder, the EHR stream the
+  longitudinal Pima marginals at scale, the binarized-image workload the
+  binary seed/orthogonal pairs);
+* :func:`run_offline` — the scenario as an *experiment*, through the
+  :mod:`repro.eval` protocol stack (held-out classification report, plus
+  the Hamming LOOCV number for the paper's native model);
+* :func:`build_artifact` / :func:`boot_server` — the scenario as a
+  *service*: persist via :mod:`repro.persist`, serve via
+  :mod:`repro.serve`, ready for the load harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.classifier import HammingClassifier, PrototypeClassifier
+from repro.core.records import RecordEncoder
+from repro.data.datasets import Dataset
+from repro.data.ehr import cohort_to_matrix, simulate_cohort
+from repro.data.images import generate_binarized_images
+from repro.data.pima import load_pima_m, load_pima_r, pima_feature_specs
+from repro.data.sylhet import load_sylhet
+from repro.eval.crossval import leave_one_out_hamming, train_test_split
+from repro.eval.experiments import ExperimentConfig, encode_dataset, replace_levels
+from repro.eval.metrics import classification_report
+from repro.ml.linear import LogisticRegression
+from repro.ml.pipeline import HDCFeaturePipeline
+from repro.obs import span
+from repro.persist import save_artifact
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.schema import ScenarioSpec
+from repro.serve import ModelServer, ServeConfig
+from repro.utils.rng import derive_seed
+
+
+def build_dataset(spec: ScenarioSpec) -> Dataset:
+    """Materialise the scenario's dataset (deterministic in its seeds)."""
+    ds_spec = spec.dataset.validate()
+    params = dict(ds_spec.params)
+    with span("scenarios.build_dataset", source=ds_spec.source):
+        if ds_spec.source == "pima_r":
+            return load_pima_r(seed=ds_spec.seed)
+        if ds_spec.source == "pima_m":
+            return load_pima_m(seed=ds_spec.seed)
+        if ds_spec.source == "sylhet":
+            return load_sylhet(seed=ds_spec.seed)
+        if ds_spec.source == "ehr":
+            cohort = simulate_cohort(
+                params.get("n_patients", 400),
+                n_visits=params.get("n_visits", 6),
+                seed=ds_spec.seed,
+            )
+            X, y, _, _ = cohort_to_matrix(cohort)
+            specs = pima_feature_specs()
+            return Dataset(
+                name=f"ehr[{len(cohort)}x{params.get('n_visits', 6)}]",
+                X=X,
+                y=y,
+                feature_names=[s.name for s in specs],
+                specs=specs,
+            )
+        if ds_spec.source == "images":
+            return generate_binarized_images(
+                n_samples=params.get("n_samples", 600),
+                side=params.get("side", 12),
+                flip_prob=params.get("flip_prob", 0.05),
+                seed=ds_spec.seed,
+            )
+    raise ScenarioError(f"unhandled source {ds_spec.source!r}", key="dataset.source")
+
+
+def build_encoder(spec: ScenarioSpec, dataset: Dataset) -> RecordEncoder:
+    """Unfitted record encoder configured from the scenario."""
+    enc_spec = spec.encoder.validate()
+    specs = list(dataset.specs)
+    if enc_spec.levels is not None:
+        specs = [replace_levels(s, enc_spec.levels) for s in specs]
+    return RecordEncoder(
+        specs=specs,
+        dim=enc_spec.dim,
+        seed=derive_seed(enc_spec.seed, "scenario-encode", spec.name),
+        tie=enc_spec.tie,
+    )
+
+
+def build_model(spec: ScenarioSpec) -> Any:
+    """Downstream classifier template for the scenario's model kind."""
+    model = spec.model.validate()
+    params = dict(model.params)
+    if model.kind == "prototype":
+        return PrototypeClassifier(dim=spec.encoder.dim, **params)
+    if model.kind == "hamming":
+        params.setdefault("n_neighbors", 1)
+        return HammingClassifier(dim=spec.encoder.dim, **params)
+    if model.kind == "logistic":
+        return LogisticRegression(**params)
+    raise ScenarioError(f"unhandled kind {model.kind!r}", key="model.kind")
+
+
+def build_pipeline(
+    spec: ScenarioSpec, dataset: Optional[Dataset] = None
+) -> Tuple[HDCFeaturePipeline, Dataset]:
+    """Fit the scenario's end-to-end pipeline on its full dataset."""
+    dataset = dataset if dataset is not None else build_dataset(spec)
+    pipeline = HDCFeaturePipeline(build_encoder(spec, dataset), build_model(spec))
+    with span(
+        "scenarios.fit_pipeline",
+        scenario=spec.name,
+        rows=dataset.n_samples,
+        dim=spec.encoder.dim,
+    ):
+        pipeline.fit(dataset.X, dataset.y)
+    return pipeline, dataset
+
+
+def experiment_config(spec: ScenarioSpec) -> ExperimentConfig:
+    """The scenario's view of the shared experiment knobs."""
+    return replace(
+        ExperimentConfig.fast(),
+        dim=spec.encoder.dim,
+        seed=spec.encoder.seed,
+        data_seed=spec.dataset.seed,
+    )
+
+
+def run_offline(
+    spec: ScenarioSpec,
+    dataset: Optional[Dataset] = None,
+    *,
+    test_size: float = 0.2,
+) -> Dict[str, Any]:
+    """The scenario as an offline experiment (accuracy, not latency).
+
+    Held-out classification report of the scenario pipeline, plus the
+    Hamming LOOCV accuracy (the paper's Table II protocol, via
+    :func:`repro.eval.experiments.encode_dataset` and the streaming
+    search engine) when the scenario serves a native-Hamming model.
+    """
+    dataset = dataset if dataset is not None else build_dataset(spec)
+    config = experiment_config(spec)
+    idx = np.arange(dataset.n_samples)
+    idx_tr, idx_te = train_test_split(
+        idx,
+        test_size=test_size,
+        stratify=dataset.y,
+        seed=derive_seed(spec.encoder.seed, "scenario-offline", spec.name),
+    )
+    pipeline = HDCFeaturePipeline(build_encoder(spec, dataset), build_model(spec))
+    with span("scenarios.run_offline", scenario=spec.name, rows=dataset.n_samples):
+        pipeline.fit(dataset.X[idx_tr], dataset.y[idx_tr])
+        pred = pipeline.predict(dataset.X[idx_te])
+        out: Dict[str, Any] = {
+            "dataset": dataset.name,
+            "n_samples": dataset.n_samples,
+            "n_features": dataset.n_features,
+            "test_size": float(test_size),
+            "holdout": classification_report(dataset.y[idx_te], pred),
+        }
+        if spec.model.kind in ("prototype", "hamming"):
+            packed, _, _ = encode_dataset(dataset, config)
+            loo = leave_one_out_hamming(packed, dataset.y, n_jobs=config.loo_n_jobs)
+            out["loo_hamming_accuracy"] = float(loo.accuracy)
+    return out
+
+
+def serve_config(spec: ScenarioSpec, *, host: str = "127.0.0.1", port: int = 0) -> ServeConfig:
+    """Translate the scenario's serve section into a ServeConfig."""
+    srv = spec.serve.validate()
+    return ServeConfig(
+        host=host,
+        port=port,
+        max_batch=srv.max_batch,
+        max_wait_ms=srv.max_wait_ms,
+        queue_size=srv.queue_size,
+        max_rows_per_request=srv.max_rows_per_request,
+    )
+
+
+def build_artifact(
+    spec: ScenarioSpec,
+    path: Union[str, Path],
+    dataset: Optional[Dataset] = None,
+) -> Path:
+    """Fit the scenario pipeline and persist it as a served-model artifact."""
+    pipeline, dataset = build_pipeline(spec, dataset)
+    path = Path(path)
+    save_artifact(
+        pipeline,
+        path,
+        meta={
+            "scenario": spec.name,
+            "dataset": dataset.name,
+            "dim": spec.encoder.dim,
+            "model_kind": spec.model.kind,
+        },
+    )
+    return path
+
+
+def boot_server(
+    artifact: Union[str, Path],
+    spec: ScenarioSpec,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ModelServer:
+    """Load the artifact and return a started :class:`ModelServer`.
+
+    ``port=0`` (default) binds an ephemeral port — the harness reads the
+    real address from ``server.url``.  Caller owns shutdown
+    (``with boot_server(...) as srv`` works: the server is re-entrant).
+    """
+    server = ModelServer.from_artifact(artifact, serve_config(spec, host=host, port=port))
+    server.start()
+    return server
+
+
+__all__ = [
+    "boot_server",
+    "build_artifact",
+    "build_dataset",
+    "build_encoder",
+    "build_model",
+    "build_pipeline",
+    "experiment_config",
+    "run_offline",
+    "serve_config",
+]

@@ -1,0 +1,451 @@
+"""Declarative scenario schema: dataset + encoder + model + traffic + SLO.
+
+A *scenario* is the unit of performance work in this repository: one
+named, versioned description of a workload that can be resolved into an
+offline experiment run (:mod:`repro.scenarios.resolve`), a persisted
+model artifact, and a synthetic load run against a live
+:class:`~repro.serve.http.ModelServer` (:mod:`repro.scenarios.load`).
+Scenario files live under ``scenarios/`` as JSON or TOML; the parsed
+form is a tree of frozen dataclasses.
+
+Validation contract: every malformed field raises
+:class:`~repro.scenarios.errors.ScenarioError` whose ``key`` attribute
+is the dotted path of the offending field, and
+``scenario_from_dict(scenario_to_dict(spec)) == spec`` holds for every
+valid spec (the round-trip property pinned by
+``tests/scenarios/test_schema.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.scenarios.errors import ScenarioError
+
+SCENARIO_SCHEMA_VERSION = 1
+
+DATASET_SOURCES: Tuple[str, ...] = ("pima_r", "pima_m", "sylhet", "ehr", "images")
+MODEL_KINDS: Tuple[str, ...] = ("prototype", "hamming", "logistic")
+TRAFFIC_MODES: Tuple[str, ...] = ("open", "closed")
+TIE_RULES: Tuple[str, ...] = ("one", "zero", "random")
+
+#: Per-source allowed ``dataset.params`` keys (value type, minimum).
+_DATASET_PARAMS: Dict[str, Dict[str, Tuple[type, Union[int, float]]]] = {
+    "pima_r": {},
+    "pima_m": {},
+    "sylhet": {},
+    "ehr": {"n_patients": (int, 1), "n_visits": (int, 2)},
+    "images": {"n_samples": (int, 4), "side": (int, 3), "flip_prob": (float, 0.0)},
+}
+
+
+# ----------------------------------------------------------------------
+# field-level validation helpers (all raise ScenarioError with the key)
+# ----------------------------------------------------------------------
+def _require(cond: bool, key: str, message: str) -> None:
+    if not cond:
+        raise ScenarioError(message, key=key)
+
+
+def _as_int(value: Any, key: str, *, minimum: Optional[int] = None) -> int:
+    # bool is an int subclass; a scenario file saying ``dim = true`` is a bug.
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        key,
+        f"expected an integer, got {type(value).__name__} ({value!r})",
+    )
+    if minimum is not None:
+        _require(value >= minimum, key, f"must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def _as_float(value: Any, key: str, *, minimum: Optional[float] = None) -> float:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        key,
+        f"expected a number, got {type(value).__name__} ({value!r})",
+    )
+    out = float(value)
+    _require(out == out, key, "must not be NaN")
+    if minimum is not None:
+        _require(out >= minimum, key, f"must be >= {minimum}, got {out}")
+    return out
+
+
+def _as_str(value: Any, key: str, *, choices: Optional[Tuple[str, ...]] = None) -> str:
+    _require(isinstance(value, str), key, f"expected a string, got {type(value).__name__}")
+    if choices is not None:
+        _require(value in choices, key, f"must be one of {list(choices)}, got {value!r}")
+    return value
+
+
+def _as_opt_float(value: Any, key: str, *, minimum: float = 0.0) -> Optional[float]:
+    if value is None:
+        return None
+    return _as_float(value, key, minimum=minimum)
+
+
+def _as_section(value: Any, key: str) -> Dict[str, Any]:
+    _require(isinstance(value, Mapping), key, f"expected a table/object, got {type(value).__name__}")
+    return dict(value)
+
+
+def _no_unknown_keys(d: Mapping[str, Any], allowed: Tuple[str, ...], prefix: str) -> None:
+    for k in d:
+        if k not in allowed:
+            raise ScenarioError(
+                f"unknown key (allowed: {sorted(allowed)})",
+                key=f"{prefix}.{k}" if prefix else str(k),
+            )
+
+
+# ----------------------------------------------------------------------
+# spec dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=True)
+class DatasetSpec:
+    """Which labelled population the scenario runs over."""
+
+    source: str = "pima_r"
+    seed: int = 2023
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def validate(self, prefix: str = "dataset") -> "DatasetSpec":
+        _as_str(self.source, f"{prefix}.source", choices=DATASET_SOURCES)
+        _as_int(self.seed, f"{prefix}.seed", minimum=0)
+        params = _as_section(self.params, f"{prefix}.params")
+        allowed = _DATASET_PARAMS[self.source]
+        _no_unknown_keys(params, tuple(allowed), f"{prefix}.params")
+        for name, (typ, minimum) in allowed.items():
+            if name not in params:
+                continue
+            if typ is int:
+                _as_int(params[name], f"{prefix}.params.{name}", minimum=int(minimum))
+            else:
+                _as_float(params[name], f"{prefix}.params.{name}", minimum=float(minimum))
+        return self
+
+
+@dataclass(frozen=True, eq=True)
+class EncoderSpec:
+    """Record-encoder configuration (the paper's §II-B knobs)."""
+
+    dim: int = 10_000
+    seed: int = 7
+    tie: str = "one"
+    levels: Optional[int] = None
+
+    def validate(self, prefix: str = "encoder") -> "EncoderSpec":
+        _as_int(self.dim, f"{prefix}.dim", minimum=8)
+        _as_int(self.seed, f"{prefix}.seed", minimum=0)
+        _as_str(self.tie, f"{prefix}.tie", choices=TIE_RULES)
+        if self.levels is not None:
+            _as_int(self.levels, f"{prefix}.levels", minimum=2)
+        return self
+
+
+@dataclass(frozen=True, eq=True)
+class ModelSpec:
+    """Downstream classifier riding on the encoded hypervectors."""
+
+    kind: str = "prototype"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def validate(self, prefix: str = "model") -> "ModelSpec":
+        _as_str(self.kind, f"{prefix}.kind", choices=MODEL_KINDS)
+        _as_section(self.params, f"{prefix}.params")
+        return self
+
+
+@dataclass(frozen=True, eq=True)
+class TrafficSpec:
+    """Synthetic traffic shape for the load generator.
+
+    ``open`` mode fires requests on a seeded Poisson arrival schedule at
+    ``rate_rps`` regardless of responses (``concurrency`` caps in-flight
+    requests); ``closed`` mode keeps ``concurrency`` workers in a
+    request→response→request loop (the classic closed-loop client).
+    """
+
+    mode: str = "closed"
+    n_requests: int = 256
+    rate_rps: float = 100.0
+    concurrency: int = 8
+    rows_per_request: int = 1
+    seed: int = 0
+    timeout_s: float = 30.0
+
+    def validate(self, prefix: str = "traffic") -> "TrafficSpec":
+        _as_str(self.mode, f"{prefix}.mode", choices=TRAFFIC_MODES)
+        _as_int(self.n_requests, f"{prefix}.n_requests", minimum=1)
+        rate = _as_float(self.rate_rps, f"{prefix}.rate_rps")
+        _require(rate > 0, f"{prefix}.rate_rps", f"must be > 0, got {rate}")
+        _as_int(self.concurrency, f"{prefix}.concurrency", minimum=1)
+        _as_int(self.rows_per_request, f"{prefix}.rows_per_request", minimum=1)
+        _as_int(self.seed, f"{prefix}.seed", minimum=0)
+        timeout = _as_float(self.timeout_s, f"{prefix}.timeout_s")
+        _require(timeout > 0, f"{prefix}.timeout_s", f"must be > 0, got {timeout}")
+        return self
+
+
+@dataclass(frozen=True, eq=True)
+class SLOSpec:
+    """Service-level objectives the load report is judged against.
+
+    ``None`` disables a bound.  ``max_error_rate`` is the tolerated
+    fraction of non-2xx responses (429s from deliberate overload count
+    as errors here — a saturation sweep reads them as the signal).
+    """
+
+    p50_ms: Optional[float] = None
+    p95_ms: Optional[float] = None
+    p99_ms: Optional[float] = None
+    max_error_rate: float = 0.0
+    min_throughput_rps: Optional[float] = None
+
+    def validate(self, prefix: str = "slo") -> "SLOSpec":
+        _as_opt_float(self.p50_ms, f"{prefix}.p50_ms")
+        _as_opt_float(self.p95_ms, f"{prefix}.p95_ms")
+        _as_opt_float(self.p99_ms, f"{prefix}.p99_ms")
+        rate = _as_float(self.max_error_rate, f"{prefix}.max_error_rate", minimum=0.0)
+        _require(rate <= 1.0, f"{prefix}.max_error_rate", f"must be <= 1, got {rate}")
+        _as_opt_float(self.min_throughput_rps, f"{prefix}.min_throughput_rps")
+        return self
+
+
+@dataclass(frozen=True, eq=True)
+class ServeSpec:
+    """Server-side knobs forwarded to :class:`repro.serve.ServeConfig`."""
+
+    max_batch: int = 64
+    max_wait_ms: float = 5.0
+    queue_size: int = 256
+    max_rows_per_request: int = 1024
+
+    def validate(self, prefix: str = "serve") -> "ServeSpec":
+        _as_int(self.max_batch, f"{prefix}.max_batch", minimum=1)
+        _as_float(self.max_wait_ms, f"{prefix}.max_wait_ms", minimum=0.0)
+        _as_int(self.queue_size, f"{prefix}.queue_size", minimum=1)
+        _as_int(self.max_rows_per_request, f"{prefix}.max_rows_per_request", minimum=1)
+        return self
+
+
+@dataclass(frozen=True, eq=True)
+class ScenarioSpec:
+    """One complete scenario: everything a run needs, nothing ambient.
+
+    ``fast`` is an optional partial override tree (same shape as the
+    scenario document) applied by :func:`apply_preset` — CI and the test
+    suite run every scenario through its fast preset so an end-to-end
+    run stays in the seconds range.
+    """
+
+    name: str
+    description: str = ""
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    encoder: EncoderSpec = field(default_factory=EncoderSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    slo: SLOSpec = field(default_factory=SLOSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
+    fast: Optional[Mapping[str, Any]] = None
+
+    def validate(self) -> "ScenarioSpec":
+        _as_str(self.name, "name")
+        _require(self.name != "", "name", "must not be empty")
+        _require(
+            all(ch.isalnum() or ch in "-_" for ch in self.name),
+            "name",
+            f"must be alphanumeric/dash/underscore (used in BENCH_<name>.json), got {self.name!r}",
+        )
+        _as_str(self.description, "description")
+        self.dataset.validate()
+        self.encoder.validate()
+        self.model.validate()
+        self.traffic.validate()
+        self.slo.validate()
+        self.serve.validate()
+        if self.fast is not None:
+            overrides = _as_section(self.fast, "fast")
+            _no_unknown_keys(
+                overrides,
+                ("description", "dataset", "encoder", "model", "traffic", "slo", "serve"),
+                "fast",
+            )
+        return self
+
+
+_SECTION_TYPES = {
+    "dataset": DatasetSpec,
+    "encoder": EncoderSpec,
+    "model": ModelSpec,
+    "traffic": TrafficSpec,
+    "slo": SLOSpec,
+    "serve": ServeSpec,
+}
+
+
+# ----------------------------------------------------------------------
+# dict <-> spec
+# ----------------------------------------------------------------------
+def _section_from_dict(cls, data: Any, prefix: str):
+    data = _as_section(data, prefix)
+    names = tuple(f.name for f in fields(cls))
+    _no_unknown_keys(data, names, prefix)
+    return cls(**data).validate(prefix)
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
+    """Parse + validate a scenario document; strict about unknown keys."""
+    data = _as_section(data, "scenario")
+    allowed = ("schema_version", "name") + tuple(_SECTION_TYPES) + ("description", "fast")
+    _no_unknown_keys(data, allowed, "")
+    version = data.get("schema_version", SCENARIO_SCHEMA_VERSION)
+    _as_int(version, "schema_version", minimum=1)
+    _require(
+        version <= SCENARIO_SCHEMA_VERSION,
+        "schema_version",
+        f"scenario schema v{version} is newer than this build supports "
+        f"(v{SCENARIO_SCHEMA_VERSION})",
+    )
+    _require("name" in data, "name", "required key is missing")
+    kwargs: Dict[str, Any] = {
+        "name": data["name"],
+        "description": data.get("description", ""),
+    }
+    for section, cls in _SECTION_TYPES.items():
+        if section in data:
+            kwargs[section] = _section_from_dict(cls, data[section], section)
+    if data.get("fast") is not None:
+        kwargs["fast"] = _as_section(data["fast"], "fast")
+    return ScenarioSpec(**kwargs).validate()
+
+
+def scenario_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Canonical full-document form; inverse of :func:`scenario_from_dict`."""
+    out: Dict[str, Any] = {
+        "schema_version": SCENARIO_SCHEMA_VERSION,
+        "name": spec.name,
+        "description": spec.description,
+    }
+    for section, cls in _SECTION_TYPES.items():
+        value = getattr(spec, section)
+        out[section] = {f.name: getattr(value, f.name) for f in fields(cls)}
+        # Mappings (model/dataset params) are copied so the document is
+        # independent of the spec object.
+        for k, v in list(out[section].items()):
+            if isinstance(v, Mapping):
+                out[section][k] = dict(v)
+    out["fast"] = dict(spec.fast) if spec.fast is not None else None
+    return out
+
+
+# ----------------------------------------------------------------------
+# presets
+# ----------------------------------------------------------------------
+def _deep_merge(base: Dict[str, Any], overrides: Mapping[str, Any]) -> Dict[str, Any]:
+    merged = dict(base)
+    for k, v in overrides.items():
+        if isinstance(v, Mapping) and isinstance(merged.get(k), Mapping):
+            merged[k] = _deep_merge(dict(merged[k]), v)
+        else:
+            merged[k] = v
+    return merged
+
+
+def apply_preset(spec: ScenarioSpec, preset: Optional[str]) -> ScenarioSpec:
+    """Return the spec with a named preset applied (``None`` = unchanged).
+
+    Only ``"fast"`` is defined; it deep-merges the spec's ``fast``
+    override tree into the document and re-validates, so a preset can
+    never produce an invalid spec silently.
+    """
+    if preset is None:
+        return spec
+    if preset != "fast":
+        raise ScenarioError(f"unknown preset {preset!r} (only 'fast' is defined)", key="preset")
+    if spec.fast is None:
+        return spec
+    doc = scenario_to_dict(spec)
+    overrides = doc.pop("fast") or {}
+    doc["fast"] = None
+    return scenario_from_dict(_deep_merge(doc, overrides))
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
+    """Load one scenario from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioError(f"scenario file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path} is not valid JSON: {exc}") from exc
+    elif suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # Python 3.10: tomllib landed in 3.11
+            raise ScenarioError(
+                f"{path}: TOML scenarios need Python 3.11+ (stdlib tomllib); "
+                f"use the JSON form on this interpreter"
+            ) from exc
+        try:
+            data = tomllib.loads(path.read_text(encoding="utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"{path} is not valid TOML: {exc}") from exc
+    else:
+        raise ScenarioError(f"{path}: unsupported scenario suffix {suffix!r} (.json or .toml)")
+    try:
+        return scenario_from_dict(data)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}", key=exc.key) from exc
+
+
+def discover_scenarios(directory: Union[str, Path]) -> Dict[str, Path]:
+    """Map scenario *file stem* -> path for every scenario file in a dir.
+
+    The stem is the lookup name for ``repro-scenarios run <name>``; the
+    spec's ``name`` field must match it (checked at load time by the
+    CLI) so a BENCH file is always attributable to its source file.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ScenarioError(f"scenario directory not found: {directory}")
+    out: Dict[str, Path] = {}
+    for path in sorted(directory.iterdir()):
+        if path.suffix.lower() not in (".json", ".toml") or not path.is_file():
+            continue
+        if path.stem in out:
+            raise ScenarioError(
+                f"duplicate scenario name {path.stem!r}: {out[path.stem].name} and {path.name}"
+            )
+        out[path.stem] = path
+    return out
+
+
+__all__ = [
+    "DATASET_SOURCES",
+    "MODEL_KINDS",
+    "SCENARIO_SCHEMA_VERSION",
+    "TRAFFIC_MODES",
+    "DatasetSpec",
+    "EncoderSpec",
+    "ModelSpec",
+    "SLOSpec",
+    "ScenarioSpec",
+    "ServeSpec",
+    "TrafficSpec",
+    "apply_preset",
+    "discover_scenarios",
+    "load_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+]

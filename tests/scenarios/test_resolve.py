@@ -1,0 +1,170 @@
+"""Resolving scenario specs into datasets, models, artifacts, servers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HammingClassifier, PrototypeClassifier
+from repro.ml.linear import LogisticRegression
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.load import HttpTransport
+from repro.scenarios.resolve import (
+    boot_server,
+    build_artifact,
+    build_dataset,
+    build_model,
+    build_pipeline,
+    run_offline,
+    serve_config,
+)
+from repro.scenarios.schema import (
+    DatasetSpec,
+    EncoderSpec,
+    ModelSpec,
+    ScenarioSpec,
+    ServeSpec,
+    TrafficSpec,
+)
+
+DIM = 256
+
+
+def _tiny_images_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="tiny",
+        dataset=DatasetSpec(
+            source="images",
+            seed=3,
+            params={"n_samples": 60, "side": 6, "flip_prob": 0.02},
+        ),
+        encoder=EncoderSpec(dim=DIM, seed=5),
+        model=ModelSpec(kind="prototype"),
+        traffic=TrafficSpec(mode="closed", n_requests=8, concurrency=2),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base).validate()
+
+
+# ----------------------------------------------------------------------
+# datasets
+# ----------------------------------------------------------------------
+def test_build_dataset_images_shape_and_binariness():
+    ds = build_dataset(_tiny_images_spec())
+    assert ds.X.shape == (60, 36)
+    assert set(np.unique(ds.X)) <= {0.0, 1.0}
+    assert set(np.unique(ds.y)) <= {0, 1}
+    assert len(ds.specs) == 36
+    assert all(spec.kind == "binary" for spec in ds.specs)
+
+
+def test_build_dataset_ehr_uses_params():
+    spec = _tiny_images_spec(
+        dataset=DatasetSpec(source="ehr", seed=9, params={"n_patients": 12, "n_visits": 3})
+    )
+    ds = build_dataset(spec)
+    assert ds.X.shape[0] == 12 * 3  # one row per patient visit
+    assert ds.X.shape[1] == len(ds.specs)
+    assert "ehr[12x3]" == ds.name
+
+
+@pytest.mark.parametrize("source", ["pima_r", "pima_m", "sylhet"])
+def test_build_dataset_paper_sources(source):
+    spec = _tiny_images_spec(dataset=DatasetSpec(source=source, seed=2023))
+    ds = build_dataset(spec)
+    assert ds.n_samples > 0
+    assert len(ds.specs) == ds.n_features
+
+
+def test_build_dataset_is_deterministic():
+    spec = _tiny_images_spec()
+    assert np.array_equal(build_dataset(spec).X, build_dataset(spec).X)
+    shifted = _tiny_images_spec(
+        dataset=DatasetSpec(
+            source="images",
+            seed=4,
+            params={"n_samples": 60, "side": 6, "flip_prob": 0.02},
+        )
+    )
+    assert not np.array_equal(build_dataset(spec).X, build_dataset(shifted).X)
+
+
+# ----------------------------------------------------------------------
+# models + pipeline
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kind, expected",
+    [
+        ("prototype", PrototypeClassifier),
+        ("hamming", HammingClassifier),
+        ("logistic", LogisticRegression),
+    ],
+)
+def test_build_model_kinds(kind, expected):
+    model = build_model(_tiny_images_spec(model=ModelSpec(kind=kind)))
+    assert isinstance(model, expected)
+
+
+def test_build_model_rejects_unknown_kind():
+    spec = _tiny_images_spec()
+    object.__setattr__(spec.model, "kind", "svm")  # sidestep frozen for the probe
+    with pytest.raises(ScenarioError) as excinfo:
+        build_model(spec)
+    assert excinfo.value.key == "model.kind"
+
+
+def test_build_pipeline_fits_and_predicts():
+    spec = _tiny_images_spec()
+    pipeline, ds = build_pipeline(spec)
+    pred = pipeline.predict(ds.X)
+    assert pred.shape == (ds.n_samples,)
+    assert set(np.unique(pred)) <= set(np.unique(ds.y))
+    # crosses vs rings at 2% flip noise: the prototype model must not guess
+    assert float(np.mean(pred == ds.y)) > 0.9
+
+
+# ----------------------------------------------------------------------
+# offline protocol
+# ----------------------------------------------------------------------
+def test_run_offline_reports_holdout_and_loo():
+    out = run_offline(_tiny_images_spec())
+    assert out["n_samples"] == 60
+    assert out["n_features"] == 36
+    assert 0.0 <= out["holdout"]["accuracy"] <= 1.0
+    assert out["holdout"]["accuracy"] > 0.6
+    assert 0.0 <= out["loo_hamming_accuracy"] <= 1.0
+
+
+def test_run_offline_logistic_skips_hamming_loo():
+    out = run_offline(_tiny_images_spec(model=ModelSpec(kind="logistic")))
+    assert "loo_hamming_accuracy" not in out
+    assert "accuracy" in out["holdout"]
+
+
+# ----------------------------------------------------------------------
+# serving path
+# ----------------------------------------------------------------------
+def test_serve_config_forwards_the_serve_section():
+    spec = _tiny_images_spec(
+        serve=ServeSpec(max_batch=7, max_wait_ms=1.5, queue_size=11, max_rows_per_request=13)
+    )
+    config = serve_config(spec, port=0)
+    assert config.max_batch == 7
+    assert config.max_wait_ms == 1.5
+    assert config.queue_size == 11
+    assert config.max_rows_per_request == 13
+    assert config.port == 0
+
+
+def test_artifact_to_server_round_trip(tmp_path):
+    spec = _tiny_images_spec()
+    ds = build_dataset(spec)
+    artifact = build_artifact(spec, tmp_path / "artifact", ds)
+    assert artifact.exists()
+    server = boot_server(artifact, spec, port=0)
+    try:
+        status, seconds = HttpTransport(server.url, timeout_s=10.0).send(ds.X[:3])
+        assert status == 200
+        assert seconds > 0.0
+    finally:
+        server.stop()

@@ -1,0 +1,398 @@
+"""Scenario schema: round-trip identity + typed errors naming the key.
+
+Two contracts pinned here (stated in the module docstring of
+``repro.scenarios.schema``):
+
+* ``scenario_from_dict(scenario_to_dict(spec)) == spec`` for every valid
+  spec, including through a JSON dump/load cycle (property-based);
+* every malformed field raises :class:`ScenarioError` whose ``key`` is
+  the dotted path of the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.schema import (
+    DATASET_SOURCES,
+    MODEL_KINDS,
+    SCENARIO_SCHEMA_VERSION,
+    TIE_RULES,
+    TRAFFIC_MODES,
+    DatasetSpec,
+    EncoderSpec,
+    ModelSpec,
+    ScenarioSpec,
+    ServeSpec,
+    SLOSpec,
+    TrafficSpec,
+    apply_preset,
+    discover_scenarios,
+    load_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+REPO_SCENARIO_DIR = Path(__file__).resolve().parents[2] / "scenarios"
+
+# ----------------------------------------------------------------------
+# strategies: only valid specs come out of these
+# ----------------------------------------------------------------------
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+pos_floats = st.floats(
+    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+opt_bound = st.none() | pos_floats
+
+
+def _params_for(source: str) -> st.SearchStrategy:
+    if source == "ehr":
+        return st.fixed_dictionaries(
+            {},
+            optional={
+                "n_patients": st.integers(1, 200),
+                "n_visits": st.integers(2, 10),
+            },
+        )
+    if source == "images":
+        return st.fixed_dictionaries(
+            {},
+            optional={
+                "n_samples": st.integers(4, 500),
+                "side": st.integers(3, 24),
+                "flip_prob": st.floats(
+                    0.0, 0.5, allow_nan=False, allow_infinity=False
+                ),
+            },
+        )
+    return st.just({})
+
+
+dataset_specs = st.sampled_from(DATASET_SOURCES).flatmap(
+    lambda src: st.builds(
+        DatasetSpec, source=st.just(src), seed=seeds, params=_params_for(src)
+    )
+)
+encoder_specs = st.builds(
+    EncoderSpec,
+    dim=st.integers(8, 4096),
+    seed=seeds,
+    tie=st.sampled_from(TIE_RULES),
+    levels=st.none() | st.integers(2, 64),
+)
+model_specs = st.builds(
+    ModelSpec, kind=st.sampled_from(MODEL_KINDS), params=st.just({})
+)
+traffic_specs = st.builds(
+    TrafficSpec,
+    mode=st.sampled_from(TRAFFIC_MODES),
+    n_requests=st.integers(1, 10_000),
+    rate_rps=pos_floats,
+    concurrency=st.integers(1, 64),
+    rows_per_request=st.integers(1, 16),
+    seed=seeds,
+    timeout_s=pos_floats,
+)
+slo_specs = st.builds(
+    SLOSpec,
+    p50_ms=opt_bound,
+    p95_ms=opt_bound,
+    p99_ms=opt_bound,
+    max_error_rate=st.floats(0.0, 1.0, allow_nan=False),
+    min_throughput_rps=opt_bound,
+)
+serve_specs = st.builds(
+    ServeSpec,
+    max_batch=st.integers(1, 512),
+    max_wait_ms=st.floats(0.0, 100.0, allow_nan=False),
+    queue_size=st.integers(1, 4096),
+    max_rows_per_request=st.integers(1, 4096),
+)
+scenario_specs = st.builds(
+    ScenarioSpec,
+    name=st.from_regex(r"[A-Za-z0-9][A-Za-z0-9_\-]{0,15}", fullmatch=True),
+    description=st.text(max_size=40),
+    dataset=dataset_specs,
+    encoder=encoder_specs,
+    model=model_specs,
+    traffic=traffic_specs,
+    slo=slo_specs,
+    serve=serve_specs,
+    fast=st.none()
+    | st.just({"encoder": {"dim": 64}, "traffic": {"n_requests": 8}}),
+)
+
+
+# ----------------------------------------------------------------------
+# round-trip properties
+# ----------------------------------------------------------------------
+@settings(max_examples=75, deadline=None)
+@given(spec=scenario_specs)
+def test_round_trip_identity(spec):
+    assert spec.validate() is spec
+    assert scenario_from_dict(scenario_to_dict(spec)) == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=scenario_specs)
+def test_round_trip_survives_json(spec):
+    dumped = json.dumps(scenario_to_dict(spec))
+    assert scenario_from_dict(json.loads(dumped)) == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=scenario_specs)
+def test_serialized_form_is_canonical(spec):
+    doc = scenario_to_dict(spec)
+    assert scenario_to_dict(scenario_from_dict(doc)) == doc
+    assert doc["schema_version"] == SCENARIO_SCHEMA_VERSION
+
+
+def test_partial_document_fills_defaults():
+    spec = scenario_from_dict({"name": "bare"})
+    assert spec.dataset == DatasetSpec()
+    assert spec.traffic == TrafficSpec()
+    assert scenario_from_dict(scenario_to_dict(spec)) == spec
+
+
+# ----------------------------------------------------------------------
+# malformed fields -> typed error naming the offending key
+# ----------------------------------------------------------------------
+def _base_doc() -> dict:
+    return scenario_to_dict(ScenarioSpec(name="probe"))
+
+
+MALFORMED_CASES = [
+    (("encoder", "dim"), "big", "encoder.dim"),
+    (("encoder", "dim"), 4, "encoder.dim"),  # below the 8-bit floor
+    (("encoder", "dim"), True, "encoder.dim"),  # bool is not an int here
+    (("encoder", "tie"), "maybe", "encoder.tie"),
+    (("encoder", "levels"), 1, "encoder.levels"),
+    (("traffic", "mode"), "burst", "traffic.mode"),
+    (("traffic", "rate_rps"), 0, "traffic.rate_rps"),
+    (("traffic", "rate_rps"), float("nan"), "traffic.rate_rps"),
+    (("traffic", "n_requests"), 0, "traffic.n_requests"),
+    (("traffic", "timeout_s"), -1.0, "traffic.timeout_s"),
+    (("slo", "max_error_rate"), 2.0, "slo.max_error_rate"),
+    (("slo", "p95_ms"), "fast", "slo.p95_ms"),
+    (("dataset", "source"), "mnist", "dataset.source"),
+    (("dataset", "seed"), -1, "dataset.seed"),
+    (("dataset", "params"), "none", "dataset.params"),
+    (("model", "kind"), "svm", "model.kind"),
+    (("serve", "queue_size"), 0, "serve.queue_size"),
+    (("serve", "max_wait_ms"), -0.5, "serve.max_wait_ms"),
+]
+
+
+@pytest.mark.parametrize(
+    "path, bad, expected_key",
+    MALFORMED_CASES,
+    ids=[k for _, _, k in MALFORMED_CASES],
+)
+def test_malformed_field_names_offending_key(path, bad, expected_key):
+    doc = _base_doc()
+    section, field = path
+    doc[section][field] = bad
+    with pytest.raises(ScenarioError) as excinfo:
+        scenario_from_dict(doc)
+    assert excinfo.value.key == expected_key
+    assert expected_key in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "mutate, expected_key",
+    [
+        (lambda d: d.pop("name"), "name"),
+        (lambda d: d.update(name=""), "name"),
+        (lambda d: d.update(name="bad name"), "name"),
+        (lambda d: d.update(schema_version=SCENARIO_SCHEMA_VERSION + 1), "schema_version"),
+        (lambda d: d.update(schema_version=True), "schema_version"),
+        (lambda d: d.update(extra=1), "extra"),
+        (lambda d: d["encoder"].update(dimension=1), "encoder.dimension"),
+        (lambda d: d["dataset"]["params"].update(n_patients=5), "dataset.params.n_patients"),
+        (lambda d: d.update(fast={"turbo": {}}), "fast.turbo"),
+    ],
+    ids=[
+        "missing-name",
+        "empty-name",
+        "name-with-space",
+        "future-schema-version",
+        "bool-schema-version",
+        "unknown-top-level-key",
+        "unknown-encoder-key",
+        "params-not-allowed-for-source",
+        "unknown-fast-section",
+    ],
+)
+def test_structural_errors_name_offending_key(mutate, expected_key):
+    doc = _base_doc()
+    mutate(doc)
+    with pytest.raises(ScenarioError) as excinfo:
+        scenario_from_dict(doc)
+    assert excinfo.value.key == expected_key
+
+
+NUMERIC_FIELDS = [
+    ("encoder", "dim"),
+    ("encoder", "seed"),
+    ("dataset", "seed"),
+    ("traffic", "n_requests"),
+    ("traffic", "rate_rps"),
+    ("traffic", "concurrency"),
+    ("traffic", "rows_per_request"),
+    ("traffic", "seed"),
+    ("traffic", "timeout_s"),
+    ("serve", "max_batch"),
+    ("serve", "max_wait_ms"),
+    ("serve", "queue_size"),
+    ("serve", "max_rows_per_request"),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    spec=scenario_specs,
+    pick=st.sampled_from(NUMERIC_FIELDS),
+    junk=st.sampled_from(["nope", None, [1], {"v": 1}]),
+)
+def test_property_every_numeric_field_is_guarded(spec, pick, junk):
+    doc = scenario_to_dict(spec)
+    section, field_name = pick
+    doc[section][field_name] = junk
+    with pytest.raises(ScenarioError) as excinfo:
+        scenario_from_dict(doc)
+    assert excinfo.value.key == f"{section}.{field_name}"
+
+
+def test_scenario_error_is_value_error_with_key():
+    err = ScenarioError("boom", key="traffic.rate_rps")
+    assert isinstance(err, ValueError)
+    assert err.key == "traffic.rate_rps"
+    assert str(err).startswith("traffic.rate_rps: ")
+
+
+# ----------------------------------------------------------------------
+# presets
+# ----------------------------------------------------------------------
+def test_apply_preset_none_is_identity():
+    spec = ScenarioSpec(name="s")
+    assert apply_preset(spec, None) is spec
+
+
+def test_apply_preset_without_fast_tree_is_identity():
+    spec = ScenarioSpec(name="s", fast=None)
+    assert apply_preset(spec, "fast") is spec
+
+
+def test_apply_preset_deep_merges_and_clears_fast():
+    spec = scenario_from_dict(
+        {
+            "name": "s",
+            "encoder": {"dim": 8192, "seed": 3},
+            "traffic": {"n_requests": 1000},
+            "fast": {"encoder": {"dim": 64}, "traffic": {"n_requests": 10}},
+        }
+    )
+    fast = apply_preset(spec, "fast")
+    assert fast.encoder.dim == 64
+    assert fast.encoder.seed == 3  # untouched sibling survives the merge
+    assert fast.traffic.n_requests == 10
+    assert fast.traffic.mode == spec.traffic.mode
+    assert fast.fast is None
+
+
+def test_apply_preset_revalidates_overrides():
+    spec = scenario_from_dict({"name": "s", "fast": {"encoder": {"dim": 2}}})
+    with pytest.raises(ScenarioError) as excinfo:
+        apply_preset(spec, "fast")
+    assert excinfo.value.key == "encoder.dim"
+
+
+def test_apply_unknown_preset_is_typed_error():
+    with pytest.raises(ScenarioError) as excinfo:
+        apply_preset(ScenarioSpec(name="s"), "slow")
+    assert excinfo.value.key == "preset"
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+def test_load_scenario_json_round_trip(tmp_path):
+    spec = ScenarioSpec(name="filed")
+    path = tmp_path / "filed.json"
+    path.write_text(json.dumps(scenario_to_dict(spec)), encoding="utf-8")
+    assert load_scenario(path) == spec
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11), reason="tomllib is 3.11+")
+def test_load_scenario_toml(tmp_path):
+    path = tmp_path / "t.toml"
+    path.write_text(
+        'name = "t"\n[encoder]\ndim = 512\n[traffic]\nmode = "open"\n',
+        encoding="utf-8",
+    )
+    spec = load_scenario(path)
+    assert spec.name == "t"
+    assert spec.encoder.dim == 512
+    assert spec.traffic.mode == "open"
+
+
+@pytest.mark.parametrize(
+    "filename, body",
+    [
+        ("bad.json", "{not json"),
+        ("bad.yaml", "name: x"),
+        ("bad.json", json.dumps({"name": "bad", "encoder": {"dim": "x"}})),
+    ],
+    ids=["invalid-json", "unsupported-suffix", "invalid-field"],
+)
+def test_load_scenario_failures_are_scenario_errors(tmp_path, filename, body):
+    path = tmp_path / filename
+    path.write_text(body, encoding="utf-8")
+    with pytest.raises(ScenarioError):
+        load_scenario(path)
+
+
+def test_load_scenario_missing_file():
+    with pytest.raises(ScenarioError):
+        load_scenario("/nonexistent/scenario.json")
+
+
+def test_discover_scenarios(tmp_path):
+    (tmp_path / "a.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "b.toml").write_text("", encoding="utf-8")
+    (tmp_path / "notes.txt").write_text("", encoding="utf-8")
+    found = discover_scenarios(tmp_path)
+    assert sorted(found) == ["a", "b"]
+
+
+def test_discover_scenarios_rejects_duplicate_stems(tmp_path):
+    (tmp_path / "a.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "a.toml").write_text("", encoding="utf-8")
+    with pytest.raises(ScenarioError, match="duplicate"):
+        discover_scenarios(tmp_path)
+
+
+def test_committed_scenarios_load_and_have_fast_presets():
+    """Every scenario shipped under scenarios/ parses, matches its file
+    stem, and resolves through its fast preset (what CI runs)."""
+    paths = discover_scenarios(REPO_SCENARIO_DIR)
+    expected = {"pima_r", "sylhet", "ehr_stream", "images_binarized"}
+    assert expected <= set(paths)
+    for name, path in paths.items():
+        if path.suffix == ".toml" and sys.version_info < (3, 11):
+            continue
+        spec = load_scenario(path)
+        assert spec.name == name
+        assert spec.fast is not None, f"{name} has no fast preset for CI"
+        fast = apply_preset(spec, "fast")
+        assert fast.fast is None
+        assert fast.encoder.dim <= spec.encoder.dim
+        assert fast.traffic.n_requests <= spec.traffic.n_requests
