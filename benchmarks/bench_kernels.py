@@ -10,11 +10,25 @@ scale (10,000-bit hypervectors, Pima/Sylhet-sized batches):
 
 These are proper pytest-benchmark measurements (multiple rounds), unlike
 the table benches which run the full experiment once.
+
+PR 7 adds the backend comparison section: numpy vs native single-core
+timings for ``hamming_block``, ``topk_hamming``, and fused record
+encoding, a CI speedup gate (native top-k must beat numpy by >= 3x even
+under the ``fast`` preset), and a schema-versioned trajectory writer
+that merges measured runs into ``BENCH_kernels.json`` when
+``REPRO_KERNEL_BENCH_OUT`` points at a file.
 """
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.core.bundling import majority_vote_batch
 from repro.core.distance import pairwise_hamming
 from repro.core.encoding import LevelEncoder
@@ -77,3 +91,164 @@ def test_pack_unpack_roundtrip(benchmark):
 
     out = benchmark(roundtrip)
     assert out.shape == (N, DIM)
+
+
+# ----------------------------------------------------------------------
+# Backend comparison: numpy vs native (PR 7)
+# ----------------------------------------------------------------------
+KERNEL_BENCH_SCHEMA_VERSION = 1
+BENCH_OUT_ENV = "REPRO_KERNEL_BENCH_OUT"
+
+#: workload sizes per REPRO_BENCH_SCALE preset (dim is always paper scale).
+COMPARE_SIZES = {
+    "fast": {"ham": (96, 192), "topk": (16, 4000, 5), "enc_rows": 96},
+    "bench": {"ham": (256, 512), "topk": (48, 12_000, 5), "enc_rows": 392},
+    "paper": {"ham": (392, 392), "topk": (64, 20_000, 5), "enc_rows": 392},
+}
+
+
+def compare_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def best_of(fn, repeats=3):
+    """Best-of-N wall time of ``fn()`` in seconds (single-threaded call)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _compare(label, numpy_fn, native_fn, meta):
+    numpy_s = best_of(numpy_fn)
+    native_s = best_of(native_fn)
+    return {
+        "kernel": label,
+        "numpy_s": round(numpy_s, 6),
+        "native_s": round(native_s, 6),
+        "speedup": round(numpy_s / native_s, 2) if native_s > 0 else None,
+        **meta,
+    }
+
+
+def compare_hamming_block(sizes):
+    m, n = sizes["ham"]
+    A = random_packed(m, DIM, seed=10)
+    B = random_packed(n, DIM, seed=11)
+    npb = kernels.get_backend("numpy")
+    nat = kernels.get_backend("native")
+    np.testing.assert_array_equal(nat.hamming_block(A, B), npb.hamming_block(A, B))
+    return _compare(
+        "hamming_block",
+        lambda: npb.hamming_block(A, B),
+        lambda: nat.hamming_block(A, B),
+        {"rows": m, "cols": n, "dim": DIM},
+    )
+
+
+def compare_topk_hamming(sizes):
+    nq, nx, k = sizes["topk"]
+    Q = random_packed(nq, DIM, seed=12)
+    X = random_packed(nx, DIM, seed=13)
+    npb = kernels.get_backend("numpy")
+    nat = kernels.get_backend("native")
+    d_np, i_np = npb.topk_hamming_tile(Q, X, k)
+    d_nat, i_nat = nat.topk_hamming_tile(Q, X, k)
+    np.testing.assert_array_equal(d_np, d_nat)
+    np.testing.assert_array_equal(i_np, i_nat)
+    return _compare(
+        "topk_hamming",
+        lambda: npb.topk_hamming_tile(Q, X, k),
+        lambda: nat.topk_hamming_tile(Q, X, k),
+        {"queries": nq, "candidates": nx, "k": k, "dim": DIM},
+    )
+
+
+def compare_fused_encoding(sizes, pima):
+    rows = pima.X[: sizes["enc_rows"]]
+    enc = RecordEncoder(specs=pima.specs, dim=DIM, seed=0).fit(pima.X)
+
+    def under(backend):
+        def run():
+            old = os.environ.get(kernels.KERNEL_ENV)
+            os.environ[kernels.KERNEL_ENV] = backend
+            try:
+                return enc.transform(rows)
+            finally:
+                if old is None:
+                    os.environ.pop(kernels.KERNEL_ENV, None)
+                else:
+                    os.environ[kernels.KERNEL_ENV] = old
+
+        return run
+
+    np.testing.assert_array_equal(under("numpy")(), under("native")())
+    return _compare(
+        "fused_encoding",
+        under("numpy"),
+        under("native"),
+        {"rows": len(rows), "features": rows.shape[1], "dim": DIM},
+    )
+
+
+@pytest.fixture(scope="module")
+def native_ready():
+    if not kernels.native_available():
+        pytest.skip("native kernel backend is not built in this environment")
+    return kernels.get_backend("native")
+
+
+def test_native_topk_speedup_gate(native_ready):
+    """CI gate: native top-k must beat numpy >= 3x single-core at 10k bits.
+
+    The blessed trajectory records ~13x at paper scale on a dev box; the
+    3x floor holds even at the ``fast`` preset on shared CI runners.
+    """
+    result = compare_topk_hamming(COMPARE_SIZES[compare_scale()])
+    assert result["speedup"] is not None and result["speedup"] >= 3.0, result
+
+
+def test_native_hamming_block_faster(native_ready):
+    result = compare_hamming_block(COMPARE_SIZES[compare_scale()])
+    assert result["speedup"] is not None and result["speedup"] > 1.0, result
+
+
+def test_record_kernel_trajectory(native_ready, pima):
+    """Merge one measured run into BENCH_kernels.json (env-gated)."""
+    out = os.environ.get(BENCH_OUT_ENV)
+    if not out:
+        pytest.skip(f"set {BENCH_OUT_ENV}=<path> to record a trajectory run")
+    sizes = COMPARE_SIZES[compare_scale()]
+    from repro import __version__
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "repro_version": __version__,
+        "preset": compare_scale(),
+        "dim": DIM,
+        "kernels": [
+            compare_hamming_block(sizes),
+            compare_topk_hamming(sizes),
+            compare_fused_encoding(sizes, pima),
+        ],
+    }
+    path = Path(out)
+    if path.is_file():
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["bench_schema_version"] == KERNEL_BENCH_SCHEMA_VERSION
+        assert doc["scenario"] == "kernels"
+    else:
+        doc = {
+            "bench_schema_version": KERNEL_BENCH_SCHEMA_VERSION,
+            "scenario": "kernels",
+            "runs": [],
+        }
+    doc["runs"] = sorted(
+        list(doc["runs"]) + [entry], key=lambda r: str(r.get("timestamp", ""))
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)

@@ -137,9 +137,11 @@ from repro.scenarios import (
     run_scenario,
 )
 
-# --- parallel + observability -------------------------------------------
+# --- parallel + observability + kernels ---------------------------------
 from repro.parallel import parallel_map
 from repro import obs
+from repro import kernels
+from repro.kernels import active_backend, available_backends
 
 __all__ = [
     # hypervectors / encoding / bundling
@@ -237,7 +239,10 @@ __all__ = [
     "load_scenario",
     "run_load",
     "run_scenario",
-    # parallel + observability
+    # parallel + observability + kernels
     "parallel_map",
     "obs",
+    "kernels",
+    "active_backend",
+    "available_backends",
 ]

@@ -23,7 +23,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.hypervector import add_bits_into, pack_bits, unpack_bits
+from repro.core.hypervector import pack_bits, unpack_bits
+from repro.kernels import get_backend
 from repro.obs import span
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -125,14 +126,17 @@ def majority_vote_counts(
         raise ValueError(
             f"packed_stack must be (n, m, words), got shape {packed_stack.shape}"
         )
+    check_positive_int(dim, "dim")
     n, m, _ = packed_stack.shape
     if out is None:
         out = np.zeros((n, dim), dtype=vote_count_dtype(m))
     elif out.shape != (n, dim):
         raise ValueError(f"out shape {out.shape} != ({n}, {dim})")
-    with span("bundle.vote_counts", rows=n, features=m, dim=dim):
-        for j in range(m):
-            add_bits_into(packed_stack[:, j, :], dim, out)
+    elif not np.issubdtype(out.dtype, np.integer):
+        raise ValueError(f"out must be an integer accumulator, got {out.dtype}")
+    backend = get_backend()
+    with span("bundle.vote_counts", rows=n, features=m, dim=dim, kernel=backend.name):
+        backend.majority_vote_counts(packed_stack, dim, out)
     return out
 
 

@@ -5,6 +5,11 @@ vectors it reduces to ``popcount(a XOR b)``.  These kernels implement that
 idea with HPC idioms from the session guides: no Python-level loops over
 vector pairs, blocked evaluation to bound temporaries, and
 ``np.bitwise_count`` on 64-bit words so each instruction covers 64 bits.
+
+Since PR 7 the block kernel dispatches through :mod:`repro.kernels`
+(``REPRO_KERNEL=numpy|native|auto``): validation and contracts stay
+here, the popcount arithmetic runs in the selected backend, and every
+backend is pinned bit-identical to the numpy baseline.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.kernels import get_backend
 from repro.parallel.chunking import chunk_spans
 from repro.parallel.pool import parallel_map
 from repro.utils.contracts import checks_same_dim
@@ -40,31 +46,23 @@ def hamming_block(
 ) -> np.ndarray:
     """Dense ``(m, n)`` Hamming block between two packed batches.
 
-    The default evaluates ``popcount(A[:, None] ^ B[None, :])`` in one shot,
-    materialising an ``m * n * words``-word XOR temporary.  With
-    ``word_chunk`` set, the popcount instead accumulates over slices of
-    ``word_chunk`` words, capping the temporary at ``m * n * word_chunk``
-    words — for modest tiles the working set then fits in cache, which is
-    what makes the streaming search engine (:mod:`repro.core.search`)
-    faster than the one-shot kernel even before parallel dispatch.
+    The numpy backend evaluates ``popcount(A[:, None] ^ B[None, :])`` in
+    one shot by default, materialising an ``m * n * words``-word XOR
+    temporary.  With ``word_chunk`` set, the popcount instead accumulates
+    over slices of ``word_chunk`` words, capping the temporary at
+    ``m * n * word_chunk`` words — for modest tiles the working set then
+    fits in cache, which is what makes the streaming search engine
+    (:mod:`repro.core.search`) faster than the one-shot kernel even
+    before parallel dispatch.  The arithmetic dispatches through
+    :func:`repro.kernels.get_backend` (``REPRO_KERNEL``); the compiled
+    backend uses hardware popcount and ignores ``word_chunk`` (results
+    are invariant to it by contract).  Output is always int64.
     """
     A = np.asarray(A, dtype=np.uint64)
     B = np.asarray(B, dtype=np.uint64)
-    words = A.shape[-1]
-    if word_chunk is None or word_chunk >= words:
-        # (m, 1, w) ^ (1, n, w) -> (m, n, w) -> popcount-sum -> (m, n)
-        return np.bitwise_count(A[:, None, :] ^ B[None, :, :]).sum(
-            axis=-1, dtype=np.int64
-        )
-    if word_chunk < 1:
+    if word_chunk is not None and word_chunk < 1:
         raise ValueError(f"word_chunk must be >= 1, got {word_chunk}")
-    out = np.zeros((A.shape[0], B.shape[0]), dtype=np.int64)
-    for start in range(0, words, word_chunk):
-        stop = min(start + word_chunk, words)
-        out += np.bitwise_count(
-            A[:, None, start:stop] ^ B[None, :, start:stop]
-        ).sum(axis=-1, dtype=np.int64)
-    return out
+    return get_backend().hamming_block(A, B, word_chunk=word_chunk)
 
 
 def _pairwise_block(A_block: np.ndarray, B: np.ndarray) -> np.ndarray:

@@ -284,6 +284,8 @@ class RecordEncoder:
         Output is bit-identical to :meth:`transform_reference` regardless
         of chunking or worker count.
         """
+        from repro.kernels import active_backend
+
         X = self._check_transform_input(X)
         n_jobs = self.n_jobs if n_jobs is _UNSET else n_jobs
         chunk = chunk_rows if chunk_rows is not None else self.chunk_rows
@@ -293,6 +295,7 @@ class RecordEncoder:
             features=len(self.encoders_),
             dim=self.dim,
             chunk_rows=chunk,
+            kernel=active_backend(),
         ):
             spans = chunk_spans(X.shape[0], chunk)
             if not spans:

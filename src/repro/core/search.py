@@ -40,6 +40,13 @@ scales linearly with ``n_jobs`` and nothing ever materialises ``(m, n)``.
 Keyword unification (PR 4): the query-tile knob is now spelled
 ``chunk_rows`` everywhere; the legacy ``tile_rows`` / ``tile`` /
 ``block_rows`` spellings still work through deprecation shims.
+
+Kernel dispatch (PR 7): the per-tile inner loops live in
+:mod:`repro.kernels` (``REPRO_KERNEL=numpy|native|auto``).  This module
+keeps validation, obs spans, parallel fan-out, and the public API; the
+selection/merge machinery (:func:`topk_rows`,
+:func:`~repro.kernels.numpy_backend.merge_topk`) moved to the numpy
+backend and is re-exported here unchanged.
 """
 
 from __future__ import annotations
@@ -51,15 +58,13 @@ import numpy as np
 
 from repro.core.distance import hamming_block
 from repro.core.hypervector import Hypervector, n_words
+from repro.kernels import get_backend
+from repro.kernels.numpy_backend import _EMPTY, merge_topk as _merge_topk, topk_rows
 from repro.obs import span
 from repro.utils.contracts import checks_packed, checks_same_dim
 from repro.utils.deprecation import renamed_kwargs
 from repro.parallel.chunking import chunk_spans
 from repro.parallel.pool import parallel_map, resolve_config
-
-# Running top-k slots start at this value so any real distance displaces
-# them; all real Hamming distances are <= 64 * words << _EMPTY.
-_EMPTY = np.iinfo(np.int64).max
 
 # Engine defaults: with word_chunk=32 a 128x1024 tile keeps the XOR
 # temporary at ~32 MB and the popcount working set cache-resident, which
@@ -67,48 +72,6 @@ _EMPTY = np.iinfo(np.int64).max
 TILE_ROWS = 128
 TILE_COLS = 1024
 WORD_CHUNK = 32
-
-
-# ----------------------------------------------------------------------
-# Dense-row selection (shared by the merge step and the dense fallbacks)
-# ----------------------------------------------------------------------
-def topk_rows(D: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Exact k smallest entries per row of a dense distance matrix.
-
-    Selection uses ``np.argpartition`` plus a vectorised boundary-tie
-    repair, then a stable in-slice sort of just the k selected entries —
-    never a full row sort.  Ties resolve to the lowest column index, and
-    each returned row is sorted ascending by ``(value, column)``: exactly
-    the first k columns of ``np.argsort(D, kind="stable")``.
-
-    Returns ``(values, columns)``, each of shape ``(m, k)``.
-    """
-    D = np.asarray(D)
-    if D.ndim != 2:
-        raise ValueError(f"D must be 2-d, got shape {D.shape}")
-    m, n = D.shape
-    if not 1 <= k <= n:
-        raise ValueError(f"k must be in [1, {n}], got {k}")
-    if k == n:
-        # Selecting every column *is* a sort; keep the stable contract.
-        idx = np.argsort(D, axis=1, kind="stable")
-        return np.take_along_axis(D, idx, axis=1), idx
-    part = np.argpartition(D, k - 1, axis=1)[:, :k]
-    kth = np.take_along_axis(D, part, axis=1).max(axis=1, keepdims=True)
-    # argpartition picks *some* k smallest; among entries equal to the
-    # k-th value it may keep arbitrary columns.  Rebuild the selection
-    # deterministically: everything strictly below the k-th value, then
-    # the lowest-index columns equal to it until k slots are filled.
-    below = D < kth
-    at_kth = D == kth
-    need = k - below.sum(axis=1, keepdims=True)
-    keep_at_kth = at_kth & (np.cumsum(at_kth, axis=1) <= need)
-    cols = np.nonzero(below | keep_at_kth)[1].reshape(m, k)
-    vals = np.take_along_axis(D, cols, axis=1)
-    order = np.argsort(vals, axis=1, kind="stable")  # in-slice, k elements
-    return np.take_along_axis(vals, order, axis=1), np.take_along_axis(
-        cols, order, axis=1
-    )
 
 
 def vote_counts(votes: np.ndarray, n_classes: int) -> np.ndarray:
@@ -131,48 +94,6 @@ def vote_counts(votes: np.ndarray, n_classes: int) -> np.ndarray:
     return flat.reshape(m, n_classes)
 
 
-# ----------------------------------------------------------------------
-# Streaming merge
-# ----------------------------------------------------------------------
-def _merge_topk(
-    best_d: np.ndarray,
-    best_i: np.ndarray,
-    block: np.ndarray,
-    col_start: int,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Merge one distance block into the running per-query top-k state.
-
-    ``best_d`` / ``best_i`` are ``(q, k)`` rows sorted by ``(distance,
-    index)``; ``block`` is ``(q, t)`` with global candidate indices
-    ``col_start .. col_start + t``.  Candidate tiles must arrive in
-    ascending global-index order: every index in ``block`` then exceeds
-    every index already held, so the position-based tie-break of
-    :func:`topk_rows` coincides with the global lowest-index contract.
-    """
-    q, k = best_d.shape
-    if k == 1:
-        # Running minimum: strict '<' keeps the earlier (lower) index.
-        pos = block.argmin(axis=1)
-        d = block[np.arange(q), pos]
-        better = d < best_d[:, 0]
-        best_d[better, 0] = d[better]
-        best_i[better, 0] = pos[better] + col_start
-        return best_d, best_i
-    cand_d = np.concatenate([best_d, block], axis=1)
-    vals, pos = topk_rows(cand_d, min(k, cand_d.shape[1]))
-    cand_i = np.concatenate(
-        [
-            best_i,
-            np.broadcast_to(
-                np.arange(col_start, col_start + block.shape[1], dtype=np.int64),
-                (q, block.shape[1]),
-            ),
-        ],
-        axis=1,
-    )
-    return vals, np.take_along_axis(cand_i, pos, axis=1)
-
-
 def _check_packed_pair(Q: np.ndarray, X: np.ndarray) -> None:
     if Q.ndim != 2 or X.ndim != 2:
         raise ValueError("packed batches must be 2-d (n, words)")
@@ -188,16 +109,12 @@ def _topk_span(
     word_chunk: int,
     span: Tuple[int, int],
 ) -> Tuple[np.ndarray, np.ndarray]:
-    # Top-level (picklable) worker: one query tile, streaming all
-    # candidate tiles.  Peak memory is one tile block + the (q, k) state.
-    Qt = Q[span[0] : span[1]]
-    q = Qt.shape[0]
-    best_d = np.full((q, k), _EMPTY, dtype=np.int64)
-    best_i = np.full((q, k), -1, dtype=np.int64)
-    for c0, c1 in chunk_spans(X.shape[0], tile_cols):
-        block = hamming_block(Qt, X[c0:c1], word_chunk=word_chunk)
-        best_d, best_i = _merge_topk(best_d, best_i, block, c0)
-    return best_d, best_i
+    # Top-level (picklable) worker: one query tile vs. the whole store.
+    # The backend is re-resolved here so REPRO_KERNEL round-trips into
+    # process workers the same way REPRO_WORKERS/REPRO_BACKEND do.
+    return get_backend().topk_hamming_tile(
+        Q[span[0] : span[1]], X, k, tile_cols=tile_cols, word_chunk=word_chunk
+    )
 
 
 @renamed_kwargs(tile_rows="chunk_rows")
@@ -249,7 +166,13 @@ def topk_hamming(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     k = min(k, X.shape[0])
-    with span("search.topk", queries=Q.shape[0], candidates=X.shape[0], k=k):
+    with span(
+        "search.topk",
+        queries=Q.shape[0],
+        candidates=X.shape[0],
+        k=k,
+        kernel=get_backend().name,
+    ):
         spans = chunk_spans(Q.shape[0], chunk_rows)
         if not spans:
             empty = np.empty((0, k), dtype=np.int64)
@@ -324,6 +247,20 @@ def _loo_block(
     return hamming_block(X[rspan[0] : rspan[1]], X[cspan[0] : cspan[1]], word_chunk=word_chunk)
 
 
+def _loo_span(
+    X: np.ndarray,
+    k: int,
+    tile_cols: int,
+    word_chunk: int,
+    rspan: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    # Top-level (picklable) worker for fused backends: one row span's
+    # whole leave-one-out scan in a single backend call.
+    return get_backend().loo_topk_hamming_tile(
+        X, rspan[0], rspan[1], k, tile_cols=tile_cols, word_chunk=word_chunk
+    )
+
+
 @renamed_kwargs(tile="chunk_rows")
 @checks_packed("X")
 def loo_topk_hamming(
@@ -349,6 +286,11 @@ def loo_topk_hamming(
     contract.  Returns ``(distances, indices)`` of shape ``(n, k)``.
     (``chunk_rows`` was spelled ``tile`` before PR 4; the old keyword
     still works but emits a ``DeprecationWarning``.)
+
+    Fused backends (``REPRO_KERNEL=native``) skip the mirrored-triangle
+    walk entirely: each row span's scan runs in one compiled call with
+    the self-match excluded inside the kernel.  Results are bit-identical
+    either way.
     """
     X = np.ascontiguousarray(X, dtype=np.uint64)
     if X.ndim != 2:
@@ -359,11 +301,26 @@ def loo_topk_hamming(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     k = min(k, n - 1)
+    backend = get_backend()
+    if backend.fused:
+        # Fused backends run a whole row span's leave-one-out scan in one
+        # call (self-matches skipped inside the kernel); row spans fan
+        # straight out to workers.  The mirrored-triangle walk below
+        # halves the popcount work, which only pays when each block costs
+        # a fresh XOR temporary — a compiled kernel re-reads X from cache
+        # faster than the merge bookkeeping it would save.
+        with span("search.loo_topk", rows=n, k=k, kernel=backend.name):
+            worker = partial(_loo_span, X, k, TILE_COLS, word_chunk)
+            parts = parallel_map(worker, chunk_spans(n, chunk_rows), n_jobs=n_jobs)
+            return (
+                np.concatenate([d for d, _ in parts], axis=0),
+                np.concatenate([i for _, i in parts], axis=0),
+            )
     sentinel = np.int64(64 * words + 1)
     best_d = np.full((n, k), _EMPTY, dtype=np.int64)
     best_i = np.full((n, k), -1, dtype=np.int64)
     group = max(1, resolve_config(n_jobs).workers)
-    with span("search.loo_topk", rows=n, k=k):
+    with span("search.loo_topk", rows=n, k=k, kernel=backend.name):
         for r0, r1 in chunk_spans(n, chunk_rows):
             # Diagonal tile: covers all intra-tile pairs (both orientations),
             # with self-distances masked out.

@@ -1,0 +1,22 @@
+"""Exception types for the kernel backend registry.
+
+Kept in their own module so backend implementations can raise them
+without importing :mod:`repro.kernels.registry` (which imports the
+backends lazily — a module-level cycle would otherwise be one careless
+import away).
+"""
+
+from __future__ import annotations
+
+
+class KernelUnavailableError(RuntimeError):
+    """A kernel backend was requested explicitly but cannot be loaded.
+
+    Raised only for *explicit* selection (``REPRO_KERNEL=native`` or
+    ``get_backend("native")``); ``auto`` resolution never raises — it
+    falls back to the numpy baseline instead.
+    """
+
+
+class KernelBuildError(RuntimeError):
+    """Building the native extension failed (no compiler, cffi missing, ...)."""

@@ -216,14 +216,15 @@ class FloatUpcastRule(Rule):
     code = "HD002"
     name = "float-in-hamming-path"
     description = (
-        "Inside repro.core, functions on the integer Hamming/popcount path "
+        "Inside repro.core and repro.kernels, functions on the integer "
+        "Hamming/popcount path "
         "(names matching hamming|popcount|topk|argmin|bitcount and not an "
         "explicitly float metric) must not upcast: no astype(float*), no "
         "np.float64()/np.float32() constructors, no np.inf/np.nan "
         "sentinels, no true division. Distances are exact int64; use "
         "integer sentinels (e.g. 64*words+1) and // instead."
     )
-    scope = ("repro/core",)
+    scope = ("repro/core", "repro/kernels")
 
     def _scan(self, fn: ast.FunctionDef, path: str) -> Iterator[Finding]:
         for node in ast.walk(fn):
@@ -289,7 +290,8 @@ class QuadraticMemoryRule(Rule):
     code = "HD003"
     name = "quadratic-memory-smell"
     description = (
-        "In repro.core and repro.eval: (a) np.apply_along_axis hides a "
+        "In repro.core, repro.eval, and repro.kernels: (a) "
+        "np.apply_along_axis hides a "
         "per-row Python loop — use a vectorised scatter (see "
         "repro.core.search.vote_counts); (b) `for i in range(len(X))` / "
         "`range(X.shape[0])` with X[i] in the body iterates records in "
@@ -300,7 +302,7 @@ class QuadraticMemoryRule(Rule):
         "iterate O(n_chunks) dispatched blocks, not O(n) records (the "
         "span-instrumented streaming wrappers collect this way)."
     )
-    scope = ("repro/core", "repro/eval")
+    scope = ("repro/core", "repro/eval", "repro/kernels")
 
     @staticmethod
     def _parallel_result_names(fn: ast.FunctionDef) -> set:
@@ -578,9 +580,16 @@ class ReferenceDriftRule(Rule):
         "Engine functions pinned to a `*_reference` oracle (differential "
         "tests call both with the same positional arguments) must keep "
         "positional parameter names, order, and defaults identical; "
-        "keyword-only engine knobs (tile geometry, n_jobs) may differ."
+        "keyword-only engine knobs (tile geometry, n_jobs) may differ. "
+        "Kernel backend modules (repro/kernels/*_backend.py) are held to "
+        "the same discipline against the canonical signatures in "
+        "repro.kernels.signatures — the registry dispatches every backend "
+        "with identical positional arguments."
     )
     scope = ()
+
+    #: canonical kernel name -> positional signature, parsed once per run.
+    _kernel_sigs: Optional[Dict[str, List[Tuple[str, Optional[str]]]]] = None
 
     @staticmethod
     def _positional_sig(fn: ast.FunctionDef) -> List[Tuple[str, Optional[str]]]:
@@ -593,7 +602,49 @@ class ReferenceDriftRule(Rule):
             for a, d in zip(args, defaults)
         ]
 
+    @classmethod
+    def _kernel_signatures(cls) -> Dict[str, List[Tuple[str, Optional[str]]]]:
+        """Parse the canonical kernel contract out of repro.kernels.signatures."""
+        if cls._kernel_sigs is None:
+            from pathlib import Path
+
+            from repro.kernels import signatures as sigmod
+
+            tree = ast.parse(
+                Path(sigmod.__file__).read_text(encoding="utf-8")
+            )
+            wanted = set(sigmod.KERNEL_NAMES)
+            cls._kernel_sigs = {
+                stmt.name: cls._positional_sig(stmt)
+                for stmt in tree.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name in wanted
+            }
+        return cls._kernel_sigs
+
+    def _check_backend(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        canonical = self._kernel_signatures()
+        for stmt in tree.body:  # module-level only: the registry surface
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            want = canonical.get(stmt.name)
+            if want is None:
+                continue
+            got = self._positional_sig(stmt)
+            if got != want:
+                yield self.finding(
+                    stmt, path,
+                    f"kernel backend `{stmt.name}` positional signature "
+                    f"drifted from the repro.kernels.signatures contract "
+                    f"({want} vs {got}); the registry dispatches every "
+                    f"backend with the same positional args",
+                )
+
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        norm = path.replace("\\", "/")
+        if "repro/kernels" in norm and norm.endswith("_backend.py"):
+            yield from self._check_backend(tree, path)
         scopes: Dict[Optional[str], Dict[str, ast.FunctionDef]] = {}
         for fn, cls in iter_functions(tree):
             scopes.setdefault(cls, {})[fn.name] = fn

@@ -37,6 +37,17 @@ from repro.serve.service import (
 _MAX_BODY_BYTES = 8 * 1024 * 1024  # hard cap before JSON parsing
 
 
+def _kernel_info_lines() -> str:
+    """Info-style gauge advertising the active kernel backend."""
+    from repro.kernels import active_backend
+
+    return (
+        "# HELP repro_kernel_backend_info Active compute kernel backend.\n"
+        "# TYPE repro_kernel_backend_info gauge\n"
+        f'repro_kernel_backend_info{{backend="{active_backend()}"}} 1\n'
+    )
+
+
 def _make_handler(service: InferenceService, config: ServeConfig):
     class _Handler(BaseHTTPRequestHandler):
         server_version = "repro-serve"
@@ -75,9 +86,10 @@ def _make_handler(service: InferenceService, config: ServeConfig):
                 else:
                     self._send_error_json(503, "model is not loaded")
             elif path == "/metrics":
+                body = to_prometheus() + _kernel_info_lines()
                 self._send(
                     200,
-                    to_prometheus().encode("utf-8"),
+                    body.encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
             else:

@@ -148,6 +148,8 @@ class InferenceService:
 
     def describe(self) -> dict:
         """Model/runtime summary served by ``GET /readyz`` and the CLI."""
+        from repro.kernels import active_backend
+
         model = self.model
         info = {
             "model": type(model).__name__,
@@ -155,6 +157,7 @@ class InferenceService:
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
             "queue_size": self.config.queue_size,
+            "kernel_backend": active_backend(),
         }
         n_features = getattr(model, "n_features_in_", None)
         if n_features is not None:

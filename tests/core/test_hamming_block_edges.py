@@ -1,0 +1,100 @@
+"""``hamming_block`` ``word_chunk`` edge cases and dtype stability.
+
+Covers the degenerate chunkings (chunk larger than the word count, chunk
+of exactly one word, chunk equal to the word count) and zero-row inputs,
+asserting the result is always the exact int64 distance matrix — no
+float64 escapes anywhere on the path (HD002's contract, checked here at
+runtime too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import hamming_block, pairwise_hamming
+from repro.core.hypervector import n_words, pack_bits
+from repro.kernels import numpy_backend as knp
+
+
+def make(n, dim, seed=0):
+    gen = np.random.default_rng(seed)
+    return pack_bits(gen.integers(0, 2, size=(n, dim), dtype=np.uint8), dim)
+
+
+class TestWordChunkEdges:
+    # dim=130 -> 3 words with a 2-bit tail; dim=64 -> exactly 1 word.
+    @pytest.mark.parametrize("dim", [1, 63, 64, 65, 130])
+    @pytest.mark.parametrize("word_chunk", [1, 2, 3, 4, 1000, None])
+    def test_chunking_is_result_invariant(self, dim, word_chunk):
+        A, B = make(6, dim, 1), make(9, dim, 2)
+        out = hamming_block(A, B, word_chunk=word_chunk)
+        np.testing.assert_array_equal(out, pairwise_hamming(A, B))
+
+    def test_chunk_larger_than_word_count(self):
+        A, B = make(4, 128, 3), make(5, 128, 4)
+        assert n_words(128) == 2
+        big = hamming_block(A, B, word_chunk=50)
+        one_shot = hamming_block(A, B, word_chunk=None)
+        np.testing.assert_array_equal(big, one_shot)
+
+    def test_chunk_equal_to_word_count_single_pass(self):
+        A, B = make(3, 192, 5), make(3, 192, 6)
+        np.testing.assert_array_equal(
+            hamming_block(A, B, word_chunk=3), hamming_block(A, B)
+        )
+
+    def test_chunk_of_one_word_accumulates(self):
+        A, B = make(7, 257, 7), make(2, 257, 8)
+        np.testing.assert_array_equal(
+            hamming_block(A, B, word_chunk=1), hamming_block(A, B)
+        )
+
+    @pytest.mark.parametrize("word_chunk", [0, -1, -100])
+    def test_nonpositive_chunk_raises(self, word_chunk):
+        A = make(2, 64)
+        with pytest.raises(ValueError, match="word_chunk"):
+            hamming_block(A, A, word_chunk=word_chunk)
+
+
+class TestZeroRowInputs:
+    def test_zero_queries(self):
+        A = np.zeros((0, 2), dtype=np.uint64)
+        B = make(5, 128)
+        out = hamming_block(A, B)
+        assert out.shape == (0, 5)
+        assert out.dtype == np.int64
+
+    def test_zero_candidates(self):
+        A = make(5, 128)
+        B = np.zeros((0, 2), dtype=np.uint64)
+        out = hamming_block(A, B, word_chunk=1)
+        assert out.shape == (5, 0)
+        assert out.dtype == np.int64
+
+    def test_both_empty(self):
+        Z = np.zeros((0, 3), dtype=np.uint64)
+        out = hamming_block(Z, Z)
+        assert out.shape == (0, 0)
+        assert out.dtype == np.int64
+
+
+class TestDtypeStability:
+    @pytest.mark.parametrize("word_chunk", [None, 1, 2, 7])
+    def test_int64_everywhere(self, word_chunk):
+        A, B = make(8, 300, 9), make(11, 300, 10)
+        out = hamming_block(A, B, word_chunk=word_chunk)
+        assert out.dtype == np.int64
+        assert not np.issubdtype(out.dtype, np.floating)
+
+    def test_numpy_backend_kernel_is_int64(self):
+        A, B = make(4, 100, 11), make(4, 100, 12)
+        for chunk in (None, 1, 2, 100):
+            assert knp.hamming_block(A, B, word_chunk=chunk).dtype == np.int64
+
+    def test_values_are_exact_popcounts(self):
+        dim = 70
+        zeros = pack_bits(np.zeros((1, dim), dtype=np.uint8), dim)
+        ones = pack_bits(np.ones((1, dim), dtype=np.uint8), dim)
+        assert hamming_block(zeros, ones, word_chunk=1)[0, 0] == dim
+        assert hamming_block(ones, ones)[0, 0] == 0

@@ -1,0 +1,69 @@
+"""Kernel-suite fixtures: build the native extension once per session.
+
+``native_built`` compiles ``_repro_kernels_native`` into a session-scoped
+temporary cache, points ``REPRO_KERNEL_CACHE`` at it, and refreshes the
+registry so both backends are live for differential tests.  Environments
+without cffi or a C compiler skip every native test and still exercise
+the full numpy surface — exactly the graceful-fallback contract.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.hypervector import pack_bits
+from repro.kernels import native_build
+
+
+def toolchain_missing():
+    """Reason the native backend cannot build here, or None."""
+    try:
+        import cffi  # noqa: F401
+    except ImportError:
+        return "cffi is not installed"
+    if not any(shutil.which(cc) for cc in ("cc", "gcc", "clang")):
+        return "no C compiler on PATH"
+    return None
+
+
+@pytest.fixture(scope="session")
+def native_built(tmp_path_factory):
+    """Path of a session cache holding a freshly built native extension."""
+    reason = toolchain_missing()
+    if reason:
+        pytest.skip(f"native backend unavailable: {reason}")
+    cache = tmp_path_factory.mktemp("kernel-cache")
+    try:
+        native_build.build(cache)
+    except kernels.KernelBuildError as exc:
+        pytest.skip(f"native kernel build failed: {exc}")
+    old = os.environ.get(native_build.CACHE_ENV)
+    os.environ[native_build.CACHE_ENV] = str(cache)
+    kernels.refresh()
+    try:
+        if not kernels.native_available():
+            pytest.skip("native extension built but failed to load")
+        yield str(cache)
+    finally:
+        if old is None:
+            os.environ.pop(native_build.CACHE_ENV, None)
+        else:
+            os.environ[native_build.CACHE_ENV] = old
+        kernels.refresh()
+
+
+@pytest.fixture
+def packed_batch():
+    """Factory for packed uint64 batches with controllable tie density."""
+
+    def make(n, dim, seed=0, p_ones=0.5):
+        gen = np.random.default_rng(seed)
+        bits = (gen.random((n, dim)) < p_ones).astype(np.uint8)
+        return pack_bits(bits, dim)
+
+    return make

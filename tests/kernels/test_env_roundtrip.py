@@ -1,0 +1,122 @@
+"""``REPRO_KERNEL`` round-trip: unset/auto/numpy/native/garbage.
+
+In-process cases drive :func:`repro.kernels.resolve_kernel` directly;
+subprocess cases prove the contract holds from a cold interpreter — in
+particular that garbage values fail fast with an error naming the
+variable, and that a build cache advertised via ``REPRO_KERNEL_CACHE``
+is picked up without any install step.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import kernels
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def run_py(code, **env_overrides):
+    """Run ``python -c code`` with a sanitised kernel environment."""
+    env = os.environ.copy()
+    env.pop(kernels.KERNEL_ENV, None)
+    env.pop("REPRO_KERNEL_CACHE", None)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    for key, value in env_overrides.items():
+        if value is None:
+            env.pop(key, None)
+        else:
+            env[key] = value
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestInProcess:
+    @pytest.mark.parametrize("value", ["auto", "numpy"])
+    def test_env_value_resolves(self, monkeypatch, value):
+        monkeypatch.setenv(kernels.KERNEL_ENV, value)
+        assert kernels.active_backend() in ("numpy", "native")
+        if value == "numpy":
+            assert kernels.active_backend() == "numpy"
+
+    def test_unset_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        expected = "native" if kernels.native_available() else "numpy"
+        assert kernels.resolve_kernel() == expected
+
+    def test_garbage_env_raises_naming_variable(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "cuda")
+        with pytest.raises(ValueError) as excinfo:
+            kernels.resolve_kernel()
+        assert kernels.KERNEL_ENV in str(excinfo.value)
+        assert "cuda" in str(excinfo.value)
+
+    def test_native_roundtrip_in_process(self, monkeypatch, native_built):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "native")
+        assert kernels.active_backend() == "native"
+
+
+class TestSubprocess:
+    def test_unset_resolves_cleanly(self):
+        proc = run_py(
+            "from repro.kernels import active_backend;"
+            "assert active_backend() in ('numpy', 'native');"
+            "print(active_backend())"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() in ("numpy", "native")
+
+    def test_numpy_forced(self):
+        proc = run_py(
+            "from repro.kernels import active_backend;"
+            "print(active_backend())",
+            REPRO_KERNEL="numpy",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "numpy"
+
+    def test_garbage_raises_with_variable_name(self):
+        proc = run_py(
+            "from repro.kernels import active_backend; active_backend()",
+            REPRO_KERNEL="garbage",
+        )
+        assert proc.returncode != 0
+        assert "REPRO_KERNEL" in proc.stderr
+        assert "garbage" in proc.stderr
+
+    def test_explicit_native_without_build_fails_loudly(self, tmp_path):
+        proc = run_py(
+            "from repro.kernels import get_backend; get_backend('native')",
+            REPRO_KERNEL_CACHE=str(tmp_path / "empty"),
+        )
+        assert proc.returncode != 0
+        assert "native" in proc.stderr
+
+    def test_auto_without_build_falls_back_silently(self, tmp_path):
+        proc = run_py(
+            "from repro.kernels import active_backend; print(active_backend())",
+            REPRO_KERNEL="auto",
+            REPRO_KERNEL_CACHE=str(tmp_path / "empty"),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "numpy"
+
+    def test_native_roundtrip_from_cache(self, native_built):
+        proc = run_py(
+            "from repro.kernels import active_backend;"
+            "print(active_backend())",
+            REPRO_KERNEL="native",
+            REPRO_KERNEL_CACHE=native_built,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "native"

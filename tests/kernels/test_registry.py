@@ -1,0 +1,146 @@
+"""Registry semantics: resolution, caching, registration, introspection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import (
+    KERNEL_NAMES,
+    VALID_KERNELS,
+    KernelBackend,
+    KernelUnavailableError,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_kernel,
+)
+from repro.kernels import registry as registry_mod
+
+
+class TestResolution:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert resolve_kernel() in ("numpy", "native")
+
+    def test_explicit_choice_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "garbage")
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_explicit_invalid_names_generic_source(self):
+        with pytest.raises(ValueError, match="kernel backend"):
+            resolve_kernel("fortran")
+
+    def test_env_invalid_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "fortran")
+        with pytest.raises(ValueError, match=kernels.KERNEL_ENV):
+            resolve_kernel()
+
+    def test_valid_kernels_constant(self):
+        assert VALID_KERNELS == ("auto", "numpy", "native")
+
+    def test_auto_resolves_to_available(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        expected = "native" if kernels.native_available() else "numpy"
+        assert resolve_kernel("auto") == expected
+
+
+class TestBackends:
+    def test_numpy_backend_always_loads(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert not backend.fused
+        for kernel in KERNEL_NAMES:
+            assert callable(getattr(backend, kernel))
+
+    def test_backend_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_backend_record_is_frozen(self):
+        backend = get_backend("numpy")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            backend.name = "other"
+
+    def test_native_backend_when_built(self, native_built):
+        backend = get_backend("native")
+        assert backend.name == "native"
+        assert backend.fused
+        A = np.array([[np.uint64(0b1011)]], dtype=np.uint64)
+        B = np.array([[np.uint64(0b0001)]], dtype=np.uint64)
+        assert backend.hamming_block(A, B)[0, 0] == 2
+
+    def test_available_backends_reports_both(self):
+        avail = available_backends()
+        assert avail["numpy"] is True
+        assert isinstance(avail["native"], bool)
+
+    def test_active_backend_matches_resolution(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        assert active_backend() == "numpy"
+
+
+class TestRegistration:
+    def test_rejects_auto_and_duplicates(self):
+        with pytest.raises(ValueError, match="auto"):
+            register_backend("auto", lambda: None)
+        with pytest.raises(ValueError, match="numpy"):
+            register_backend("numpy", lambda: None)
+
+    def test_custom_backend_is_selectable(self):
+        base = get_backend("numpy")
+        mirror = dataclasses.replace(base, name="mirror")
+        register_backend("mirror", lambda: mirror)
+        try:
+            assert get_backend("mirror") is mirror
+            assert resolve_kernel("mirror") == "mirror"
+            assert available_backends()["mirror"] is True
+        finally:
+            registry_mod._FACTORIES.pop("mirror", None)
+            registry_mod._instances.pop("mirror", None)
+
+    def test_env_selection_stays_restricted(self, monkeypatch):
+        base = get_backend("numpy")
+        register_backend("mirror2", lambda: dataclasses.replace(base, name="mirror2"))
+        try:
+            monkeypatch.setenv(kernels.KERNEL_ENV, "mirror2")
+            assert resolve_kernel() == "mirror2"  # registered names are valid
+        finally:
+            registry_mod._FACTORIES.pop("mirror2", None)
+            registry_mod._instances.pop("mirror2", None)
+
+
+class TestIntrospectionSurfaces:
+    def test_api_facade_exports_kernels(self):
+        import repro.api as api
+
+        assert api.active_backend is kernels.active_backend
+        assert api.kernels is kernels
+        assert "available_backends" in api.__all__
+
+    def test_serve_describe_reports_backend(self):
+        from repro.serve.service import InferenceService
+
+        class Model:
+            def predict(self, rows):
+                return np.zeros(len(rows), dtype=int)
+
+        info = InferenceService(Model()).describe()
+        assert info["kernel_backend"] == active_backend()
+
+    def test_metrics_exposition_carries_backend_info(self):
+        from repro.serve.http import _kernel_info_lines
+
+        lines = _kernel_info_lines()
+        assert "# TYPE repro_kernel_backend_info gauge" in lines
+        assert f'backend="{active_backend()}"' in lines
+
+    def test_kernel_backend_dataclass_fields(self):
+        fields = {f.name for f in dataclasses.fields(KernelBackend)}
+        assert fields == {"name", "fused"} | set(KERNEL_NAMES)
+
+    def test_unavailable_error_is_runtime_error(self):
+        assert issubclass(KernelUnavailableError, RuntimeError)

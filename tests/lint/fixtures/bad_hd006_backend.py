@@ -1,0 +1,35 @@
+"""HD006 backend fixture: three kernels drift from the registry contract.
+
+Linted under the synthetic path ``src/repro/kernels/bad_backend.py`` so the
+backend-signature branch of HD006 compares each module-level kernel against
+the canonical stubs in ``repro.kernels.signatures``:
+
+* ``hamming_block`` demotes ``word_chunk`` from keyword-only to positional;
+* ``topk_hamming_tile`` grows a default on the positional ``k``;
+* ``majority_vote_counts`` renames ``packed_stack`` to ``stack``.
+
+``loo_topk_hamming_tile`` and ``add_bits_into`` match the contract exactly
+and must stay silent.
+"""
+
+
+def hamming_block(A, B, word_chunk=None):  # drift: word_chunk now positional
+    return A ^ B
+
+
+def topk_hamming_tile(Q, X, k=1, *, tile_cols=1024, word_chunk=32):  # drift: default on k
+    return Q, X, k
+
+
+def loo_topk_hamming_tile(X, start, stop, k, *, tile_cols=1024, word_chunk=32):
+    return X, start, stop, k
+
+
+def add_bits_into(packed, dim, out):
+    out += packed
+    return out
+
+
+def majority_vote_counts(stack, dim, out):  # drift: packed_stack renamed
+    out += stack
+    return out

@@ -21,6 +21,7 @@ BAD_FIXTURES = [
     ("bad_hd004.py", "src/repro/core/bad_hd004.py", "HD004", 3),
     ("bad_hd005.py", "src/repro/core/bad_hd005.py", "HD005", 2),
     ("bad_hd006.py", "src/repro/core/bad_hd006.py", "HD006", 1),
+    ("bad_hd006_backend.py", "src/repro/kernels/bad_backend.py", "HD006", 3),
     ("bad_hd007.py", "src/repro/api/bad_hd007.py", "HD007", 6),
     ("bad_hd008.py", "src/repro/persist/bad_hd008.py", "HD008", 7),
 ]
@@ -144,6 +145,42 @@ class TestRuleDetails:
     def test_hd006_orphan_reference_ignored(self):
         src = "def cohort_reference(x):\n    return x\n"
         assert lint_source(src, "src/repro/core/m.py") == []
+
+    def test_hd006_backend_matching_signatures_clean(self):
+        src = (
+            "def hamming_block(A, B, *, word_chunk=None):\n"
+            "    return A ^ B\n"
+            "def add_bits_into(packed, dim, out):\n"
+            "    return out\n"
+        )
+        findings = lint_source(
+            src, "src/repro/kernels/my_backend.py", select=["HD006"]
+        )
+        assert findings == [], [f.render() for f in findings]
+
+    def test_hd006_backend_helper_names_ignored(self):
+        # Helpers that are not registry kernels may use any signature.
+        src = "def _topk(Q, X, k, self_start):\n    return Q\n"
+        assert lint_source(
+            src, "src/repro/kernels/my_backend.py", select=["HD006"]
+        ) == []
+
+    def test_hd006_non_backend_kernels_module_exempt(self):
+        # Only *_backend.py modules are held to the canonical signatures.
+        src = "def hamming_block(A, B, word_chunk=None):\n    return A\n"
+        assert lint_source(
+            src, "src/repro/kernels/registry.py", select=["HD006"]
+        ) == []
+
+    def test_hd006_real_backends_match_contract(self):
+        root = Path(__file__).resolve().parents[2] / "src" / "repro" / "kernels"
+        for name in ("numpy_backend.py", "native_backend.py"):
+            findings = lint_source(
+                (root / name).read_text(encoding="utf-8"),
+                f"src/repro/kernels/{name}",
+                select=["HD006"],
+            )
+            assert findings == [], [f.render() for f in findings]
 
     def test_hd007_outside_facade_is_silent(self):
         findings = lint_source(
