@@ -1,0 +1,47 @@
+"""hdlint performance gate: a full-tree scan stays interactive.
+
+The linter runs on every CI push and is meant to be cheap enough for a
+pre-commit hook, so the single-core budget for linting the whole
+``src`` + ``tests`` tree (per-file pass, project index, and the
+HD009–HD012 project pass) is a hard 10 seconds.  The parallel run is
+reported for visibility and asserted only for result parity — on a
+tree this size the fork overhead can eat the speedup, correctness is
+the contract.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.lint import iter_python_files, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TREE = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+
+SINGLE_CORE_BUDGET_S = 10.0
+
+
+def test_full_tree_single_core_under_budget():
+    n_files = len(iter_python_files(TREE))
+    started = time.perf_counter()
+    findings = lint_paths(TREE)
+    elapsed = time.perf_counter() - started
+    print(
+        f"\nhdlint full tree: {n_files} files in {elapsed:.2f}s "
+        f"(budget {SINGLE_CORE_BUDGET_S:.0f}s), {len(findings)} findings"
+    )
+    assert findings == [], [f.render() for f in findings]
+    assert elapsed < SINGLE_CORE_BUDGET_S, (
+        f"single-core full-tree lint took {elapsed:.2f}s, "
+        f"budget is {SINGLE_CORE_BUDGET_S:.0f}s"
+    )
+
+
+def test_parallel_scan_matches_serial():
+    serial = lint_paths(TREE)
+    started = time.perf_counter()
+    parallel = lint_paths(TREE, jobs=2)
+    elapsed = time.perf_counter() - started
+    print(f"\nhdlint --jobs 2: {elapsed:.2f}s")
+    assert parallel == serial

@@ -11,7 +11,9 @@ Usage::
     repro-lint --list-rules
     repro-lint src --format=json
 
-Rules (catalogue in DESIGN.md §7):
+Rules (catalogue in DESIGN.md §7).  HD001–HD008 are per-file checks;
+HD009–HD012 run in a second pass over a project-wide index built from
+every linted module, so they see across file boundaries:
 
 ========  =====================================================
 HD001     legacy ``np.random.*`` global-state RNG in src/
@@ -26,33 +28,55 @@ HD007     ``repro.api`` facade integrity (__all__ complete and
 HD008     unsafe serialization on the artifact/serving paths
           (pickle imports, eval/exec, allow_pickle, unverified
           np.load)
+HD009     lock discipline in the threaded packages (unlocked
+          shared writes, guarded attrs accessed lock-free,
+          unlocked RMW, lifecycle races, lock-order inversion)
+HD010     ``os.environ`` reads outside the blessed config
+          resolvers (REPRO_* knobs stay centrally documented)
+HD011     obs metric/span name drift (kind conflicts, grammar,
+          near-miss prefix families, Prometheus test-corpus
+          coverage for serve.*/loadgen.*)
+HD012     dense ``uint8`` arrays flowing across module borders
+          into packed-``uint64``-only consumers
 ========  =====================================================
 
-Suppress a finding with ``# hdlint: disable=HD0xx`` (same line),
+Suppress a finding with ``# hdlint: disable=HD0xx`` (same line; a
+justification after the codes is encouraged),
 ``# hdlint: disable-next-line=...`` or ``# hdlint: disable-file=...``.
 """
 
 from repro.lint.engine import (
+    DEFAULT_EXCLUDES,
     LintError,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
 )
 from repro.lint.findings import Finding
+from repro.lint.project import ModuleIndex, ProjectIndex, ProjectRule, build_index
 from repro.lint.rules import RULES, Rule, all_rules
+from repro.lint.sarif import to_sarif
 from repro.lint.suppressions import Suppressions, parse_suppressions
 
 __all__ = [
+    "DEFAULT_EXCLUDES",
     "Finding",
     "LintError",
+    "ModuleIndex",
+    "ProjectIndex",
+    "ProjectRule",
     "RULES",
     "Rule",
     "Suppressions",
     "all_rules",
+    "build_index",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "parse_suppressions",
+    "to_sarif",
 ]

@@ -13,8 +13,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.lint.engine import LintError, iter_python_files, lint_paths
+from repro.lint.engine import (
+    DEFAULT_EXCLUDES,
+    LintError,
+    iter_python_files,
+    lint_paths,
+)
 from repro.lint.rules import all_rules
+from repro.lint.sarif import to_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,7 +28,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Project-specific static analysis for packed-hypervector "
-            "invariants (rules HD001-HD008; see DESIGN.md section 7)."
+            "invariants (per-file rules HD001-HD008 plus the project-wide "
+            "rules HD009-HD012; see DESIGN.md section 7)."
         ),
     )
     parser.add_argument(
@@ -34,8 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text); sarif emits SARIF 2.1.0",
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
@@ -48,6 +55,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-scope", action="store_true",
         help="run every rule on every file, ignoring per-rule path scopes",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "fan the per-file pass out over N worker processes (the "
+            "project index and HD009-HD012 always run in the parent)"
+        ),
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="FRAGMENT",
+        help=(
+            "extra path fragment to skip when expanding directories "
+            "(repeatable); the lint fixture corpus "
+            f"({', '.join(DEFAULT_EXCLUDES)}) is skipped by default"
+        ),
+    )
+    parser.add_argument(
+        "--no-default-excludes", action="store_true",
+        help="lint the default-excluded paths (the bad-fixture corpus) too",
+    )
+    parser.add_argument(
+        "--index-cache", default=None, metavar="PATH",
+        help=(
+            "JSON project-index cache file, reused when its source-hash "
+            "key matches the scanned tree (CI shares it between jobs)"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -81,6 +114,9 @@ def _run(argv: Optional[Sequence[str]]) -> int:
     if args.list_rules:
         print(_rule_catalogue())
         return 0
+    if args.jobs < 1:
+        print("repro-lint: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     select: Optional[List[str]] = None
     if args.select:
@@ -93,11 +129,21 @@ def _run(argv: Optional[Sequence[str]]) -> int:
                                           {c.upper() for c in select})
         ]
 
+    excludes: List[str] = list(args.exclude)
+    if not args.no_default_excludes:
+        excludes.extend(DEFAULT_EXCLUDES)
+
     try:
         paths = [Path(p) for p in args.paths]
-        n_files = len(iter_python_files(paths))
-        findings = lint_paths(paths, select=select,
-                              respect_scope=not args.no_scope)
+        n_files = len(iter_python_files(paths, excludes=excludes))
+        findings = lint_paths(
+            paths,
+            select=select,
+            respect_scope=not args.no_scope,
+            jobs=args.jobs,
+            excludes=excludes,
+            index_cache=Path(args.index_cache) if args.index_cache else None,
+        )
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
@@ -109,6 +155,8 @@ def _run(argv: Optional[Sequence[str]]) -> int:
             "summary": {"total": len(findings)},
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2, sort_keys=True))
     else:
         for f in findings:
             print(f.render())

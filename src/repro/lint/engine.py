@@ -1,17 +1,46 @@
-"""hdlint engine: walk paths, parse, run rules, apply suppressions."""
+"""hdlint engine: walk paths, parse, run rules, apply suppressions.
+
+Two passes:
+
+1. **per-file** — every selected plain :class:`~repro.lint.rules.Rule`
+   runs over each parsed module, exactly as it always has; the same
+   parse also feeds the :class:`~repro.lint.project.ModuleIndex` builder.
+2. **project** — the collected :class:`~repro.lint.project.ProjectIndex`
+   is handed to every selected
+   :class:`~repro.lint.project.ProjectRule` (HD009–HD012), which is what
+   lets those rules see across module boundaries.
+
+The per-file pass can fan out over processes (``jobs``); the project
+pass always runs in the parent because it needs the whole index.
+"""
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.lint import project_rules  # noqa: F401 — registers HD009-HD012
 from repro.lint.findings import Finding
+from repro.lint.project import (
+    ModuleIndex,
+    ProjectIndex,
+    ProjectRule,
+    index_module,
+    load_index_cache,
+    save_index_cache,
+    source_hash_key,
+)
 from repro.lint.rules import RULES, Rule
-from repro.lint.suppressions import parse_suppressions
+from repro.lint.suppressions import Suppressions, parse_suppressions
 
 #: Directory names never descended into when linting a tree.
 _SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".eggs"}
+
+#: Path fragments excluded from tree scans by default: the deliberately
+#: broken lint fixture corpus must not fail `repro-lint src tests`.
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("tests/lint/fixtures",)
 
 
 class LintError(RuntimeError):
@@ -32,6 +61,62 @@ def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
     return rules
 
 
+def _parse(source: str, path: str) -> ast.Module:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+
+
+def _file_pass(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    *,
+    respect_scope: bool,
+    respect_suppressions: bool,
+) -> Tuple[List[Finding], ModuleIndex, Suppressions]:
+    """Parse once; run the per-file rules and build the module index."""
+    tree = _parse(source, path)
+    suppressions = parse_suppressions(source, tree)
+    findings: List[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
+        if respect_scope and not rule.applies_to(path):
+            continue
+        for finding in rule.check(tree, path):
+            if respect_suppressions and suppressions.is_suppressed(
+                finding.code, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return findings, index_module(tree, path), suppressions
+
+
+def _project_pass(
+    index: ProjectIndex,
+    rules: Sequence[Rule],
+    suppressions: Dict[str, Suppressions],
+    *,
+    respect_scope: bool,
+    respect_suppressions: bool,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(index, respect_scope=respect_scope):
+            if respect_suppressions:
+                supp = suppressions.get(finding.path)
+                if supp is not None and supp.is_suppressed(
+                    finding.code, finding.line
+                ):
+                    continue
+            findings.append(finding)
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -42,25 +127,53 @@ def lint_source(
 ) -> List[Finding]:
     """Lint one source string; returns sorted findings.
 
+    Runs the per-file rules **and** the project rules over the
+    single-module index, so fixtures for HD009–HD011 can be exercised
+    exactly like HD001–HD008 (HD012 needs :func:`lint_sources`).
     ``respect_scope=False`` runs every selected rule regardless of its
-    path scope (used by the fixture self-tests); suppression comments can
-    likewise be ignored to test that they would otherwise fire.
+    path scope; suppression comments can likewise be ignored to test
+    that they would otherwise fire.
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise LintError(f"{path}: cannot parse: {exc}") from exc
-    suppressions = parse_suppressions(source)
+    return lint_sources(
+        {path: source},
+        select=select,
+        respect_scope=respect_scope,
+        respect_suppressions=respect_suppressions,
+    )
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    *,
+    select: Optional[Sequence[str]] = None,
+    respect_scope: bool = True,
+    respect_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint a ``{path: source}`` mapping as one project; sorted findings."""
+    rules = _select_rules(select)
     findings: List[Finding] = []
-    for rule in _select_rules(select):
-        if respect_scope and not rule.applies_to(path):
-            continue
-        for finding in rule.check(tree, path):
-            if respect_suppressions and suppressions.is_suppressed(
-                finding.code, finding.line
-            ):
-                continue
-            findings.append(finding)
+    modules: List[ModuleIndex] = []
+    suppressions: Dict[str, Suppressions] = {}
+    for path, source in sources.items():
+        file_findings, mi, supp = _file_pass(
+            source,
+            path,
+            rules,
+            respect_scope=respect_scope,
+            respect_suppressions=respect_suppressions,
+        )
+        findings.extend(file_findings)
+        modules.append(mi)
+        suppressions[path] = supp
+    findings.extend(
+        _project_pass(
+            ProjectIndex(modules),
+            rules,
+            suppressions,
+            respect_scope=respect_scope,
+            respect_suppressions=respect_suppressions,
+        )
+    )
     return sorted(findings)
 
 
@@ -71,12 +184,8 @@ def lint_file(
     respect_scope: bool = True,
     respect_suppressions: bool = True,
 ) -> List[Finding]:
-    try:
-        source = Path(path).read_text(encoding="utf-8")
-    except OSError as exc:
-        raise LintError(f"{path}: cannot read: {exc}") from exc
     return lint_source(
-        source,
+        _read(Path(path)),
         str(path),
         select=select,
         respect_scope=respect_scope,
@@ -84,16 +193,37 @@ def lint_file(
     )
 
 
-def iter_python_files(paths: Iterable[Path]) -> List[Path]:
-    """Expand files/directories into a sorted, deduplicated .py file list."""
+def _read(path: Path) -> str:
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{path}: cannot read: {exc}") from exc
+
+
+def _excluded(path: Path, excludes: Sequence[str]) -> bool:
+    norm = str(path).replace("\\", "/")
+    return any(fragment in norm for fragment in excludes)
+
+
+def iter_python_files(
+    paths: Iterable[Path],
+    *,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list.
+
+    ``excludes`` are path fragments; matching files under a *directory*
+    argument are skipped (explicitly named files always lint).
+    """
     seen = {}
     for p in paths:
         p = Path(p)
         if p.is_dir():
-            candidates = sorted(
-                f for f in p.rglob("*.py")
+            candidates = [
+                f for f in sorted(p.rglob("*.py"))
                 if not _SKIP_DIRS.intersection(part for part in f.parts)
-            )
+                and not _excluded(f, excludes)
+            ]
         elif p.suffix == ".py":
             candidates = [p]
         elif not p.exists():
@@ -105,23 +235,88 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
     return [seen[k] for k in sorted(seen)]
 
 
+def _scan_worker(
+    item: Tuple[str, str, Optional[Tuple[str, ...]], bool]
+) -> Tuple[List[Finding], ModuleIndex, Suppressions]:
+    """Top-level (picklable) per-file worker for ``jobs > 1``."""
+    path, source, select, respect_scope = item
+    return _file_pass(
+        source,
+        path,
+        _select_rules(select),
+        respect_scope=respect_scope,
+        respect_suppressions=True,
+    )
+
+
 def lint_paths(
     paths: Iterable[Path],
     *,
     select: Optional[Sequence[str]] = None,
     respect_scope: bool = True,
+    jobs: int = 1,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    index_cache: Optional[Path] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    """Lint every ``.py`` file under ``paths``; returns sorted findings.
+
+    ``jobs > 1`` fans the per-file pass out over processes; the project
+    index is assembled once in the parent and the project rules always
+    run there.  ``index_cache`` points at a JSON file reused (and
+    refreshed) when its source-hash key matches the scanned tree.
+    """
+    rules = _select_rules(select)
+    files = iter_python_files(paths, excludes=excludes)
+    sources = [(str(f), _read(f)) for f in files]
+
     findings: List[Finding] = []
-    for f in iter_python_files(paths):
-        findings.extend(lint_file(f, select=select, respect_scope=respect_scope))
+    modules: List[ModuleIndex] = []
+    suppressions: Dict[str, Suppressions] = {}
+    if jobs > 1 and len(sources) > 1:
+        sel = tuple(r.code for r in rules) if select is not None else None
+        items = [(p, s, sel, respect_scope) for p, s in sources]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for file_findings, mi, supp in pool.map(
+                _scan_worker, items, chunksize=8
+            ):
+                findings.extend(file_findings)
+                modules.append(mi)
+                suppressions[mi.path] = supp
+    else:
+        for path, source in sources:
+            file_findings, mi, supp = _file_pass(
+                source, path, rules,
+                respect_scope=respect_scope, respect_suppressions=True,
+            )
+            findings.extend(file_findings)
+            modules.append(mi)
+            suppressions[path] = supp
+
+    index: Optional[ProjectIndex] = None
+    if index_cache is not None:
+        key = source_hash_key(sources)
+        index = load_index_cache(Path(index_cache), key)
+        if index is None:
+            index = ProjectIndex(modules)
+            save_index_cache(Path(index_cache), key, index)
+    if index is None:
+        index = ProjectIndex(modules)
+
+    findings.extend(
+        _project_pass(
+            index, rules, suppressions,
+            respect_scope=respect_scope, respect_suppressions=True,
+        )
+    )
     return sorted(findings)
 
 
 __all__ = [
+    "DEFAULT_EXCLUDES",
     "LintError",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
 ]

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 serialisation for hdlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+schema GitHub code scanning ingests: uploading the run via
+``github/codeql-action/upload-sarif`` turns every finding into an inline
+annotation on the PR diff.  Only the required subset of the spec is
+emitted — tool metadata with the full rule catalogue, plus one result
+per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: hdlint findings are invariant violations, not style nits.
+_LEVEL = "error"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVEL},
+    }
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def to_sarif(
+    findings: Sequence[Finding], *, rules: Sequence[Rule] = ()
+) -> Dict[str, Any]:
+    """Build the SARIF 2.1.0 log document for ``findings``.
+
+    ``rules`` defaults to the full registered catalogue so rule metadata
+    renders even for runs with zero findings.
+    """
+    catalogue: List[Rule] = list(rules) or all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(catalogue)}
+    results: List[Dict[str, Any]] = []
+    for f in findings:
+        result: Dict[str, Any] = {
+            "ruleId": f.code,
+            "level": _LEVEL,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _uri(f.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col),
+                        },
+                    }
+                }
+            ],
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "semanticVersion": "1.0.0",
+                        "rules": [_rule_descriptor(r) for r in catalogue],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///", "description": {
+                        "text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif"]

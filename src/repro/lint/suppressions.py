@@ -16,9 +16,10 @@ after the directive is ignored so suppressions can carry a justification::
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 _DIRECTIVE = re.compile(
     r"#\s*hdlint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
@@ -49,10 +50,51 @@ class Suppressions:
         return code in codes or _ALL in codes
 
 
-def parse_suppressions(source: str) -> Suppressions:
-    """Scan ``source`` for hdlint directives and build the suppression map."""
+def _header_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(first, last) line of every def/class *header*.
+
+    The header starts at the first decorator (if any) and runs to the
+    line before the first body statement, so it covers multi-line
+    signatures.  A ``disable-next-line`` comment sitting above the
+    header suppresses findings anchored anywhere inside it — most
+    importantly on the ``def`` line itself, which sits *below* the
+    decorators in the source.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        start = min(
+            [node.lineno] + [d.lineno for d in node.decorator_list]
+        )
+        end = node.body[0].lineno - 1 if node.body else node.lineno
+        spans.append((start, max(start, end)))
+    return spans
+
+
+def parse_suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> Suppressions:
+    """Scan ``source`` for hdlint directives and build the suppression map.
+
+    When the parsed ``tree`` is supplied, ``disable-next-line`` comments
+    that land on a def/class header (decorators, multi-line signatures)
+    suppress the whole header span, not just the single next line.
+    """
     file_codes: Set[str] = set()
     line_codes: Dict[int, Set[str]] = {}
+    spans = _header_spans(tree) if tree is not None else []
+
+    def _cover(target: int, codes: FrozenSet[str]) -> None:
+        lines = {target}
+        for start, end in spans:
+            if start <= target <= end:
+                lines.update(range(start, end + 1))
+        for line in lines:
+            line_codes.setdefault(line, set()).update(codes)
+
     for lineno, text in enumerate(source.splitlines(), start=1):
         m = _DIRECTIVE.search(text)
         if m is None:
@@ -62,9 +104,9 @@ def parse_suppressions(source: str) -> Suppressions:
         if kind == "disable-file":
             file_codes.update(codes)
         elif kind == "disable-next-line":
-            line_codes.setdefault(lineno + 1, set()).update(codes)
+            _cover(lineno + 1, codes)
         else:  # disable (same line)
-            line_codes.setdefault(lineno, set()).update(codes)
+            _cover(lineno, codes)
     return Suppressions(
         file_codes=frozenset(file_codes),
         line_codes={k: frozenset(v) for k, v in line_codes.items()},

@@ -136,11 +136,15 @@ class FakeTransport:
     ) -> None:
         self._service = service_s
         self._status_fn = status_fn
+        # The threaded runner shares one transport across workers, so
+        # the request counter needs a lock to hand out unique indices.
+        self._lock = threading.Lock()
         self._calls = 0
 
     def send(self, rows: Sequence[Sequence[float]]) -> Tuple[int, float]:
-        i = self._calls
-        self._calls += 1
+        with self._lock:
+            i = self._calls
+            self._calls += 1
         service = self._service(i) if callable(self._service) else float(self._service)
         status = self._status_fn(i) if self._status_fn is not None else 200
         return int(status), float(service)

@@ -91,29 +91,37 @@ class MicroBatcher:
         self._max_wait_s = float(max_wait_ms) / 1000.0
         self._queue: "queue.Queue[_Pending]" = queue.Queue(maxsize=queue_size)
         self._stop = threading.Event()
+        # Guards _thread: start/stop/running may be called concurrently
+        # (e.g. a signal handler stopping while a late start retries).
+        self._lifecycle = threading.Lock()
         self._thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        with self._lifecycle:
+            thread = self._thread
+        return thread is not None and thread.is_alive()
 
     def start(self) -> None:
-        if self.running:
-            return
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._worker, name="repro-serve-batcher", daemon=True
-        )
-        self._thread.start()
+        with self._lifecycle:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._worker, name="repro-serve-batcher", daemon=True
+            )
+            self._thread.start()
 
     def stop(self, *, drain_timeout_s: float = 5.0) -> None:
         """Stop the worker; fail any requests still queued so no caller hangs."""
-        if self._thread is None:
+        with self._lifecycle:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
             return
         self._stop.set()
-        self._thread.join(timeout=drain_timeout_s)
-        self._thread = None
+        thread.join(timeout=drain_timeout_s)
         while True:
             try:
                 pending = self._queue.get_nowait()

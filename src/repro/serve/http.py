@@ -157,6 +157,9 @@ class ModelServer:
         else:
             self.config = config or ServeConfig()
             self.service = InferenceService(model, self.config)
+        # Guards _httpd/_thread: start/stop/address may race (a CLI's
+        # signal handler stopping while serve_forever is still starting).
+        self._lifecycle = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -171,9 +174,11 @@ class ModelServer:
     @property
     def address(self) -> Tuple[str, int]:
         """Bound ``(host, port)``; resolves ``port=0`` to the real port."""
-        if self._httpd is None:
+        with self._lifecycle:
+            httpd = self._httpd
+        if httpd is None:
             raise RuntimeError("server is not started")
-        host, port = self._httpd.server_address[:2]
+        host, port = httpd.server_address[:2]
         return str(host), int(port)
 
     @property
@@ -182,38 +187,45 @@ class ModelServer:
         return f"http://{host}:{port}"
 
     def start(self) -> Tuple[str, int]:
-        if self._httpd is not None:
-            return self.address
-        self.service.start()
-        httpd = ThreadingHTTPServer(
-            (self.config.host, self.config.port),
-            _make_handler(self.service, self.config),
-        )
-        httpd.daemon_threads = True
-        self._httpd = httpd
-        self._thread = threading.Thread(
-            target=httpd.serve_forever, name="repro-serve-http", daemon=True
-        )
-        self._thread.start()
+        with self._lifecycle:
+            if self._httpd is None:
+                self.service.start()
+                httpd = ThreadingHTTPServer(
+                    (self.config.host, self.config.port),
+                    _make_handler(self.service, self.config),
+                )
+                httpd.daemon_threads = True
+                self._httpd = httpd
+                self._thread = threading.Thread(
+                    target=httpd.serve_forever,
+                    name="repro-serve-http",
+                    daemon=True,
+                )
+                self._thread.start()
         return self.address
 
     def stop(self) -> None:
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
+        with self._lifecycle:
+            httpd = self._httpd
+            thread = self._thread
             self._httpd = None
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
             self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
         self.service.stop()
 
     def serve_forever(self) -> None:
         """Blocking variant for the CLI; Ctrl-C stops cleanly."""
         self.start()
-        assert self._thread is not None
+        with self._lifecycle:
+            thread = self._thread
+        assert thread is not None
         try:
-            while self._thread.is_alive():
-                self._thread.join(timeout=0.5)
+            while thread.is_alive():
+                thread.join(timeout=0.5)
         except KeyboardInterrupt:
             pass
         finally:

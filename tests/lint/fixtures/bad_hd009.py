@@ -1,0 +1,82 @@
+"""Bad fixture: HD009 lock-discipline violations, one per clause.
+
+Linted under a synthetic ``src/repro/serve/`` path by the corpus tests;
+each class trips exactly one clause of the rule.
+"""
+
+import threading
+
+
+class SharedCounter:
+    """(a) worker-thread write read by a public method with no lock."""
+
+    def __init__(self) -> None:
+        self._latest = 0
+        self._thread = threading.Thread(target=self._worker)
+
+    def _worker(self) -> None:
+        self._latest = 1
+
+    def snapshot(self) -> int:
+        return self._latest  # line 21: unlocked read of a worker-written attr
+
+
+class Guarded:
+    """(b) attribute written under a lock but read outside it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = ()
+
+    def push(self, x: int) -> None:
+        with self._lock:
+            self._items = self._items + (x,)
+
+    def peek(self) -> int:
+        return self._items[-1]  # line 36: guarded attr, no lock held
+
+
+class TwoLocks:
+    """(c) locks acquired in opposite orders across methods."""
+
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.value = 0
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:
+                self.value = 1
+
+    def backward(self) -> None:  # line 52: inverted acquisition order
+        with self._b:
+            with self._a:
+                self.value = 2
+
+
+class Tally:
+    """(d) unlocked read-modify-write in a thread-using module."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def add(self, x: int) -> None:
+        self.total += x  # line 65: lost-update race
+
+
+class Lifecycle:
+    """(e) start/stop re-assign the worker handle without a lock."""
+
+    def __init__(self) -> None:
+        self._worker = None
+
+    def _run(self) -> None:
+        return None
+
+    def start(self) -> None:
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def stop(self) -> None:
+        self._worker = None  # line 82: lifecycle TOCTOU with start()

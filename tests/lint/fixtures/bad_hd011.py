@@ -1,0 +1,15 @@
+"""Bad fixture: HD011 observability-name drift, one finding per clause."""
+
+from repro.obs.metrics import REGISTRY
+
+
+def record() -> None:
+    REGISTRY.counter("serve.requests", "Requests answered.").add(1)
+    REGISTRY.counter("serve.rows", "Rows predicted.").add(1)
+    REGISTRY.counter("serve.things", "Things counted.").add(1)
+    # same name, conflicting kind:
+    REGISTRY.histogram("serve.things", "Things observed.").observe(1.0)
+    # lone `serv.*` family one edit from the established `serve.*`:
+    REGISTRY.counter("serv.oops", "Typo'd family.").add(1)
+    # grammar violation (uppercase + space):
+    REGISTRY.histogram("serve.Bad Name", "Bad grammar.").observe(2.0)

@@ -1,0 +1,19 @@
+"""Bad fixture (consumer half): dense arrays fed to packed consumers.
+
+Linted together with ``bad_hd012_producer.py`` via ``lint_sources``; the
+two flows below cross the module boundary, which is exactly what the
+per-file HD004 cannot see.
+"""
+
+from repro.core.bad_hd012_producer import halves, to_dense
+from repro.core.distance import hamming_block
+from repro.core.search import topk_hamming
+
+
+def scores(packed, protos, dim):
+    dense = to_dense(packed, dim)
+    return hamming_block(dense, protos)  # line 15: dense arg 0
+
+
+def top(packed, dim, k):
+    return topk_hamming(halves(packed, dim), packed, k)  # line 19: dense arg 0

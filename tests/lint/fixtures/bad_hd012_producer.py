@@ -1,0 +1,21 @@
+"""Bad fixture (producer half): functions returning dense uint8 arrays.
+
+Indexed under a synthetic ``src/repro/core/`` path; the consumer half
+(``bad_hd012_consumer.py``) imports these across the module boundary.
+"""
+
+import numpy as np
+
+
+def to_dense(packed, dim):
+    if dim < 1:
+        raise ValueError(dim)
+    return np.unpackbits(packed.view(np.uint8), count=dim).astype(np.uint8)
+
+
+def halves(packed, dim):
+    if dim < 1:
+        raise ValueError(dim)
+    out = np.zeros((2, dim), dtype=np.uint8)
+    out[0, : dim // 2] = 1
+    return out

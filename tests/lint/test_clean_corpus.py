@@ -14,6 +14,7 @@ from repro.lint import lint_file, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
+TESTS = REPO_ROOT / "tests"
 
 HOT_PATH_FILES = [
     "repro/core/search.py",
@@ -22,14 +23,23 @@ HOT_PATH_FILES = [
     "repro/core/bundling.py",
 ]
 
+#: The packages HD009–HD012 police hardest: clean on merit, no escapes.
+PROJECT_RULE_HOT_PATHS = [
+    "repro/serve/batcher.py",
+    "repro/serve/http.py",
+    "repro/serve/service.py",
+    "repro/scenarios/load.py",
+    "repro/parallel/pool.py",
+]
 
-@pytest.mark.parametrize("rel", HOT_PATH_FILES)
+
+@pytest.mark.parametrize("rel", HOT_PATH_FILES + PROJECT_RULE_HOT_PATHS)
 def test_hot_path_file_lints_clean(rel):
     findings = lint_file(SRC / rel)
     assert findings == [], [f.render() for f in findings]
 
 
-@pytest.mark.parametrize("rel", HOT_PATH_FILES)
+@pytest.mark.parametrize("rel", HOT_PATH_FILES + PROJECT_RULE_HOT_PATHS)
 def test_hot_path_file_has_no_suppressions(rel):
     source = (SRC / rel).read_text(encoding="utf-8")
     assert "hdlint:" not in source
@@ -37,4 +47,11 @@ def test_hot_path_file_has_no_suppressions(rel):
 
 def test_whole_src_tree_lints_clean():
     findings = lint_paths([SRC])
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_src_and_tests_lint_clean_with_project_rules():
+    # The exact invocation CI runs (`repro-lint src tests`): the test
+    # modules join the project index, which arms HD011's corpus clause.
+    findings = lint_paths([SRC, TESTS])
     assert findings == [], [f.render() for f in findings]

@@ -67,5 +67,48 @@ def test_syntax_error_is_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("HD001", "HD002", "HD003", "HD004", "HD005", "HD006"):
-        assert code in out
+    for i in range(1, 13):
+        assert f"HD{i:03d}" in out
+
+
+def test_sarif_output(tree, capsys):
+    assert main([str(tree), "--format=sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    (result,) = run["results"]
+    assert result["ruleId"] == "HD001"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("bad.py")
+    assert location["region"]["startLine"] == 2
+
+
+def test_jobs_matches_serial(tree, capsys):
+    assert main([str(tree), "--format=json"]) == 1
+    serial = json.loads(capsys.readouterr().out)
+    assert main([str(tree), "--format=json", "--jobs=2"]) == 1
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel == serial
+
+
+def test_bad_jobs_is_usage_error(tree, capsys):
+    assert main([str(tree), "--jobs=0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_exclude_fragment_skips_files(tree, capsys):
+    assert main([str(tree), "--exclude=bad"]) == 0
+    assert "1 files" in capsys.readouterr().out
+
+
+def test_fixture_corpus_excluded_by_default(tmp_path, capsys):
+    nested = tmp_path / "tests" / "lint" / "fixtures"
+    nested.mkdir(parents=True)
+    (nested / "bad.py").write_text(BAD, encoding="utf-8")
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "good.py").write_text(GOOD, encoding="utf-8")
+    assert main([str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), "--no-default-excludes", "--no-scope"]) == 1

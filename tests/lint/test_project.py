@@ -1,0 +1,318 @@
+"""Project-pass corpus: the index, HD009–HD012, cache, and --jobs parity.
+
+HD009–HD011 fire on single-file fixtures exactly like the per-file rules
+(the engine builds a one-module index); HD012 is inherently two-module
+and goes through :func:`lint_sources`.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source, lint_sources
+from repro.lint.project import (
+    ProjectIndex,
+    build_index,
+    index_module,
+    load_index_cache,
+    module_name_for,
+    save_index_cache,
+    source_hash_key,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def read(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# HD009 — one finding per clause, at the documented lines
+# ----------------------------------------------------------------------
+
+
+class TestHD009:
+    PATH = "src/repro/serve/bad_hd009.py"
+
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_source(read("bad_hd009.py"), self.PATH, select=["HD009"])
+
+    def test_five_clauses_fire(self, findings):
+        assert len(findings) == 5, [f.render() for f in findings]
+
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            (21, "worker-thread entry point `_worker`"),
+            (36, "guarded by `self._lock` elsewhere"),
+            (52, "inconsistent order can deadlock"),
+            (65, "unlocked read-modify-write of `Tally.total`"),
+            (82, "re-assigned without a lock from several public methods"),
+        ],
+    )
+    def test_clause_lines_and_messages(self, findings, line, fragment):
+        matches = [f for f in findings if f.line == line]
+        assert len(matches) == 1, [f.render() for f in findings]
+        assert fragment in matches[0].message
+
+    def test_out_of_scope_path_is_silent(self):
+        findings = lint_source(
+            read("bad_hd009.py"), "src/repro/core/x.py", select=["HD009"]
+        )
+        assert findings == []
+
+    def test_no_scope_flag_reaches_any_path(self):
+        findings = lint_source(
+            read("bad_hd009.py"),
+            "src/repro/core/x.py",
+            select=["HD009"],
+            respect_scope=False,
+        )
+        assert len(findings) == 5
+
+    def test_lock_protected_variant_is_clean(self):
+        src = (
+            "import threading\n"
+            "class Safe:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.total = 0\n"
+            "    def add(self, x):\n"
+            "        with self._lock:\n"
+            "            self.total += x\n"
+            "    def get(self):\n"
+            "        with self._lock:\n"
+            "            return self.total\n"
+        )
+        assert lint_source(src, self.PATH, select=["HD009"]) == []
+
+    def test_suppression_applies_to_project_findings(self):
+        src = (
+            "import threading\n"
+            "class Tally:\n"
+            "    def __init__(self):\n"
+            "        self.total = 0\n"
+            "    def add(self, x):\n"
+            "        # hdlint: disable-next-line=HD009 -- single-threaded\n"
+            "        self.total += x\n"
+        )
+        assert lint_source(src, self.PATH, select=["HD009"]) == []
+
+
+# ----------------------------------------------------------------------
+# HD010 — environment reads outside the blessed resolvers
+# ----------------------------------------------------------------------
+
+
+class TestHD010:
+    PATH = "src/repro/scenarios/bad_hd010.py"
+
+    def test_reads_flagged_writes_allowed(self):
+        findings = lint_source(read("bad_hd010.py"), self.PATH, select=["HD010"])
+        assert [f.line for f in findings] == [7, 11, 15]
+        assert all("REPRO_" in f.message for f in findings)
+
+    def test_blessed_reader_is_exempt(self):
+        findings = lint_source(
+            read("bad_hd010.py"), "src/repro/parallel/pool.py", select=["HD010"]
+        )
+        assert findings == []
+
+    def test_test_modules_are_exempt(self):
+        findings = lint_source(
+            read("bad_hd010.py"), "tests/scenarios/test_env.py", select=["HD010"]
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# HD011 — observability-name drift
+# ----------------------------------------------------------------------
+
+
+class TestHD011:
+    PATH = "src/repro/serve/bad_hd011.py"
+
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_source(read("bad_hd011.py"), self.PATH, select=["HD011"])
+
+    def test_three_clauses_fire(self, findings):
+        assert len(findings) == 3, [f.render() for f in findings]
+
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            (11, "declared as histogram here but as counter"),
+            (13, "one edit away from the established `serve.*`"),
+            (15, "violates the naming grammar"),
+        ],
+    )
+    def test_clause_lines_and_messages(self, findings, line, fragment):
+        matches = [f for f in findings if f.line == line]
+        assert len(matches) == 1, [f.render() for f in findings]
+        assert fragment in matches[0].message
+
+    def test_corpus_clause_needs_test_modules(self):
+        # A serve.* metric missing from the corpus only fails once test
+        # modules are part of the scan (repro-lint src tests, not src).
+        src = 'from repro.obs.metrics import REGISTRY\n' \
+              'REGISTRY.counter("serve.widgets", "h").add(1)\n'
+        assert lint_source(src, self.PATH, select=["HD011"]) == []
+        findings = lint_sources(
+            {
+                self.PATH: src,
+                "tests/obs/test_other.py": "LIT = 'repro_unrelated_total'\n",
+            },
+            select=["HD011"],
+        )
+        assert len(findings) == 1
+        assert "repro_serve_widgets" in findings[0].message
+
+    def test_covered_metric_is_clean(self):
+        src = 'from repro.obs.metrics import REGISTRY\n' \
+              'REGISTRY.counter("serve.widgets", "h").add(1)\n'
+        findings = lint_sources(
+            {
+                self.PATH: src,
+                "tests/obs/test_corpus.py":
+                    "LIT = 'repro_serve_widgets_total'\n",
+            },
+            select=["HD011"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# HD012 — cross-module packed taint
+# ----------------------------------------------------------------------
+
+
+class TestHD012:
+    PRODUCER = "src/repro/core/bad_hd012_producer.py"
+    CONSUMER = "src/repro/eval/bad_hd012_consumer.py"
+
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_sources(
+            {
+                self.PRODUCER: read("bad_hd012_producer.py"),
+                self.CONSUMER: read("bad_hd012_consumer.py"),
+            },
+            select=["HD012"],
+        )
+
+    def test_both_flows_flagged(self, findings):
+        assert len(findings) == 2, [f.render() for f in findings]
+        assert all(f.path == self.CONSUMER for f in findings)
+        assert [f.line for f in findings] == [15, 19]
+
+    def test_messages_name_producer_and_consumer(self, findings):
+        by_line = {f.line: f.message for f in findings}
+        assert "repro.core.bad_hd012_producer.to_dense" in by_line[15]
+        assert "`hamming_block` (arg 0)" in by_line[15]
+        assert "repro.core.bad_hd012_producer.halves" in by_line[19]
+        assert "`topk_hamming` (arg 0)" in by_line[19]
+
+    def test_single_file_is_hd004_territory(self):
+        # Without the producer module in the scan, the callee cannot be
+        # resolved cross-module and HD012 stays silent.
+        findings = lint_source(
+            read("bad_hd012_consumer.py"), self.CONSUMER, select=["HD012"]
+        )
+        assert findings == []
+
+    def test_packed_producer_is_clean(self):
+        producer = (
+            "import numpy as np\n"
+            "def packed(rows, dim):\n"
+            "    if dim < 1:\n"
+            "        raise ValueError(dim)\n"
+            "    return np.packbits(rows, axis=-1).view(np.uint64)\n"
+        )
+        consumer = (
+            "from repro.core.packs import packed\n"
+            "from repro.core.distance import hamming_block\n"
+            "def scores(rows, protos, dim):\n"
+            "    return hamming_block(packed(rows, dim), protos)\n"
+        )
+        findings = lint_sources(
+            {
+                "src/repro/core/packs.py": producer,
+                self.CONSUMER: consumer,
+            },
+            select=["HD012"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Index plumbing: module names, serialisation, cache, jobs parity
+# ----------------------------------------------------------------------
+
+
+class TestIndex:
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/core/search.py") == "repro.core.search"
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+        assert module_name_for("tests/obs/test_export.py") == "tests.obs.test_export"
+
+    def test_round_trips_through_json_dict(self):
+        index = build_index(
+            {
+                "src/repro/serve/bad_hd009.py": read("bad_hd009.py"),
+                "src/repro/core/bad_hd012_producer.py":
+                    read("bad_hd012_producer.py"),
+            }
+        )
+        clone = ProjectIndex.from_dict(index.to_dict())
+        assert clone.to_dict() == index.to_dict()
+        mod = clone.module("repro.serve.bad_hd009")
+        assert mod is not None and "SharedCounter" in mod.classes
+
+    def test_dense_return_classification(self):
+        import ast
+
+        mi = index_module(
+            ast.parse(read("bad_hd012_producer.py")),
+            "src/repro/core/bad_hd012_producer.py",
+        )
+        assert mi.functions["to_dense"].returns_dense
+        assert mi.functions["halves"].returns_dense
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = tmp_path / "index.json"
+        files = [("a.py", "x = 1\n"), ("b.py", "y = 2\n")]
+        key = source_hash_key(files)
+        assert load_index_cache(cache, key) is None
+        index = build_index(dict((p, s) for p, s in files))
+        save_index_cache(cache, key, index)
+        loaded = load_index_cache(cache, key)
+        assert loaded is not None
+        assert loaded.to_dict() == index.to_dict()
+        # A changed tree gets a different key and misses.
+        other = source_hash_key([("a.py", "x = 3\n"), ("b.py", "y = 2\n")])
+        assert other != key
+        assert load_index_cache(cache, other) is None
+
+    def test_lint_paths_jobs_parity(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (pkg / "racy.py").write_text(read("bad_hd009.py"), encoding="utf-8")
+        (pkg / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+        serial = lint_paths([tmp_path])
+        parallel = lint_paths([tmp_path], jobs=2)
+        assert serial == parallel
+        assert len(serial) == 5
+
+    def test_lint_paths_uses_and_refreshes_cache(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (pkg / "racy.py").write_text(read("bad_hd009.py"), encoding="utf-8")
+        cache = tmp_path / "index.json"
+        first = lint_paths([tmp_path], index_cache=cache)
+        assert cache.exists()
+        second = lint_paths([tmp_path], index_cache=cache)
+        assert first == second and len(first) == 5

@@ -24,6 +24,9 @@ BAD_FIXTURES = [
     ("bad_hd006_backend.py", "src/repro/kernels/bad_backend.py", "HD006", 3),
     ("bad_hd007.py", "src/repro/api/bad_hd007.py", "HD007", 6),
     ("bad_hd008.py", "src/repro/persist/bad_hd008.py", "HD008", 7),
+    ("bad_hd009.py", "src/repro/serve/bad_hd009.py", "HD009", 5),
+    ("bad_hd010.py", "src/repro/scenarios/bad_hd010.py", "HD010", 3),
+    ("bad_hd011.py", "src/repro/serve/bad_hd011.py", "HD011", 3),
 ]
 
 
@@ -33,7 +36,7 @@ def read(name: str) -> str:
 
 class TestRegistry:
     def test_catalogue_complete(self):
-        assert sorted(RULES) == [f"HD00{i}" for i in range(1, 9)]
+        assert sorted(RULES) == [f"HD{i:03d}" for i in range(1, 13)]
 
     def test_rules_carry_metadata(self):
         for rule in all_rules():

@@ -1,0 +1,71 @@
+"""SARIF output: schema validity, rule catalogue, location mapping."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, all_rules, lint_source, to_sarif
+
+jsonschema = pytest.importorskip("jsonschema")
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "sarif-2.1.0-subset.schema.json").read_text(
+        encoding="utf-8"
+    )
+)
+
+BAD = "import numpy as np\nnp.random.seed(1)\n"
+PATH = "src/repro/data/bad.py"
+
+
+def _validate(document) -> None:
+    jsonschema.validate(instance=document, schema=SCHEMA)
+
+
+def test_findings_document_validates_against_schema():
+    findings = lint_source(BAD, PATH)
+    assert findings, "fixture should produce at least one finding"
+    _validate(to_sarif(findings))
+
+
+def test_empty_document_validates_and_keeps_catalogue():
+    log = to_sarif([])
+    _validate(log)
+    (run,) = log["runs"]
+    assert run["results"] == []
+    ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert ids == sorted(RULES)
+
+
+def test_round_trips_through_json():
+    log = to_sarif(lint_source(BAD, PATH))
+    _validate(json.loads(json.dumps(log)))
+
+
+def test_result_points_at_the_finding():
+    (finding,) = lint_source(BAD, PATH)
+    log = to_sarif([finding])
+    (result,) = log["runs"][0]["results"]
+    assert result["ruleId"] == finding.code == "HD001"
+    assert result["message"]["text"] == finding.message
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == PATH
+    assert location["region"]["startLine"] == finding.line
+    assert location["region"]["startColumn"] == finding.col
+
+
+def test_rule_index_matches_catalogue_position():
+    catalogue = all_rules()
+    (finding,) = lint_source(BAD, PATH)
+    log = to_sarif([finding], rules=catalogue)
+    (result,) = log["runs"][0]["results"]
+    assert catalogue[result["ruleIndex"]].code == "HD001"
+
+
+def test_unknown_rule_code_omits_rule_index():
+    (finding,) = lint_source(BAD, PATH)
+    log = to_sarif([finding], rules=[RULES["HD002"]])
+    (result,) = log["runs"][0]["results"]
+    assert "ruleIndex" not in result
+    _validate(log)

@@ -57,3 +57,54 @@ class TestDirectives:
         assert sup.is_suppressed("HD004", 3)
         assert not sup.is_suppressed("HD001", 3)
         assert not sup.is_suppressed("HD003", 2)
+
+
+class TestHeaderSpans:
+    """Regression: disable-next-line above a decorator (or the first line
+    of a multi-line signature) must suppress findings anchored on the
+    ``def`` line, which sits further down in the source."""
+
+    DECORATED = (
+        "import functools\n"
+        "# hdlint: disable-next-line=HD005 -- dim validated by the wrapper\n"
+        "@functools.lru_cache(maxsize=None)\n"
+        "def basis(dim, seed=0):\n"
+        "    return dim * seed\n"
+    )
+
+    MULTILINE = (
+        "# hdlint: disable-next-line=HD005 -- validated upstream\n"
+        "def basis(\n"
+        "    dim,\n"
+        "    seed=0,\n"
+        "):\n"
+        "    return dim * seed\n"
+    )
+
+    CORE = "src/repro/core/suppressed.py"
+
+    def test_decorated_def_would_fire_without_directive(self):
+        findings = lint_source(
+            self.DECORATED, self.CORE, respect_suppressions=False
+        )
+        assert [f.code for f in findings] == ["HD005"]
+        assert findings[0].line == 4  # anchored on the def, not the decorator
+
+    def test_decorator_directive_covers_the_def_line(self):
+        assert lint_source(self.DECORATED, self.CORE) == []
+
+    def test_multiline_signature_covered(self):
+        assert lint_source(
+            self.MULTILINE, self.CORE, respect_suppressions=False
+        ) != []
+        assert lint_source(self.MULTILINE, self.CORE) == []
+
+    def test_header_span_needs_the_tree(self):
+        import ast
+
+        sup = parse_suppressions(self.DECORATED)
+        assert not sup.is_suppressed("HD005", 4)  # text-only: next line only
+        sup = parse_suppressions(self.DECORATED, ast.parse(self.DECORATED))
+        assert sup.is_suppressed("HD005", 3)
+        assert sup.is_suppressed("HD005", 4)
+        assert not sup.is_suppressed("HD005", 5)
