@@ -54,11 +54,14 @@ from repro.core.distance import (
 )
 from repro.core.search import (
     HDIndex,
+    ShardedHDIndex,
     argmin_hamming,
     loo_topk_hamming,
     loo_topk_hamming_reference,
+    shard_spans,
     topk_hamming,
     topk_hamming_reference,
+    topk_hamming_sharded,
 )
 from repro.core.classifier import HammingClassifier, PrototypeClassifier
 from repro.core.itemmemory import ItemMemory
@@ -119,10 +122,18 @@ from repro.data import (
 from repro.ml.pipeline import HDCFeaturePipeline, ScaledClassifier
 from repro.persist import (
     artifact_info,
+    artifact_sha,
     load_artifact,
     save_artifact,
+    verify_artifact,
 )
-from repro.serve import InferenceService, ModelServer, ServeConfig
+from repro.serve import (
+    InferenceService,
+    ModelServer,
+    ServeConfig,
+    ServePool,
+    resolve_serve_config,
+)
 
 # --- scenarios: declarative workloads + load harness ---------------------
 from repro.scenarios import (
@@ -135,6 +146,7 @@ from repro.scenarios import (
     load_scenario,
     run_load,
     run_scenario,
+    sweep_workers,
 )
 
 # --- parallel + observability + kernels ---------------------------------
@@ -171,11 +183,14 @@ __all__ = [
     "pairwise_distance",
     "pairwise_hamming",
     "HDIndex",
+    "ShardedHDIndex",
     "argmin_hamming",
     "loo_topk_hamming",
     "loo_topk_hamming_reference",
+    "shard_spans",
     "topk_hamming",
     "topk_hamming_reference",
+    "topk_hamming_sharded",
     "HammingClassifier",
     "PrototypeClassifier",
     "ItemMemory",
@@ -224,11 +239,15 @@ __all__ = [
     "HDCFeaturePipeline",
     "ScaledClassifier",
     "artifact_info",
+    "artifact_sha",
     "load_artifact",
     "save_artifact",
+    "verify_artifact",
     "InferenceService",
     "ModelServer",
     "ServeConfig",
+    "ServePool",
+    "resolve_serve_config",
     # scenarios / load harness
     "LoadReport",
     "ScenarioError",
@@ -239,6 +258,7 @@ __all__ = [
     "load_scenario",
     "run_load",
     "run_scenario",
+    "sweep_workers",
     # parallel + observability + kernels
     "parallel_map",
     "obs",

@@ -34,7 +34,13 @@ import numpy as np
 from repro.core.bundling import majority_vote
 from repro.core.distance import pairwise_distance, pairwise_hamming
 from repro.core.hypervector import n_words, pack_bits
-from repro.core.search import argmin_hamming, topk_hamming, topk_rows, vote_counts
+from repro.core.search import (
+    argmin_hamming,
+    topk_hamming,
+    topk_hamming_sharded,
+    topk_rows,
+    vote_counts,
+)
 from repro.ml.base import BaseEstimator, ClassifierMixin
 from repro.utils.deprecation import renamed_kwargs
 from repro.utils.validation import check_positive_int, column_or_1d
@@ -82,6 +88,12 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         but emits a ``DeprecationWarning``.)
     tile_cols:
         Candidate-tile columns for the streaming engine.
+    shards:
+        Contiguous partitions of the training store for the sharded
+        scatter-gather engine (:func:`repro.core.search.
+        topk_hamming_sharded`).  Results are bit-identical for every
+        value; >1 is how serving pools split one store's scan.  Only
+        meaningful with ``metric="hamming"``.
     n_jobs:
         Workers for query-tile dispatch (``None``/0 defers to
         ``REPRO_WORKERS`` / ``REPRO_BACKEND``).
@@ -107,6 +119,7 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         metric: str = "hamming",
         chunk_rows: int = 64,
         tile_cols: int = 1024,
+        shards: int = 1,
         n_jobs: Optional[int] = 1,
     ) -> None:
         self.dim = check_positive_int(dim, "dim", minimum=2)
@@ -114,6 +127,7 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         self.metric = metric
         self.chunk_rows = check_positive_int(chunk_rows, "chunk_rows")
         self.tile_cols = check_positive_int(tile_cols, "tile_cols")
+        self.shards = check_positive_int(shards, "shards")
         self.n_jobs = n_jobs
 
     def fit(self, X, y) -> "HammingClassifier":
@@ -150,6 +164,17 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
         packed = coerce_packed(X, self.dim)
         k = self.n_neighbors
         if self.metric == "hamming":
+            if self.shards > 1:
+                _, idx = topk_hamming_sharded(
+                    packed,
+                    self.X_train_,
+                    k,
+                    n_shards=self.shards,
+                    chunk_rows=self.chunk_rows,
+                    tile_cols=self.tile_cols,
+                    n_jobs=self.n_jobs,
+                )
+                return idx
             _, idx = topk_hamming(
                 packed,
                 self.X_train_,
@@ -170,13 +195,25 @@ class HammingClassifier(BaseEstimator, ClassifierMixin):
             if self.metric == "hamming":
                 self._check_fitted("X_train_")
                 packed = coerce_packed(X, self.dim)
-                _, idx = argmin_hamming(
-                    packed,
-                    self.X_train_,
-                    chunk_rows=self.chunk_rows,
-                    tile_cols=self.tile_cols,
-                    n_jobs=self.n_jobs,
-                )
+                if self.shards > 1:
+                    _, idx2 = topk_hamming_sharded(
+                        packed,
+                        self.X_train_,
+                        1,
+                        n_shards=self.shards,
+                        chunk_rows=self.chunk_rows,
+                        tile_cols=self.tile_cols,
+                        n_jobs=self.n_jobs,
+                    )
+                    idx = idx2[:, 0]
+                else:
+                    _, idx = argmin_hamming(
+                        packed,
+                        self.X_train_,
+                        chunk_rows=self.chunk_rows,
+                        tile_cols=self.tile_cols,
+                        n_jobs=self.n_jobs,
+                    )
             else:
                 idx = np.argmin(self.decision_distances(X), axis=1)
             return self._decode_labels(self.y_train_[idx])

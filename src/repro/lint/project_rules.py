@@ -200,6 +200,7 @@ BLESSED_ENV_READERS = (
     "repro/kernels/native_build.py",
     "repro/utils/contracts.py",
     "repro/obs/spans.py",
+    "repro/serve/config.py",
 )
 
 
@@ -212,7 +213,8 @@ class ConfigDriftRule(ProjectRule):
     description = (
         "os.environ / os.getenv reads are confined to the blessed "
         "resolvers (repro.parallel.resolve_config, the kernel registry, "
-        "repro.utils.contracts, repro.obs.spans) so every REPRO_* knob "
+        "repro.utils.contracts, repro.obs.spans, "
+        "repro.serve.config.resolve_serve_config) so every REPRO_* knob "
         "has one documented owner; ad-hoc reads elsewhere drift out of "
         "the config surface."
     )

@@ -20,9 +20,11 @@ from repro.persist.artifact import (
     PAYLOAD_DIR,
     SCHEMA_VERSION,
     artifact_info,
+    artifact_sha,
     load_artifact,
     read_manifest,
     save_artifact,
+    verify_artifact,
 )
 from repro.persist.errors import (
     ArtifactError,
@@ -43,6 +45,7 @@ __all__ = [
     "ArtifactSchemaError",
     "StateError",
     "artifact_info",
+    "artifact_sha",
     "decode_state",
     "encode_state",
     "load_artifact",
@@ -51,4 +54,5 @@ __all__ = [
     "registered_names",
     "registry_name",
     "save_artifact",
+    "verify_artifact",
 ]

@@ -22,6 +22,17 @@ Guarantees:
 * **Versioned.**  ``schema_version`` gates the layout; loaders reject
   artifacts from a future schema with a clear upgrade message instead of
   mis-reading them.  ``repro_version`` stamps the producing build.
+
+Shared-memory loading (PR 9): because payloads are raw ``.npy`` files,
+``load_artifact(path, mmap=True)`` maps each one read-only with
+``numpy.memmap`` semantics instead of copying it onto the heap.  Every
+process that maps the same artifact shares one set of physical pages —
+the zero-copy substrate the pre-fork serving pool
+(:mod:`repro.serve.pool`) is built on.  Verification and mapping are
+decoupled: a pool supervisor calls :func:`verify_artifact` once
+(streamed SHA-256 over every payload, no arrays materialised) and the
+workers load with ``verify=False``, so N workers cost one hash pass and
+zero payload copies.
 """
 
 from __future__ import annotations
@@ -51,8 +62,25 @@ PAYLOAD_DIR = "payloads"
 PathLike = Union[str, Path]
 
 
+#: Chunk size for streamed payload hashing (64 KiB keeps the working set
+#: cache-resident while amortising the syscall cost).
+_HASH_CHUNK = 64 * 1024
+
+
 def _sha256_hex(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_file_hex(path: Path) -> str:
+    """Streamed SHA-256 of a file's raw bytes (never loads it whole)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def save_artifact(
@@ -153,34 +181,30 @@ def read_manifest(path: PathLike) -> Dict[str, Any]:
     return manifest
 
 
-def _read_payload(path: Path, entry: Dict[str, Any], ref: str) -> np.ndarray:
-    """Read one payload file, verifying its checksum *before* parsing.
-
-    The raw bytes are hashed and compared against the manifest first; only
-    verified bytes reach the ``.npy`` parser (with pickle disabled), and
-    the parsed array's dtype/shape must match the recorded layout.
-    """
+def _verify_payload_file(
+    path: Path, entry: Dict[str, Any], ref: str
+) -> None:
+    """Streamed checksum verification of one payload file (no parsing)."""
     rel = entry.get("file")
     file_path = path / rel
     try:
-        data = file_path.read_bytes()
+        digest = _sha256_file_hex(file_path)
     except OSError as exc:
         raise ArtifactIntegrityError(
             f"payload {rel!r} (ref {ref}) is missing or unreadable: {exc}"
         ) from exc
-    digest = _sha256_hex(data)
     if digest != entry.get("sha256"):
         raise ArtifactIntegrityError(
             f"payload {rel!r} (ref {ref}) failed checksum verification: "
             f"sha256 {digest} != recorded {entry.get('sha256')}; the artifact "
             f"has been corrupted or tampered with"
         )
-    try:
-        arr = np.load(io.BytesIO(data), allow_pickle=False)
-    except ValueError as exc:
-        raise ArtifactIntegrityError(
-            f"payload {rel!r} (ref {ref}) is not a readable .npy array: {exc}"
-        ) from exc
+
+
+def _check_layout(
+    arr: np.ndarray, entry: Dict[str, Any], ref: str
+) -> np.ndarray:
+    rel = entry.get("file")
     if str(arr.dtype) != entry.get("dtype") or list(arr.shape) != list(
         entry.get("shape", [])
     ):
@@ -192,12 +216,117 @@ def _read_payload(path: Path, entry: Dict[str, Any], ref: str) -> np.ndarray:
     return arr
 
 
-def load_artifact(path: PathLike) -> Any:
+def _read_payload(
+    path: Path,
+    entry: Dict[str, Any],
+    ref: str,
+    *,
+    mmap: bool = False,
+    verify: bool = True,
+) -> np.ndarray:
+    """Read one payload file, verifying its checksum *before* parsing.
+
+    With ``verify=True`` the raw bytes are hashed and compared against
+    the manifest first; only verified bytes reach the ``.npy`` parser
+    (with pickle disabled), and the parsed array's dtype/shape must match
+    the recorded layout.  With ``mmap=True`` the array is mapped
+    read-only (``mmap_mode="r"``) instead of copied onto the heap —
+    verification then streams over the file rather than materialising it.
+    """
+    rel = entry.get("file")
+    file_path = path / rel
+    if mmap:
+        if verify:
+            _verify_payload_file(path, entry, ref)
+        try:
+            arr = np.load(file_path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise ArtifactIntegrityError(
+                f"payload {rel!r} (ref {ref}) is not a mappable .npy array: {exc}"
+            ) from exc
+        return _check_layout(arr, entry, ref)
+    try:
+        data = file_path.read_bytes()
+    except OSError as exc:
+        raise ArtifactIntegrityError(
+            f"payload {rel!r} (ref {ref}) is missing or unreadable: {exc}"
+        ) from exc
+    if verify:
+        digest = _sha256_hex(data)
+        if digest != entry.get("sha256"):
+            raise ArtifactIntegrityError(
+                f"payload {rel!r} (ref {ref}) failed checksum verification: "
+                f"sha256 {digest} != recorded {entry.get('sha256')}; the artifact "
+                f"has been corrupted or tampered with"
+            )
+    try:
+        arr = np.load(io.BytesIO(data), allow_pickle=False)
+    except ValueError as exc:
+        raise ArtifactIntegrityError(
+            f"payload {rel!r} (ref {ref}) is not a readable .npy array: {exc}"
+        ) from exc
+    return _check_layout(arr, entry, ref)
+
+
+def artifact_sha(path: PathLike) -> str:
+    """SHA-256 of the manifest file's raw bytes.
+
+    The manifest records every payload's checksum, so this one digest
+    transitively commits to the whole artifact (state tree + payload
+    bytes).  It is the ``model.artifact_sha`` the ``/v1`` serving API
+    reports, letting clients pin responses to an exact model build.
+    """
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not an artifact directory (no {MANIFEST_NAME})")
+    return _sha256_file_hex(manifest_path)
+
+
+def verify_artifact(path: PathLike) -> Dict[str, Any]:
+    """Verify every payload checksum without materialising any array.
+
+    Parses and validates the manifest, then streams a SHA-256 over each
+    payload file and compares it against the recorded digest — the whole
+    pass holds one hash chunk in memory regardless of artifact size.
+    Returns the parsed manifest on success; raises
+    :class:`ArtifactIntegrityError` naming the first corrupted payload.
+
+    This is the supervisor half of the shared-verification contract: a
+    serving pool verifies once here, then every worker loads with
+    ``load_artifact(path, mmap=True, verify=False)``.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    table = manifest["payloads"]
+    if not isinstance(table, dict):
+        raise ArtifactSchemaError(f"{path}: manifest payload table must be an object")
+    for ref in sorted(table):
+        _verify_payload_file(path, table[ref], ref)
+    return manifest
+
+
+def load_artifact(
+    path: PathLike, *, mmap: bool = False, verify: bool = True
+) -> Any:
     """Load an artifact directory back into a live object.
 
-    Every payload is checksum-verified before parsing; schema versions
-    other than :data:`SCHEMA_VERSION` are rejected.  Returns the decoded
-    object (same class, bit-identical arrays).
+    Parameters
+    ----------
+    path:
+        Artifact directory written by :func:`save_artifact`.
+    mmap:
+        Map payloads read-only (``numpy`` ``mmap_mode="r"``) instead of
+        copying them onto the heap.  Arrays restored this way are
+        immutable views over the payload files; processes mapping the
+        same artifact share one set of physical pages.
+    verify:
+        Re-check every payload's SHA-256 before parsing (the default).
+        Pass ``False`` only when the same artifact was already verified
+        in this deployment — e.g. by a pool supervisor calling
+        :func:`verify_artifact` before forking workers.
+
+    Schema versions other than :data:`SCHEMA_VERSION` are rejected.
+    Returns the decoded object (same class, bit-identical arrays).
     """
     path = Path(path)
     manifest = read_manifest(path)
@@ -206,7 +335,9 @@ def load_artifact(path: PathLike) -> Any:
     if not isinstance(table, dict):
         raise ArtifactSchemaError(f"{path}: manifest payload table must be an object")
     for ref in sorted(table):
-        payloads[ref] = _read_payload(path, table[ref], ref)
+        payloads[ref] = _read_payload(
+            path, table[ref], ref, mmap=mmap, verify=verify
+        )
     return decode_state(manifest["state"], payloads)
 
 
@@ -219,6 +350,7 @@ def artifact_info(path: PathLike) -> Dict[str, Any]:
         "schema_version": manifest.get("schema_version"),
         "repro_version": manifest.get("repro_version"),
         "created_unix": manifest.get("created_unix"),
+        "artifact_sha": artifact_sha(path),
         "n_payloads": len(table),
         "payload_bytes": int(sum(int(e.get("bytes", 0)) for e in table.values())),
         "meta": manifest.get("meta", {}),
@@ -231,7 +363,9 @@ __all__ = [
     "PAYLOAD_DIR",
     "SCHEMA_VERSION",
     "artifact_info",
+    "artifact_sha",
     "load_artifact",
     "read_manifest",
     "save_artifact",
+    "verify_artifact",
 ]

@@ -39,6 +39,14 @@ from repro.scenarios.resolve import (
     run_offline,
 )
 from repro.scenarios.runner import run_scenario
+from repro.scenarios.sweep import (
+    WorkerScalingReport,
+    artifact_pool_factory,
+    check_scaling,
+    measure_service_time,
+    simulate_pool,
+    sweep_workers,
+)
 from repro.scenarios.schema import (
     SCENARIO_SCHEMA_VERSION,
     DatasetSpec,
@@ -72,19 +80,23 @@ __all__ = [
     "ServeSpec",
     "SystemClock",
     "TrafficSpec",
+    "WorkerScalingReport",
     "apply_preset",
     "arrival_schedule",
+    "artifact_pool_factory",
     "bench_path",
     "boot_server",
     "build_artifact",
     "build_dataset",
     "build_pipeline",
+    "check_scaling",
     "discover_scenarios",
     "evaluate_slo",
     "find_saturation",
     "load_bench",
     "load_scenario",
     "make_run_entry",
+    "measure_service_time",
     "merge_bench",
     "new_bench",
     "run_load",
@@ -92,7 +104,9 @@ __all__ = [
     "run_scenario",
     "scenario_from_dict",
     "scenario_to_dict",
+    "simulate_pool",
     "summarize",
+    "sweep_workers",
     "update_bench_file",
     "validate_bench",
     "write_bench",

@@ -20,7 +20,8 @@ Document shape (``BENCH_SCHEMA_VERSION = 1``)::
           "load": { ...LoadReport.to_dict()... },
           "offline": {...} | null,
           "server_metrics": {"serve.requests": ..., ...} | null,
-          "saturation": {...} | null
+          "saturation": {...} | null,
+          "sweep": { ...WorkerScalingReport.to_dict()... } | null
         },
         ...
       ]
@@ -95,6 +96,7 @@ def make_run_entry(
     offline: Optional[Mapping[str, Any]] = None,
     server_metrics: Optional[Mapping[str, float]] = None,
     saturation: Optional[Mapping[str, Any]] = None,
+    sweep: Optional[Mapping[str, Any]] = None,
     timestamp: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One trajectory point: the config that ran and what it measured."""
@@ -109,6 +111,7 @@ def make_run_entry(
         "offline": dict(offline) if offline is not None else None,
         "server_metrics": dict(server_metrics) if server_metrics is not None else None,
         "saturation": dict(saturation) if saturation is not None else None,
+        "sweep": dict(sweep) if sweep is not None else None,
     }
 
 
@@ -217,7 +220,7 @@ def validate_bench(doc: Any) -> None:
         )
         _require(isinstance(run.get("config"), Mapping), f"{prefix}.config", "expected an object")
         _validate_load_section(run.get("load"), f"{prefix}.load")
-        for optional_section in ("offline", "server_metrics", "saturation"):
+        for optional_section in ("offline", "server_metrics", "saturation", "sweep"):
             value = run.get(optional_section)
             _require(
                 value is None or isinstance(value, Mapping),

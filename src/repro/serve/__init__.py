@@ -3,25 +3,34 @@
 Public surface:
 
 * :class:`~repro.serve.config.ServeConfig` — every serving knob, one
-  validated frozen dataclass.
+  validated frozen dataclass;
+  :func:`~repro.serve.config.resolve_serve_config` combines explicit
+  pool knobs with ``REPRO_SERVE_*`` environment defaults.
 * :class:`~repro.serve.service.InferenceService` — validated requests
   in, micro-batched predictions out (usable without HTTP, e.g. by the
   serving benchmark).
 * :class:`~repro.serve.http.ModelServer` — ThreadingHTTPServer front-end
-  with ``POST /predict``, ``GET /healthz`` / ``/readyz`` / ``/metrics``.
+  with ``POST /v1/predict`` (versioned envelope), ``POST /predict``
+  (deprecated alias), ``GET /healthz`` / ``/readyz`` / ``/metrics``.
+* :class:`~repro.serve.pool.ServePool` — pre-fork multi-worker pool
+  sharing one ``SO_REUSEPORT`` address and (with ``mmap``) one set of
+  physical artifact pages; aggregates metrics and readiness across
+  workers.
 * :class:`~repro.serve.batcher.MicroBatcher` /
   :class:`~repro.serve.batcher.QueueFullError` — the batching scheduler
   and its admission-control signal.
 * ``repro-serve`` CLI (:mod:`repro.serve.cli`) — serve a
-  :mod:`repro.persist` artifact directory.
+  :mod:`repro.persist` artifact directory (``--workers/--shards/--mmap``
+  select the pool).
 
-See DESIGN.md §9 for the scheduler's flush rules and the error-to-status
-mapping.
+See DESIGN.md §9 for the scheduler's flush rules and error-to-status
+mapping, and §12 for the pool architecture and the ``/v1`` contract.
 """
 
 from repro.serve.batcher import MicroBatcher, QueueFullError
-from repro.serve.config import ServeConfig
+from repro.serve.config import ServeConfig, resolve_serve_config
 from repro.serve.http import ModelServer
+from repro.serve.pool import ServePool
 from repro.serve.service import (
     InferenceService,
     NotReadyError,
@@ -39,5 +48,7 @@ __all__ = [
     "QueueFullError",
     "ServeConfig",
     "ServeError",
+    "ServePool",
     "ValidationError",
+    "resolve_serve_config",
 ]

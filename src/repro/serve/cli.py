@@ -3,6 +3,13 @@
 Loads a :mod:`repro.persist` artifact directory and serves it over HTTP::
 
     repro-serve --artifact runs/pima-hamming --port 8100
+    repro-serve --artifact runs/pima-hamming --workers 4 --mmap
+
+With ``--workers > 1`` the pre-fork pool (:mod:`repro.serve.pool`)
+serves the artifact: N processes share one ``SO_REUSEPORT`` address and
+— with ``--mmap`` — one set of physical payload pages.  The pool knobs
+also resolve from the environment (``REPRO_SERVE_WORKERS``,
+``REPRO_SERVE_SHARDS``, ``REPRO_SERVE_MMAP``); explicit flags win.
 
 Exit codes: 0 = clean shutdown (Ctrl-C), 2 = bad arguments or an
 unloadable artifact.
@@ -15,8 +22,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.persist import ArtifactError, artifact_info
-from repro.serve.config import ServeConfig
+from repro.serve.config import ServeConfig, resolve_serve_config
 from repro.serve.http import ModelServer
+from repro.serve.pool import ServePool
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,8 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-serve",
         description=(
             "Serve a saved model artifact over HTTP with micro-batched "
-            "inference (endpoints: POST /predict, GET /healthz, /readyz, "
-            "/metrics)."
+            "inference (endpoints: POST /v1/predict, POST /predict "
+            "[deprecated], GET /healthz, /readyz, /metrics)."
         ),
     )
     parser.add_argument(
@@ -59,6 +67,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="log one line per HTTP request to stderr",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "worker processes (pre-fork pool when > 1); default 1, "
+            "env REPRO_SERVE_WORKERS"
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "candidate-store shards for the scatter-gather engine "
+            "(bit-identical results); default 1, env REPRO_SERVE_SHARDS"
+        ),
+    )
+    parser.add_argument(
+        "--mmap", action="store_true", default=None,
+        help=(
+            "load artifact payloads as shared read-only memory maps; "
+            "env REPRO_SERVE_MMAP"
+        ),
+    )
+    # Pre-PR-9 spellings; forwarded through resolve_serve_config's
+    # renamed_kwargs shim, which emits the DeprecationWarning.
+    parser.add_argument(
+        "--n-workers", type=int, default=None, dest="n_workers",
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--n-shards", type=int, default=None, dest="n_shards",
+        help=argparse.SUPPRESS,
+    )
     return parser
 
 
@@ -66,7 +105,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        config = ServeConfig(
+        pool_knobs = {}
+        if args.n_workers is not None:
+            pool_knobs["n_workers"] = args.n_workers
+        else:
+            pool_knobs["workers"] = args.workers
+        if args.n_shards is not None:
+            pool_knobs["n_shards"] = args.n_shards
+        else:
+            pool_knobs["shards"] = args.shards
+        config = resolve_serve_config(
+            mmap=args.mmap,
             host=args.host,
             port=args.port,
             max_batch=args.max_batch,
@@ -74,12 +123,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             queue_size=args.queue_size,
             max_rows_per_request=args.max_rows_per_request,
             log_requests=args.log_requests,
+            **pool_knobs,
         )
     except ValueError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)
         return 2
     try:
         info = artifact_info(args.artifact)
+    except ArtifactError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+    if config.workers > 1:
+        try:
+            pool = ServePool(args.artifact, config)
+            host, port = pool.start()
+        except (ArtifactError, RuntimeError, OSError) as exc:
+            print(f"repro-serve: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"repro-serve: serving {info['kind']} "
+            f"(schema v{info['schema_version']}, repro {info['repro_version']}) "
+            f"on http://{host}:{port} "
+            f"[{config.workers} workers, {config.shards} shards"
+            f"{', mmap' if config.mmap else ''}]",
+            flush=True,
+        )
+        try:
+            pool.serve_forever()
+        finally:
+            pool.stop()
+        return 0
+    try:
         server = ModelServer.from_artifact(args.artifact, config)
     except ArtifactError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)

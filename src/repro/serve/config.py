@@ -6,11 +6,22 @@ paper's deployment sketch: a single-host service in front of a 10k-bit
 Pima model, where a ~5 ms batching window is invisible next to network
 latency but lets the fused encoder amortise its per-call overhead over
 dozens of rows.
+
+Pool knobs (PR 9): ``workers`` / ``shards`` / ``mmap`` configure the
+pre-fork serving pool (:mod:`repro.serve.pool`).  They resolve the same
+way ``repro.parallel``'s worker settings do — explicit argument beats
+environment beats default — through :func:`resolve_serve_config`, whose
+environment spellings are ``REPRO_SERVE_WORKERS``,
+``REPRO_SERVE_SHARDS`` and ``REPRO_SERVE_MMAP``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.utils.deprecation import renamed_kwargs
 
 
 @dataclass(frozen=True)
@@ -44,6 +55,19 @@ class ServeConfig:
     log_requests:
         When True the HTTP handler logs one line per request to stderr
         (quiet by default: the service is benchmarked).
+    workers:
+        Processes in the pre-fork pool (:class:`repro.serve.pool.
+        ServePool`).  1 keeps the classic single-process server;
+        >1 forks that many workers sharing one ``SO_REUSEPORT`` socket.
+    shards:
+        Contiguous partitions of the model's candidate store for the
+        sharded scatter-gather engine — forwarded to models exposing a
+        ``shards`` attribute (e.g. ``HammingClassifier``).  Results are
+        bit-identical for every value.
+    mmap:
+        Load the artifact's payloads as read-only memory maps
+        (``load_artifact(..., mmap=True)``) so pool workers share one
+        set of physical pages instead of copying the packed arrays.
     """
 
     host: str = "127.0.0.1"
@@ -54,6 +78,9 @@ class ServeConfig:
     max_rows_per_request: int = 1024
     request_timeout_s: float = 30.0
     log_requests: bool = False
+    workers: int = 1
+    shards: int = 1
+    mmap: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -72,6 +99,66 @@ class ServeConfig:
             )
         if not (0 <= self.port <= 65535):
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
 
-__all__ = ["ServeConfig"]
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an int, got {raw!r}") from exc
+
+
+def _env_bool(name: str) -> Optional[bool]:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{name} must be a boolean flag, got {raw!r}")
+
+
+@renamed_kwargs(n_workers="workers", n_shards="shards")
+def resolve_serve_config(
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    mmap: Optional[bool] = None,
+    **fields: Any,
+) -> ServeConfig:
+    """Combine explicit pool knobs with environment defaults.
+
+    Mirrors :func:`repro.parallel.pool.resolve_config`: an explicit
+    (non-``None``) argument wins, otherwise the matching environment
+    variable (``REPRO_SERVE_WORKERS`` / ``REPRO_SERVE_SHARDS`` /
+    ``REPRO_SERVE_MMAP``), otherwise the dataclass default.  Any other
+    :class:`ServeConfig` field passes through ``fields`` unchanged, so
+    the CLI and tests build their whole config in one call.  The legacy
+    ``n_workers`` / ``n_shards`` spellings still work but emit a
+    ``DeprecationWarning`` (via ``renamed_kwargs``).
+    """
+    if workers is None:
+        workers = _env_int("REPRO_SERVE_WORKERS")
+    if shards is None:
+        shards = _env_int("REPRO_SERVE_SHARDS")
+    if mmap is None:
+        mmap = _env_bool("REPRO_SERVE_MMAP")
+    defaults = ServeConfig()
+    return ServeConfig(
+        workers=defaults.workers if workers is None else workers,
+        shards=defaults.shards if shards is None else shards,
+        mmap=defaults.mmap if mmap is None else mmap,
+        **fields,
+    )
+
+
+__all__ = ["ServeConfig", "resolve_serve_config"]

@@ -2,15 +2,27 @@
 
 Endpoints:
 
-* ``POST /predict`` — body ``{"rows": [[...], ...]}``; responds
-  ``{"predictions": [...], "n": k}``.  Handler threads block on the
-  micro-batcher, so concurrent requests are fused into shared flushes.
+* ``POST /v1/predict`` — the versioned API (PR 9).  Body
+  ``{"rows": [[...], ...], "request_id": "..."}`` (``request_id``
+  optional); responds ``{"predictions": [...], "n": k, "model":
+  {"kind", "schema_version", "artifact_sha"}, "request_id": ...}``.
+* ``POST /predict`` — deprecated alias of ``/v1/predict`` kept for
+  pre-PR-9 clients: same request schema, legacy response shape
+  ``{"predictions": [...], "n": k}``, a ``Deprecation: true`` header
+  plus a ``Link: </v1/predict>; rel="successor-version"`` pointer, and
+  a bump of the ``serve.deprecated_requests`` counter.
 * ``GET /healthz`` — process liveness (always 200 while the server runs).
 * ``GET /readyz`` — 200 with the model summary once the service is
-  started, 503 before/after.
+  started, 503 before/after.  Under a pool
+  (:mod:`repro.serve.pool`) readiness is aggregated across workers:
+  any dead worker turns every worker's ``/readyz`` 503.
 * ``GET /metrics`` — Prometheus text exposition via
   :func:`repro.obs.export.to_prometheus`, including the ``serve.*``
   counters/histograms (queue depth, batch size, request latency).
+
+Errors are structured (PR 9): every non-2xx body is
+``{"error": {"code", "message", "detail"}}`` with a stable
+machine-readable ``code`` (see the table in DESIGN.md §12).
 
 No web framework, no dependencies: :class:`ModelServer` is deployable
 anywhere the package itself runs.
@@ -19,6 +31,7 @@ anywhere the package itself runs.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
@@ -26,6 +39,7 @@ from typing import Any, Optional, Tuple
 from repro.obs.export import to_prometheus
 from repro.serve.batcher import QueueFullError
 from repro.serve.config import ServeConfig
+from repro.serve.metrics import record_deprecated
 from repro.serve.service import (
     InferenceService,
     NotReadyError,
@@ -48,6 +62,45 @@ def _kernel_info_lines() -> str:
     )
 
 
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that binds with ``SO_REUSEPORT`` set.
+
+    Every pool worker binds its own socket to the same address; the
+    kernel then load-balances incoming connections across them.
+    """
+
+    def server_bind(self) -> None:
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        ThreadingHTTPServer.server_bind(self)
+
+
+class _InheritedSocketHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer accepting on a pre-bound, listening socket.
+
+    The ``SO_REUSEPORT`` fallback: the pool supervisor binds + listens
+    once before forking and every worker accepts on the inherited fd.
+    """
+
+    def __init__(self, listen_socket: socket.socket, handler_class) -> None:
+        ThreadingHTTPServer.__init__(
+            self,
+            listen_socket.getsockname()[:2],
+            handler_class,
+            bind_and_activate=False,
+        )
+        self.socket.close()
+        self.socket = listen_socket
+        self.server_address = listen_socket.getsockname()[:2]
+
+    def server_bind(self) -> None:  # pragma: no cover - never called
+        raise RuntimeError("inherited socket is already bound")
+
+    def server_close(self) -> None:
+        # The supervisor owns the listening socket; closing it here would
+        # kill the other workers' accept loops too.
+        pass
+
+
 def _make_handler(service: InferenceService, config: ServeConfig):
     class _Handler(BaseHTTPRequestHandler):
         server_version = "repro-serve"
@@ -58,22 +111,47 @@ def _make_handler(service: InferenceService, config: ServeConfig):
             if config.log_requests:
                 BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
-        def _send(self, status: int, body: bytes, content_type: str) -> None:
+        def _send(
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            extra_headers: Optional[dict] = None,
+        ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_json(self, status: int, payload: Any) -> None:
+        def _send_json(
+            self,
+            status: int,
+            payload: Any,
+            extra_headers: Optional[dict] = None,
+        ) -> None:
             self._send(
                 status,
                 json.dumps(payload).encode("utf-8"),
                 "application/json; charset=utf-8",
+                extra_headers,
             )
 
-        def _send_error_json(self, status: int, message: str) -> None:
-            self._send_json(status, {"error": message})
+        def _send_error_json(
+            self,
+            status: int,
+            code: str,
+            message: str,
+            detail: Any = None,
+            extra_headers: Optional[dict] = None,
+        ) -> None:
+            self._send_json(
+                status,
+                {"error": {"code": code, "message": message, "detail": detail}},
+                extra_headers,
+            )
 
         # -- GET -------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
@@ -81,61 +159,131 @@ def _make_handler(service: InferenceService, config: ServeConfig):
             if path == "/healthz":
                 self._send(200, b"ok\n", "text/plain; charset=utf-8")
             elif path == "/readyz":
-                if service.ready:
-                    self._send_json(200, service.describe())
-                else:
-                    self._send_error_json(503, "model is not loaded")
+                if not service.ready:
+                    self._send_error_json(503, "not_ready", "model is not loaded")
+                    return
+                pool_check = getattr(service, "pool_ready", None)
+                if pool_check is not None:
+                    ok, detail = pool_check()
+                    if not ok:
+                        self._send_error_json(
+                            503, "pool_degraded", "worker pool is degraded", detail
+                        )
+                        return
+                self._send_json(200, service.describe())
             elif path == "/metrics":
-                body = to_prometheus() + _kernel_info_lines()
+                collect = getattr(service, "pool_metrics", None)
+                body = (
+                    to_prometheus() if collect is None else collect()
+                ) + _kernel_info_lines()
                 self._send(
                     200,
                     body.encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
             else:
-                self._send_error_json(404, f"unknown path {path!r}")
+                self._send_error_json(404, "not_found", f"unknown path {path!r}")
 
         # -- POST ------------------------------------------------------
-        def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-            path = self.path.split("?", 1)[0]
-            if path != "/predict":
-                self._send_error_json(404, f"unknown path {path!r}")
-                return
+        def _read_predict_payload(self) -> Optional[dict]:
+            """Parse + schema-check the request body; None means an error
+            response has already been sent."""
             try:
                 length = int(self.headers.get("Content-Length", 0))
             except ValueError:
-                self._send_error_json(400, "invalid Content-Length")
-                return
+                self._send_error_json(
+                    400, "invalid_request", "invalid Content-Length"
+                )
+                return None
             if length <= 0:
-                self._send_error_json(400, "empty request body")
-                return
+                self._send_error_json(400, "invalid_request", "empty request body")
+                return None
             if length > _MAX_BODY_BYTES:
-                self._send_error_json(413, "request body too large")
-                return
+                self._send_error_json(
+                    413, "payload_too_large", "request body too large",
+                    {"max_bytes": _MAX_BODY_BYTES},
+                )
+                return None
             try:
                 payload = json.loads(self.rfile.read(length).decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                self._send_error_json(400, f"body is not valid JSON: {exc}")
-                return
-            if not isinstance(payload, dict) or "rows" not in payload:
-                self._send_error_json(400, 'body must be {"rows": [[...], ...]}')
-                return
-            try:
-                predictions = service.predict(payload["rows"])
-            except ValidationError as exc:
-                self._send_error_json(400, str(exc))
-            except PayloadTooLargeError as exc:
-                self._send_error_json(413, str(exc))
-            except QueueFullError as exc:
-                self._send_error_json(429, str(exc))
-            except NotReadyError as exc:
-                self._send_error_json(503, str(exc))
-            except ServeError as exc:
-                self._send_error_json(500, str(exc))
-            else:
-                self._send_json(
-                    200, {"predictions": predictions, "n": len(predictions)}
+                self._send_error_json(
+                    400, "invalid_request", f"body is not valid JSON: {exc}"
                 )
+                return None
+            if not isinstance(payload, dict) or "rows" not in payload:
+                self._send_error_json(
+                    400, "invalid_request",
+                    'body must be {"rows": [[...], ...]}',
+                )
+                return None
+            request_id = payload.get("request_id")
+            if request_id is not None and not isinstance(request_id, str):
+                self._send_error_json(
+                    400, "invalid_request", "request_id must be a string",
+                    {"got": type(request_id).__name__},
+                )
+                return None
+            return payload
+
+        def _predict(self, payload: dict) -> Optional[list]:
+            """Run the service; None means an error response was sent."""
+            try:
+                return service.predict(payload["rows"])
+            except QueueFullError as exc:
+                self._send_error_json(429, "queue_full", str(exc))
+            except (
+                ValidationError,
+                PayloadTooLargeError,
+                NotReadyError,
+            ) as exc:
+                status = {
+                    "invalid_request": 400,
+                    "payload_too_large": 413,
+                    "not_ready": 503,
+                }[exc.code]
+                self._send_error_json(status, exc.code, str(exc))
+            except ServeError as exc:
+                self._send_error_json(500, exc.code, str(exc))
+            return None
+
+        def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+            path = self.path.split("?", 1)[0]
+            if path == "/v1/predict":
+                payload = self._read_predict_payload()
+                if payload is None:
+                    return
+                predictions = self._predict(payload)
+                if predictions is None:
+                    return
+                self._send_json(
+                    200,
+                    {
+                        "predictions": predictions,
+                        "n": len(predictions),
+                        "model": service.model_info(),
+                        "request_id": payload.get("request_id"),
+                    },
+                )
+            elif path == "/predict":
+                record_deprecated()
+                deprecation_headers = {
+                    "Deprecation": "true",
+                    "Link": '</v1/predict>; rel="successor-version"',
+                }
+                payload = self._read_predict_payload()
+                if payload is None:
+                    return
+                predictions = self._predict(payload)
+                if predictions is None:
+                    return
+                self._send_json(
+                    200,
+                    {"predictions": predictions, "n": len(predictions)},
+                    deprecation_headers,
+                )
+            else:
+                self._send_error_json(404, "not_found", f"unknown path {path!r}")
 
     return _Handler
 
@@ -146,10 +294,20 @@ class ModelServer:
     ``model`` may be a fitted estimator/pipeline or an already-built
     :class:`InferenceService`.  :meth:`start` is non-blocking (the accept
     loop runs on a daemon thread); use :meth:`serve_forever` from a CLI.
+
+    Pool hooks (PR 9): ``reuse_port=True`` binds with ``SO_REUSEPORT``
+    so several processes can share one address; ``listen_socket=...``
+    accepts on a socket the pool supervisor bound before forking (the
+    fallback when ``SO_REUSEPORT`` is unavailable).
     """
 
     def __init__(
-        self, model: Any, config: Optional[ServeConfig] = None
+        self,
+        model: Any,
+        config: Optional[ServeConfig] = None,
+        *,
+        reuse_port: bool = False,
+        listen_socket: Optional[socket.socket] = None,
     ) -> None:
         if isinstance(model, InferenceService):
             self.service = model
@@ -157,6 +315,8 @@ class ModelServer:
         else:
             self.config = config or ServeConfig()
             self.service = InferenceService(model, self.config)
+        self._reuse_port = reuse_port
+        self._listen_socket = listen_socket
         # Guards _httpd/_thread: start/stop/address may race (a CLI's
         # signal handler stopping while serve_forever is still starting).
         self._lifecycle = threading.Lock()
@@ -186,14 +346,20 @@ class ModelServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    def _build_httpd(self) -> ThreadingHTTPServer:
+        handler = _make_handler(self.service, self.config)
+        if self._listen_socket is not None:
+            return _InheritedSocketHTTPServer(self._listen_socket, handler)
+        server_cls = (
+            _ReusePortHTTPServer if self._reuse_port else ThreadingHTTPServer
+        )
+        return server_cls((self.config.host, self.config.port), handler)
+
     def start(self) -> Tuple[str, int]:
         with self._lifecycle:
             if self._httpd is None:
                 self.service.start()
-                httpd = ThreadingHTTPServer(
-                    (self.config.host, self.config.port),
-                    _make_handler(self.service, self.config),
-                )
+                httpd = self._build_httpd()
                 httpd.daemon_threads = True
                 self._httpd = httpd
                 self._thread = threading.Thread(

@@ -1,0 +1,458 @@
+"""Pre-fork multi-worker serving pool over a shared-memory artifact (PR 9).
+
+:class:`ServePool` is the supervisor: it verifies the artifact **once**
+(:func:`repro.persist.verify_artifact`, one streamed SHA-256 pass), then
+forks ``config.workers`` worker processes.  Each worker loads the same
+artifact read-only — with ``config.mmap`` the packed payload arrays are
+``np.load(..., mmap_mode="r")`` maps, so every worker shares one set of
+physical pages instead of copying the store — and runs the standard
+:class:`~repro.serve.http.ModelServer` accept loop.
+
+Socket sharing
+--------------
+Two strategies, picked automatically:
+
+* ``reuseport`` (default where available): every worker binds its own
+  socket to the same address with ``SO_REUSEPORT`` set and the kernel
+  load-balances incoming connections across them.  The supervisor keeps
+  a bound-but-not-listening placeholder socket in the same reuse group,
+  which pins the address (and resolves ``port=0`` to a concrete port
+  before any worker forks) without ever receiving connections.
+* ``inherit`` (fallback): the supervisor binds + listens once before
+  forking and every worker accepts on the inherited file descriptor.
+
+Cross-worker observability
+--------------------------
+Workers periodically snapshot their process-local metrics registry into
+a shared scratch directory; answering ``GET /metrics`` flushes the local
+snapshot and folds every worker's file through
+:meth:`repro.obs.metrics.MetricsRegistry.merge` (counters/histograms
+add, gauges last-write-wins), so any worker renders the pool-wide view.
+
+Aggregated readiness
+--------------------
+The supervisor maintains a roster file (``pool.json``) and reaps dead
+children from a monitor thread; every worker's ``GET /readyz`` checks
+the roster (plus a direct liveness probe of its siblings), so one dead
+worker turns the whole pool's ``/readyz`` 503 even though the kernel
+still happily routes connections to the survivors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import socket
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.export import to_prometheus
+from repro.serve.config import ServeConfig
+from repro.serve.http import ModelServer
+from repro.serve.service import InferenceService
+
+#: How long ServePool.start() waits for every worker's ready marker.
+READY_TIMEOUT_S = 30.0
+#: Supervisor monitor-thread poll period (child reaping + roster refresh).
+MONITOR_POLL_S = 0.1
+#: Worker metrics-snapshot flush period.
+FLUSH_PERIOD_S = 0.5
+
+_ROSTER_NAME = "pool.json"
+
+
+def _write_json_atomic(path: Path, payload: Any) -> None:
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Any]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, different user
+        return True
+    return True
+
+
+# ----------------------------------------------------------------------
+# Worker-side hooks (run inside forked children)
+# ----------------------------------------------------------------------
+def _metrics_path(scratch: Path, pid: int) -> Path:
+    return scratch / f"metrics-{pid}.json"
+
+
+def _flush_metrics(scratch: Path) -> None:
+    _write_json_atomic(_metrics_path(scratch, os.getpid()), REGISTRY.collect())
+
+
+def _aggregate_metrics(scratch: Path) -> str:
+    """Pool-wide Prometheus exposition: merge every worker's snapshot."""
+    merged = MetricsRegistry()
+    for path in sorted(scratch.glob("metrics-*.json")):
+        snap = _read_json(path)
+        if isinstance(snap, dict):
+            merged.merge(snap)
+    return to_prometheus(registry=merged)
+
+
+def _pool_ready(scratch: Path) -> Tuple[bool, Any]:
+    """Aggregated readiness: the roster says ok AND every sibling is alive."""
+    roster = _read_json(scratch / _ROSTER_NAME)
+    if not isinstance(roster, dict):
+        return False, {"reason": "pool roster not written yet"}
+    if roster.get("status") != "ok":
+        return False, roster
+    dead = [pid for pid in roster.get("workers", []) if not _pid_alive(pid)]
+    if dead:
+        # Faster than waiting for the supervisor's next reap cycle.
+        return False, {"reason": "worker died", "dead": dead}
+    return True, roster
+
+
+class ServePool:
+    """Supervisor for a pre-fork pool of model-serving workers.
+
+    Parameters
+    ----------
+    artifact:
+        :mod:`repro.persist` artifact directory.  Verified once here;
+        workers load it with ``verify=False`` (and read-only mmap when
+        ``config.mmap`` is set).
+    config:
+        :class:`~repro.serve.config.ServeConfig`; ``config.workers``
+        processes are forked.  ``port=0`` resolves to a concrete free
+        port before forking, reported by :meth:`start` / ``address``.
+    socket_strategy:
+        ``"auto"`` (default) picks ``"reuseport"`` where the platform
+        supports it, else ``"inherit"``; either name forces that
+        strategy (tests exercise both).
+    """
+
+    def __init__(
+        self,
+        artifact: Any,
+        config: Optional[ServeConfig] = None,
+        *,
+        socket_strategy: str = "auto",
+    ) -> None:
+        if socket_strategy not in ("auto", "reuseport", "inherit"):
+            raise ValueError(
+                f"socket_strategy must be auto|reuseport|inherit, "
+                f"got {socket_strategy!r}"
+            )
+        self.artifact = str(artifact)
+        self.config = config or ServeConfig()
+        if socket_strategy == "auto":
+            socket_strategy = (
+                "reuseport" if hasattr(socket, "SO_REUSEPORT") else "inherit"
+            )
+        elif socket_strategy == "reuseport" and not hasattr(socket, "SO_REUSEPORT"):
+            raise RuntimeError("SO_REUSEPORT is not available on this platform")
+        self.socket_strategy = socket_strategy
+        # One lock guards all supervisor state shared with the monitor
+        # thread (children roster, sockets, lifecycle flags).
+        self._lock = threading.Lock()
+        self._children: List[int] = []
+        self._dead: Dict[int, int] = {}  # pid -> exit status
+        self._started = False
+        self._stopping = False
+        self._scratch: Optional[Path] = None
+        self._socket: Optional[socket.socket] = None  # placeholder or listener
+        self._address: Optional[Tuple[str, int]] = None
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+
+    # -- address -------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        with self._lock:
+            address = self._address
+        if address is None:
+            raise RuntimeError("pool is not started")
+        return address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Verify the artifact, bind the shared address, fork the workers.
+
+        Blocks until every worker reports ready (or raises after
+        :data:`READY_TIMEOUT_S`, killing any stragglers).
+        """
+        from repro.persist import verify_artifact
+
+        with self._lock:
+            if self._started:
+                raise RuntimeError("pool is already started (one-shot lifecycle)")
+            self._started = True
+        verify_artifact(self.artifact)  # once, streamed; workers skip it
+        scratch = Path(tempfile.mkdtemp(prefix="repro-serve-pool-"))
+        shared = self._bind_shared_socket()
+        host, port = shared.getsockname()[:2]
+        resolved = dataclasses.replace(self.config, host=str(host), port=int(port))
+        with self._lock:
+            self._scratch = scratch
+            self._socket = shared
+            self._address = (str(host), int(port))
+        pids = [
+            self._fork_worker(resolved, scratch, shared)
+            for _ in range(self.config.workers)
+        ]
+        with self._lock:
+            self._children = list(pids)
+        thread = threading.Thread(
+            target=self._monitor, name="repro-serve-pool-monitor", daemon=True
+        )
+        with self._lock:
+            self._monitor_thread = thread
+        thread.start()
+        self._await_ready(scratch, pids)
+        self._write_roster()
+        return (str(host), int(port))
+
+    def stop(self) -> None:
+        """SIGTERM every worker, reap them, release sockets and scratch."""
+        with self._lock:
+            if not self._started or self._stopping:
+                return
+            self._stopping = True
+            pids = list(self._children)
+            shared = self._socket
+            scratch = self._scratch
+            thread = self._monitor_thread
+        self._monitor_stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + 10.0
+        for pid in pids:
+            self._reap(pid, deadline)
+        if shared is not None:
+            shared.close()
+        if scratch is not None:
+            import shutil
+
+            shutil.rmtree(scratch, ignore_errors=True)
+        with self._lock:
+            self._children = []
+            self._socket = None
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI; Ctrl-C stops the pool cleanly.
+
+        Starts the pool unless the caller already did (the CLI starts it
+        first to print the bound address).
+        """
+        with self._lock:
+            started = self._started
+        if not started:
+            self.start()
+        try:
+            while True:
+                time.sleep(0.5)
+                with self._lock:
+                    if self._stopping:
+                        break
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ServePool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- supervisor internals ------------------------------------------
+    def _bind_shared_socket(self) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            if self.socket_strategy == "reuseport":
+                # Placeholder: joins the SO_REUSEPORT group to pin the
+                # address but never listens, so it receives no
+                # connections — workers bind their own listening
+                # sockets to the same (host, port).
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                sock.bind((self.config.host, self.config.port))
+            else:
+                # Fallback: one listening socket, inherited through fork.
+                sock.bind((self.config.host, self.config.port))
+                sock.listen(128)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def _fork_worker(
+        self, config: ServeConfig, scratch: Path, shared: socket.socket
+    ) -> int:
+        pid = os.fork()
+        if pid:
+            return pid
+        # -- child ----------------------------------------------------
+        try:
+            if self.socket_strategy == "inherit":
+                listen_socket: Optional[socket.socket] = shared
+            else:
+                # The placeholder is the supervisor's; keeping it open in
+                # the child only leaks an fd per worker.
+                shared.close()
+                listen_socket = None
+            _worker_main(self.artifact, config, scratch, listen_socket)
+        except BaseException:
+            traceback.print_exc()
+            os._exit(1)
+        os._exit(0)
+
+    def _await_ready(self, scratch: Path, pids: List[int]) -> None:
+        deadline = time.monotonic() + READY_TIMEOUT_S
+        pending = set(pids)
+        while pending:
+            pending = {
+                pid for pid in pending if not (scratch / f"ready-{pid}").exists()
+            }
+            if not pending:
+                return
+            with self._lock:
+                died = [pid for pid in pending if pid in self._dead]
+            if died or time.monotonic() > deadline:
+                self.stop()
+                raise RuntimeError(
+                    f"workers {sorted(died) or sorted(pending)} failed to "
+                    f"become ready"
+                )
+            time.sleep(0.02)
+
+    def _reap(self, pid: int, deadline: float) -> None:
+        while True:
+            try:
+                done, status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return
+            if done:
+                with self._lock:
+                    self._dead[pid] = status
+                return
+            if time.monotonic() > deadline:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                deadline += 5.0
+            time.sleep(0.02)
+
+    def _monitor(self) -> None:
+        """Reap dead children and keep the roster file current."""
+        while not self._monitor_stop.is_set():
+            changed = False
+            with self._lock:
+                live = [pid for pid in self._children if pid not in self._dead]
+            for pid in live:
+                try:
+                    done, status = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    done, status = pid, -1
+                if done:
+                    with self._lock:
+                        self._dead[pid] = status
+                    changed = True
+            if changed:
+                self._write_roster()
+            self._monitor_stop.wait(MONITOR_POLL_S)
+
+    def _write_roster(self) -> None:
+        with self._lock:
+            if self._stopping or self._scratch is None:
+                return
+            scratch = self._scratch
+            children = list(self._children)
+            dead = sorted(self._dead)
+        roster = {
+            "status": "ok" if not dead else "degraded",
+            "workers": [pid for pid in children if pid not in dead],
+            "dead": dead,
+            "expected": len(children),
+        }
+        _write_json_atomic(scratch / _ROSTER_NAME, roster)
+
+    # -- introspection -------------------------------------------------
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [pid for pid in self._children if pid not in self._dead]
+
+
+def _worker_main(
+    artifact: str,
+    config: ServeConfig,
+    scratch: Path,
+    listen_socket: Optional[socket.socket],
+) -> None:
+    """Body of one forked worker; never returns (``os._exit`` on exit).
+
+    Loads the artifact read-only (no re-verification — the supervisor
+    already streamed the checksums), serves it over the shared address,
+    and periodically snapshots its metrics into the scratch directory.
+    """
+    # Fresh metrics: anything inherited through fork would be merged
+    # once per worker and over-count in the pool-wide aggregation.
+    REGISTRY.reset()
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    # Ctrl-C goes to the whole process group; the supervisor turns it
+    # into SIGTERM per worker, so workers ignore the raw SIGINT.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    service = InferenceService.from_artifact(artifact, config, verify=False)
+
+    def pool_metrics() -> str:
+        _flush_metrics(scratch)  # our own counts first, then everyone's
+        return _aggregate_metrics(scratch)
+
+    service.pool_ready = lambda: _pool_ready(scratch)
+    service.pool_metrics = pool_metrics
+    server = ModelServer(
+        service,
+        config,
+        reuse_port=listen_socket is None,
+        listen_socket=listen_socket,
+    )
+    server.start()
+    _flush_metrics(scratch)
+    (scratch / f"ready-{os.getpid()}").touch()
+    while not stop.wait(FLUSH_PERIOD_S):
+        _flush_metrics(scratch)
+    server.stop()
+    _flush_metrics(scratch)
+    sys.stderr.flush()
+
+
+__all__ = ["ServePool"]

@@ -32,31 +32,55 @@ from repro.serve.metrics import record_error, record_request, set_model_loaded
 
 
 class ServeError(RuntimeError):
-    """Base class for request-level serving failures."""
+    """Base class for request-level serving failures.
+
+    Every subclass carries a stable machine-readable ``code`` — the
+    ``error.code`` field of the ``/v1`` structured error schema (see
+    DESIGN.md §12); ``str(exc)`` is the human-readable message.
+    """
+
+    code = "internal"
 
 
 class ValidationError(ServeError):
     """Malformed request payload (bad JSON shape, non-numeric rows...)."""
 
+    code = "invalid_request"
+
 
 class PayloadTooLargeError(ServeError):
     """Request exceeds ``max_rows_per_request``."""
+
+    code = "payload_too_large"
 
 
 class NotReadyError(ServeError):
     """Service not started or no model loaded."""
 
+    code = "not_ready"
+
 
 class InferenceService:
     """Micro-batched prediction front-end over one fitted model."""
 
-    def __init__(self, model: Any, config: Optional[ServeConfig] = None) -> None:
+    def __init__(
+        self,
+        model: Any,
+        config: Optional[ServeConfig] = None,
+        *,
+        artifact_sha: Optional[str] = None,
+    ) -> None:
         if not hasattr(model, "predict"):
             raise TypeError(
                 f"model must expose predict(rows); got {type(model).__name__}"
             )
         self.model = model
         self.config = config or ServeConfig()
+        self.artifact_sha = artifact_sha
+        if self.config.shards > 1 and hasattr(model, "shards"):
+            # Route queries through the sharded scatter-gather engine;
+            # bit-identical results, see repro.core.search.
+            model.shards = self.config.shards
         self._batcher = MicroBatcher(
             self._predict_batch,
             max_batch=self.config.max_batch,
@@ -66,12 +90,33 @@ class InferenceService:
 
     @classmethod
     def from_artifact(
-        cls, path: Any, config: Optional[ServeConfig] = None
+        cls,
+        path: Any,
+        config: Optional[ServeConfig] = None,
+        *,
+        verify: bool = True,
     ) -> "InferenceService":
-        """Load a :mod:`repro.persist` artifact and wrap it for serving."""
-        from repro.persist import load_artifact
+        """Load a :mod:`repro.persist` artifact and wrap it for serving.
 
-        return cls(load_artifact(path), config)
+        ``config.mmap`` selects the shared read-only load path; pool
+        workers pass ``verify=False`` after the supervisor has already
+        run :func:`repro.persist.verify_artifact` once.
+        """
+        from repro.persist import artifact_sha, load_artifact
+
+        config = config or ServeConfig()
+        model = load_artifact(path, mmap=config.mmap, verify=verify)
+        return cls(model, config, artifact_sha=artifact_sha(path))
+
+    def model_info(self) -> dict:
+        """The ``model`` block of every ``/v1`` response envelope."""
+        from repro.persist import SCHEMA_VERSION
+
+        return {
+            "kind": type(self.model).__name__,
+            "schema_version": SCHEMA_VERSION,
+            "artifact_sha": self.artifact_sha,
+        }
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -158,6 +203,9 @@ class InferenceService:
             "max_wait_ms": self.config.max_wait_ms,
             "queue_size": self.config.queue_size,
             "kernel_backend": active_backend(),
+            "workers": self.config.workers,
+            "shards": self.config.shards,
+            "artifact_sha": self.artifact_sha,
         }
         n_features = getattr(model, "n_features_in_", None)
         if n_features is not None:

@@ -1,0 +1,210 @@
+"""Sharded top-k: bit-identical to the single-shard engine, by construction.
+
+The scatter-gather contract (DESIGN.md §12): partition the candidate
+store into contiguous ascending spans, run the streaming engine per
+shard, merge with :func:`~repro.kernels.numpy_backend.merge_shard_topk`.
+Because shard spans are ascending and the row-wise selector breaks
+distance ties by position, the merged result reproduces the global
+lowest-index tie-break exactly — these tests pin that equivalence with
+tie-heavy data across shard counts, including ties that straddle shard
+boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HammingClassifier
+from repro.core.search import (
+    HDIndex,
+    ShardedHDIndex,
+    shard_spans,
+    topk_hamming,
+    topk_hamming_sharded,
+)
+from repro.kernels.numpy_backend import merge_shard_topk
+
+DIM = 512
+WORDS = DIM // 64
+
+
+def _packed(rng, n):
+    return rng.integers(0, 2**64, size=(n, WORDS), dtype=np.uint64)
+
+
+@pytest.fixture
+def tie_heavy(rng):
+    """Candidate store where many rows are exact duplicates (tied distances)."""
+    base = _packed(rng, 40)
+    X = base[rng.integers(0, 40, size=300)]  # heavy duplication
+    Q = _packed(rng, 17)
+    Q[:5] = X[:5]  # some exact hits (distance 0 ties)
+    return Q, X
+
+
+# -- shard_spans -------------------------------------------------------
+
+
+def test_shard_spans_partition_contiguously():
+    spans = shard_spans(10, 3)
+    assert spans == [(0, 4), (4, 7), (7, 10)]
+    assert shard_spans(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+
+def test_shard_spans_more_shards_than_rows():
+    spans = shard_spans(2, 8)
+    assert spans == [(0, 1), (1, 2)]
+    assert shard_spans(0, 4) == []
+
+
+@pytest.mark.parametrize("n,n_shards", [(1, 1), (7, 2), (100, 7), (64, 64)])
+def test_shard_spans_cover_and_balance(n, n_shards):
+    spans = shard_spans(n, n_shards)
+    assert spans[0][0] == 0 and spans[-1][1] == n
+    for (_, hi), (lo, _) in zip(spans, spans[1:]):
+        assert hi == lo
+    sizes = [hi - lo for lo, hi in spans]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# -- differential: sharded vs single-shard -----------------------------
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 8])
+@pytest.mark.parametrize("k", [1, 3, 17])
+def test_sharded_topk_bit_identical(tie_heavy, n_shards, k):
+    Q, X = tie_heavy
+    d0, i0 = topk_hamming(Q, X, k)
+    d1, i1 = topk_hamming_sharded(Q, X, k, n_shards=n_shards)
+    np.testing.assert_array_equal(d0, d1)
+    np.testing.assert_array_equal(i0, i1)
+
+
+def test_tie_break_across_shard_boundary():
+    """Duplicate rows straddling a shard edge still resolve lowest-index.
+
+    With 2 shards over 8 rows the boundary is at row 4; rows 3 and 4 are
+    identical, so shard 0 and shard 1 each return the same distance and
+    the merge must keep the global winner (index 3), exactly as the
+    single-shard engine does.
+    """
+    rng = np.random.default_rng(5)
+    X = _packed(rng, 8)
+    X[4] = X[3]
+    Q = X[3:4].copy()
+    for k in (1, 2, 8):
+        d0, i0 = topk_hamming(Q, X, k)
+        d1, i1 = topk_hamming_sharded(Q, X, k, n_shards=2)
+        np.testing.assert_array_equal(d0, d1)
+        np.testing.assert_array_equal(i0, i1)
+    _, top = topk_hamming_sharded(Q, X, 2, n_shards=2)
+    assert top[0, 0] == 3 and top[0, 1] == 4
+
+
+def test_k_larger_than_shard_sizes(tie_heavy):
+    """k above every shard's row count still returns the global top-k."""
+    Q, X = tie_heavy
+    X = X[:10]
+    d0, i0 = topk_hamming(Q, X, 7)
+    d1, i1 = topk_hamming_sharded(Q, X, 7, n_shards=4)  # shards of 2-3 rows
+    np.testing.assert_array_equal(d0, d1)
+    np.testing.assert_array_equal(i0, i1)
+
+
+def test_merge_shard_topk_single_part_shortcut(tie_heavy):
+    Q, X = tie_heavy
+    d, i = topk_hamming(Q, X, 5)
+    md, mi = merge_shard_topk([(d, i)], 3)
+    np.testing.assert_array_equal(md, d[:, :3])
+    np.testing.assert_array_equal(mi, i[:, :3])
+
+
+# -- ShardedHDIndex ----------------------------------------------------
+
+
+def test_sharded_index_matches_plain_index(tie_heavy):
+    Q, X = tie_heavy
+    index = HDIndex(dim=DIM)
+    index.add_batch([f"row{i}" for i in range(len(X))], X)
+    sharded = ShardedHDIndex(index, n_shards=3)
+    assert len(sharded) == len(index)
+    keys0, d0 = index.query_topk(Q, 4)
+    keys1, d1 = sharded.query_topk(Q, 4)
+    assert keys0 == keys1
+    np.testing.assert_array_equal(d0, d1)
+    a_keys0, a_d0 = index.query_argmin(Q)
+    a_keys1, a_d1 = sharded.query_argmin(Q)
+    assert a_keys0 == a_keys1
+    np.testing.assert_array_equal(a_d0, a_d1)
+
+
+def test_sharded_index_validates_arguments(tie_heavy):
+    _, X = tie_heavy
+    index = HDIndex(dim=DIM)
+    index.add_batch(list(range(8)), X[:8])
+    with pytest.raises(TypeError):
+        ShardedHDIndex(object(), n_shards=2)
+    with pytest.raises(ValueError):
+        ShardedHDIndex(index, n_shards=0)
+
+
+# -- zero-copy adoption / copy-on-write --------------------------------
+
+
+def _index_state(packed):
+    template = HDIndex(dim=DIM)
+    state = template.get_state()
+    state["keys"] = list(range(len(packed)))
+    state["packed"] = packed
+    return state
+
+
+def test_set_state_adopts_store_without_copy(rng):
+    packed = _packed(rng, 20)
+    index = HDIndex(dim=DIM).set_state(_index_state(packed))
+    assert index._buf is packed  # adopted, not copied
+    keys, _ = index.query_argmin(packed[3:4])
+    assert keys == [3]
+
+
+def test_adopted_readonly_store_promotes_on_write(rng):
+    packed = _packed(rng, 20)
+    packed.setflags(write=False)
+    index = HDIndex(dim=DIM).set_state(_index_state(packed))
+    assert not index._buf.flags.writeable
+    index.add(99, np.zeros(WORDS, dtype=np.uint64))  # must not raise
+    assert index._buf.flags.writeable
+    assert len(index) == 21
+    # The adopted source array is untouched by the private copy.
+    assert not packed.flags.writeable
+    assert 99 in index
+
+
+# -- classifier routing ------------------------------------------------
+
+
+@pytest.mark.parametrize("n_neighbors", [1, 3])
+def test_hamming_classifier_shards_do_not_change_predictions(
+    pima_r, n_neighbors
+):
+    from repro.core.records import RecordEncoder
+
+    encoder = RecordEncoder(specs=pima_r.specs, dim=DIM, seed=7).fit(pima_r.X)
+    packed = encoder.transform(pima_r.X)
+    plain = HammingClassifier(dim=DIM, n_neighbors=n_neighbors).fit(
+        packed, pima_r.y
+    )
+    sharded = HammingClassifier(
+        dim=DIM, n_neighbors=n_neighbors, shards=3
+    ).fit(packed, pima_r.y)
+    np.testing.assert_array_equal(
+        plain.predict(packed[:64]), sharded.predict(packed[:64])
+    )
+
+
+def test_classifier_shards_survive_get_set_params(pima_r):
+    clf = HammingClassifier(dim=DIM, shards=4)
+    assert clf.get_params()["shards"] == 4
+    clone = HammingClassifier(dim=DIM).set_params(shards=2)
+    assert clone.shards == 2

@@ -27,8 +27,10 @@ HOT_PATH_FILES = [
 PROJECT_RULE_HOT_PATHS = [
     "repro/serve/batcher.py",
     "repro/serve/http.py",
+    "repro/serve/pool.py",
     "repro/serve/service.py",
     "repro/scenarios/load.py",
+    "repro/scenarios/sweep.py",
     "repro/parallel/pool.py",
 ]
 

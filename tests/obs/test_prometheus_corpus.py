@@ -14,6 +14,7 @@ from repro.obs.metrics import REGISTRY
 from repro.scenarios.load import LoadReport
 from repro.scenarios.metrics import record_load_request, record_load_run
 from repro.serve.metrics import (
+    record_deprecated,
     record_error,
     record_flush,
     record_rejected,
@@ -29,6 +30,7 @@ SERVE_SERIES = [
     "repro_serve_batches_total",
     "repro_serve_rejected_total",
     "repro_serve_errors_total",
+    "repro_serve_deprecated_requests_total",
     "repro_serve_batch_size_bucket",
     "repro_serve_queue_depth_bucket",
     "repro_serve_request_seconds_bucket",
@@ -67,6 +69,7 @@ def exposition() -> str:
     record_request(0.003)
     record_rejected()
     record_error()
+    record_deprecated()
     record_flush(rows=8, seconds=0.002, queue_depth=3)
     set_model_loaded(True)
     record_load_request(0.004, 200)

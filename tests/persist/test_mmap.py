@@ -1,0 +1,173 @@
+"""Shared-memory artifact loading: ``load_artifact(..., mmap=True)``.
+
+The pool contract (PR 9, DESIGN.md §12): payloads mapped read-only,
+bit-identical to the heap path, tamper-evident before the parser runs,
+and genuinely *shared* — two processes mapping the same artifact see the
+same payload file pages, not per-process copies.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.records import RecordEncoder
+from repro.core.search import HDIndex
+from repro.ml.pipeline import HDCFeaturePipeline
+from repro.persist import (
+    ArtifactIntegrityError,
+    artifact_sha,
+    load_artifact,
+    save_artifact,
+    verify_artifact,
+)
+
+DIM = 1024
+
+
+@pytest.fixture(scope="module")
+def fitted_encoder(pima_r):
+    return RecordEncoder(specs=pima_r.specs, dim=DIM, seed=7).fit(pima_r.X)
+
+
+@pytest.fixture(scope="module")
+def index_artifact(tmp_path_factory, pima_r, fitted_encoder):
+    packed = fitted_encoder.transform(pima_r.X)
+    index = HDIndex(dim=DIM)
+    index.add_batch(list(range(len(packed))), packed)
+    path = tmp_path_factory.mktemp("mmap") / "index"
+    save_artifact(index, path)
+    return path, index
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifact(tmp_path_factory, pima_r):
+    encoder = RecordEncoder(specs=pima_r.specs, dim=DIM, seed=7)
+    pipe = HDCFeaturePipeline(encoder, PrototypeClassifier(dim=DIM)).fit(
+        pima_r.X, pima_r.y
+    )
+    path = tmp_path_factory.mktemp("mmap") / "model"
+    save_artifact(pipe, path)
+    return path, pipe
+
+
+def test_mmap_round_trip_bit_identical(pipeline_artifact, pima_r):
+    path, pipe = pipeline_artifact
+    heap = load_artifact(path)
+    mapped = load_artifact(path, mmap=True)
+    np.testing.assert_array_equal(heap.predict(pima_r.X), mapped.predict(pima_r.X))
+    np.testing.assert_array_equal(mapped.predict(pima_r.X), pipe.predict(pima_r.X))
+
+
+def test_mmap_payloads_are_read_only(index_artifact):
+    path, index = index_artifact
+    loaded = load_artifact(path, mmap=True)
+    buf = loaded._buf
+    assert not buf.flags.writeable
+    with pytest.raises(ValueError):
+        buf[0, 0] = 1
+    np.testing.assert_array_equal(buf, index._buf)
+
+
+def test_mmap_index_mutation_copies_on_write(index_artifact):
+    """Adopted read-only stores promote to a private copy on first write."""
+    path, index = index_artifact
+    loaded = load_artifact(path, mmap=True)
+    extra = np.zeros(DIM // 64, dtype=np.uint64)
+    loaded.add(len(index), extra)
+    assert loaded._buf.flags.writeable
+    assert len(loaded) == len(index) + 1
+    # The original mapping (and the artifact on disk) is untouched.
+    reloaded = load_artifact(path, mmap=True)
+    assert len(reloaded) == len(index)
+
+
+def test_mmap_still_verifies_checksums(index_artifact, tmp_path):
+    path, _ = index_artifact
+    import shutil
+
+    corrupt = tmp_path / "corrupt"
+    shutil.copytree(path, corrupt)
+    payload = sorted((corrupt / "payloads").glob("*.npy"))[0]
+    raw = bytearray(payload.read_bytes())
+    raw[-1] ^= 0xFF
+    payload.write_bytes(bytes(raw))
+    with pytest.raises(ArtifactIntegrityError):
+        load_artifact(corrupt, mmap=True)
+    # The supervisor half of the contract sees the same corruption.
+    with pytest.raises(ArtifactIntegrityError):
+        verify_artifact(corrupt)
+
+
+def test_mmap_skip_verify_defers_to_supervisor(index_artifact):
+    """``verify=False`` is the worker half: map without re-hashing."""
+    path, index = index_artifact
+    manifest = verify_artifact(path)  # supervisor: hash everything once
+    assert manifest["schema_version"] >= 1
+    sha = artifact_sha(path)
+    assert isinstance(sha, str) and len(sha) == 64
+    loaded = load_artifact(path, mmap=True, verify=False)
+    np.testing.assert_array_equal(loaded._buf, index._buf)
+
+
+_CHILD = r"""
+import json, re, sys
+from pathlib import Path
+from repro.persist import load_artifact
+
+path = sys.argv[1]
+loaded = load_artifact(path, mmap=True)
+buf = loaded._buf
+checksum = int(buf.sum())  # touch every page so the mapping is resident
+payloads = {p.resolve() for p in (Path(path) / "payloads").glob("*.npy")}
+mapped = []
+for line in Path("/proc/self/maps").read_text().splitlines():
+    parts = line.split()
+    if len(parts) < 6:
+        continue
+    file_path = Path(parts[5])
+    if file_path in payloads:
+        perms, inode = parts[1], int(parts[4])
+        mapped.append({"perms": perms, "inode": inode})
+print(json.dumps({"checksum": checksum, "mapped": mapped}))
+"""
+
+
+def test_two_processes_map_the_same_payload_pages(index_artifact):
+    """Two workers, one artifact: same inode, read-only shared mapping.
+
+    Each subprocess maps the artifact, touches every page, and reports
+    what ``/proc/self/maps`` says about the payload files.  Both must
+    map the *same inode* (the committed payload file — no per-worker
+    copy) and the mapping must be read-only (``r--``): the kernel page
+    cache backs every worker with one set of physical pages.
+    """
+    path, index = index_artifact
+    results = []
+    for _ in range(2):
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        results.append(json.loads(proc.stdout))
+
+    expected = int(np.asarray(index._buf).sum())
+    for result in results:
+        assert result["checksum"] == expected
+        assert result["mapped"], "payload file not found in /proc/self/maps"
+        for mapping in result["mapped"]:
+            assert mapping["perms"].startswith("r--"), mapping
+
+    inodes = [
+        sorted(m["inode"] for m in result["mapped"]) for result in results
+    ]
+    assert inodes[0] == inodes[1]

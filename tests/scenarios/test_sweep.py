@@ -1,0 +1,180 @@
+"""Worker-scaling sweep: queueing math, determinism, BENCH integration.
+
+The simulated engine is pure virtual time, so these tests pin *exact*
+closed-form queueing results — a closed loop of C clients over N
+identical servers with constant service time s runs at N/s requests per
+second with per-request latency C·s/N — rather than tolerance-banded
+wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioError,
+    check_scaling,
+    discover_scenarios,
+    load_scenario,
+    make_run_entry,
+    simulate_pool,
+    summarize,
+    sweep_workers,
+    validate_bench,
+)
+from repro.scenarios.schema import SLOSpec, TrafficSpec
+
+SERVICE_S = 0.002
+
+
+@pytest.fixture
+def traffic():
+    return TrafficSpec(
+        mode="closed", n_requests=240, rate_rps=100.0, concurrency=8, seed=3
+    )
+
+
+# -- the discrete-event engine -----------------------------------------
+
+
+def test_simulation_is_bit_identical(traffic):
+    a = simulate_pool(traffic, n_workers=3, service_s=SERVICE_S, dispatch_s=1e-5)
+    b = simulate_pool(traffic, n_workers=3, service_s=SERVICE_S, dispatch_s=1e-5)
+    assert a == b
+
+
+def test_closed_loop_matches_queueing_math(traffic):
+    """C clients, N servers, constant s: throughput N/s, latency C·s/N."""
+    for n_workers in (1, 2, 4):
+        latencies, statuses, duration = simulate_pool(
+            traffic, n_workers=n_workers, service_s=SERVICE_S
+        )
+        report = summarize(traffic, SLOSpec(), latencies, statuses, duration)
+        assert report.throughput_rps == pytest.approx(
+            n_workers / SERVICE_S, rel=0.05
+        )
+        expected_latency_ms = traffic.concurrency * SERVICE_S * 1000.0 / n_workers
+        assert report.latency_ms["p50"] == pytest.approx(
+            expected_latency_ms, rel=0.05
+        )
+
+
+def test_open_loop_mode_runs(traffic):
+    from dataclasses import replace
+
+    open_traffic = replace(traffic, mode="open", rate_rps=300.0)
+    latencies, statuses, duration = simulate_pool(
+        open_traffic, n_workers=2, service_s=SERVICE_S
+    )
+    assert len(latencies) == open_traffic.n_requests
+    assert duration > 0
+    assert all(s == 200 for s in statuses)
+
+
+def test_simulation_validates_arguments(traffic):
+    with pytest.raises(ScenarioError):
+        simulate_pool(traffic, n_workers=0, service_s=SERVICE_S)
+    with pytest.raises(ScenarioError):
+        simulate_pool(traffic, n_workers=1, service_s=0.0)
+    with pytest.raises(ScenarioError):
+        simulate_pool(traffic, n_workers=1, service_s=SERVICE_S, dispatch_s=-1.0)
+
+
+# -- the sweep ---------------------------------------------------------
+
+
+def test_sweep_scales_linearly_until_the_client_limit(traffic):
+    report = sweep_workers(
+        traffic, workers=(1, 2, 4, 8, 16), service_s=SERVICE_S
+    )
+    assert report.engine == "simulated"
+    assert report.speedup[1] == pytest.approx(1.0)
+    assert report.speedup[2] == pytest.approx(2.0, rel=0.05)
+    assert report.speedup[4] == pytest.approx(4.0, rel=0.05)
+    # Only concurrency=8 clients exist, so 16 workers cannot beat ~8x.
+    assert report.speedup[16] <= 8.5
+    assert report.error_free
+
+
+def test_sweep_shows_amdahl_collapse(traffic):
+    """A dispatcher as slow as the service erases all scaling."""
+    report = sweep_workers(
+        traffic, workers=(1, 4), service_s=SERVICE_S, dispatch_s=SERVICE_S
+    )
+    assert report.speedup[4] == pytest.approx(1.0, rel=0.1)
+
+
+def test_sweep_counts_injected_errors(traffic):
+    report = sweep_workers(
+        traffic,
+        workers=(1, 2),
+        service_s=SERVICE_S,
+        status_fn=lambda i: 500 if i == 7 else 200,
+    )
+    assert not report.error_free
+    violations = check_scaling(report, at_workers=2, min_speedup=1.5)
+    assert any("errors" in v for v in violations)
+
+
+def test_check_scaling_gates(traffic):
+    report = sweep_workers(traffic, workers=(1, 2, 4), service_s=SERVICE_S)
+    assert check_scaling(report, at_workers=4, min_speedup=2.5) == []
+    failing = check_scaling(report, at_workers=4, min_speedup=100.0)
+    assert failing and "required" in failing[0]
+    missing = check_scaling(report, at_workers=32, min_speedup=1.0)
+    assert missing and "no 32-worker run" in missing[0]
+
+
+def test_sweep_validates_arguments(traffic):
+    with pytest.raises(ScenarioError):
+        sweep_workers(traffic, workers=(), service_s=SERVICE_S)
+    with pytest.raises(ScenarioError):
+        sweep_workers(traffic, workers=(4, 2, 1), service_s=SERVICE_S)
+    with pytest.raises(ScenarioError):
+        sweep_workers(traffic, workers=(1, 2), engine="simulated")
+    with pytest.raises(ScenarioError):
+        sweep_workers(traffic, workers=(1, 2), engine="http")
+    with pytest.raises(ScenarioError):
+        sweep_workers(traffic, workers=(1, 2), engine="gpu", service_s=SERVICE_S)
+
+
+# -- BENCH integration -------------------------------------------------
+
+
+def test_sweep_report_round_trips_through_bench_schema(traffic, tmp_path):
+    from pathlib import Path
+
+    scenario_dir = Path(__file__).resolve().parents[2] / "scenarios"
+    spec = load_scenario(discover_scenarios(scenario_dir)["pima_r"])
+    report = sweep_workers(traffic, workers=(1, 4), service_s=SERVICE_S)
+
+    entry = make_run_entry(
+        spec, report.runs[1], preset="fast", sweep=report.to_dict()
+    )
+    doc = {"bench_schema_version": 1, "scenario": "serve_scale", "runs": [entry]}
+    validate_bench(doc)  # raises on drift
+
+    sweep = json.loads(json.dumps(entry["sweep"]))  # JSON-serialisable
+    assert sweep["engine"] == "simulated"
+    assert sweep["workers"] == [1, 4]
+    assert set(sweep["runs"]) == {"1", "4"}
+    assert sweep["speedup"]["1"] == pytest.approx(1.0)
+    assert sweep["params"]["service_ms"] == pytest.approx(SERVICE_S * 1000.0)
+
+
+def test_entry_without_sweep_stays_valid(traffic, tmp_path):
+    """Pre-PR-9 BENCH entries (no sweep key) still validate."""
+    from pathlib import Path
+
+    scenario_dir = Path(__file__).resolve().parents[2] / "scenarios"
+    spec = load_scenario(discover_scenarios(scenario_dir)["pima_r"])
+    report = sweep_workers(traffic, workers=(1,), service_s=SERVICE_S)
+    entry = make_run_entry(spec, report.runs[1])
+    assert entry["sweep"] is None
+    legacy = dict(entry)
+    legacy.pop("sweep")
+    validate_bench(
+        {"bench_schema_version": 1, "scenario": "pima_r", "runs": [legacy]}
+    )

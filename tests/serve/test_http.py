@@ -110,7 +110,8 @@ def test_missing_rows_key_is_400(server):
 def test_wrong_feature_count_is_400(server):
     status, body = _post(server.url + "/predict", {"rows": [[1.0, 2.0]]})
     assert status == 400
-    assert "features" in body["error"]
+    assert body["error"]["code"] == "invalid_request"
+    assert "features" in body["error"]["message"]
 
 
 def test_row_cap_is_413(server, pima_r):

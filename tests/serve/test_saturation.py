@@ -160,6 +160,64 @@ def test_dead_worker_behind_live_socket_is_all_503(pipeline, pima_r):
         server.stop()
 
 
+def test_pool_dead_worker_degrades_readyz_everywhere(pipeline, pima_r, tmp_path):
+    """A SIGKILLed worker flips every connection's /readyz to 503.
+
+    The single-process version of this invariant is
+    ``test_dead_worker_behind_live_socket_is_all_503`` above; the pool
+    version is harder because with ``SO_REUSEPORT`` the kernel may route
+    a probe to a perfectly healthy worker.  Readiness is therefore
+    aggregated (supervisor roster + sibling liveness probes), so the
+    surviving worker *also* reports 503 — a load balancer sees the
+    degraded pool no matter which worker answers — while ``/predict``
+    keeps serving from the survivors.
+    """
+    import json
+    import os
+    import signal
+    import urllib.error
+    import urllib.request
+
+    from repro.persist import save_artifact
+    from repro.serve import ServePool
+
+    save_artifact(pipeline, tmp_path / "model")
+    config = ServeConfig(port=0, workers=2, mmap=True)
+    with ServePool(tmp_path / "model", config) as pool:
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15.0
+        degraded = 0
+        while time.monotonic() < deadline and degraded < 3:
+            try:
+                with urllib.request.urlopen(pool.url + "/readyz", timeout=5) as resp:
+                    resp.read()
+                    degraded = 0  # still 200 somewhere: not yet aggregated
+            except urllib.error.HTTPError as exc:
+                body = json.loads(exc.read())
+                assert exc.code == 503
+                assert body["error"]["code"] == "pool_degraded"
+                assert victim in body["error"]["detail"]["dead"]
+                degraded += 1
+            except (urllib.error.URLError, OSError):
+                # The kernel may briefly route a probe to the killed
+                # worker's still-registered accept queue: a reset, not a
+                # verdict either way.
+                pass
+            time.sleep(0.1)
+        assert degraded >= 3, "pool never reported itself degraded"
+
+        # The surviving worker still serves traffic (degraded, not down).
+        report = run_load(
+            TrafficSpec(mode="closed", n_requests=6, concurrency=2, seed=0, timeout_s=10.0),
+            HttpTransport(pool.url, timeout_s=10.0),
+            slo=SLOSpec(max_error_rate=0.0),
+            rows=np.asarray(pima_r.X[:4], dtype=np.float64),
+            workers="threads",
+        )
+        assert report.status_counts == {"200": 6}
+
+
 def test_capacity_recovers_after_the_burst(pipeline, pima_r):
     """After an overload burst the same server serves clean traffic again."""
     model = GatedModel(pipeline)
