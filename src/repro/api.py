@@ -121,6 +121,7 @@ from repro.data import (
 # --- pipelines, persistence, serving ------------------------------------
 from repro.ml.pipeline import HDCFeaturePipeline, ScaledClassifier
 from repro.persist import (
+    artifact_extras,
     artifact_info,
     artifact_sha,
     load_artifact,
@@ -130,9 +131,23 @@ from repro.persist import (
 from repro.serve import (
     InferenceService,
     ModelServer,
+    PredictFailedError,
+    ReloadError,
     ServeConfig,
     ServePool,
     resolve_serve_config,
+)
+
+# --- lifecycle: hot-swap, shadow/A-B routing, drift ----------------------
+from repro.lifecycle import (
+    ArtifactWatcher,
+    DriftMonitor,
+    FollowUpTrainer,
+    ModelHandle,
+    ModelLifecycle,
+    ShadowRunner,
+    centroid_from_counts,
+    training_centroid,
 )
 
 # --- scenarios: declarative workloads + load harness ---------------------
@@ -145,6 +160,7 @@ from repro.scenarios import (
     load_bench,
     load_scenario,
     run_load,
+    run_rollout,
     run_scenario,
     sweep_workers,
 )
@@ -238,6 +254,7 @@ __all__ = [
     # pipelines / persistence / serving
     "HDCFeaturePipeline",
     "ScaledClassifier",
+    "artifact_extras",
     "artifact_info",
     "artifact_sha",
     "load_artifact",
@@ -245,9 +262,20 @@ __all__ = [
     "verify_artifact",
     "InferenceService",
     "ModelServer",
+    "PredictFailedError",
+    "ReloadError",
     "ServeConfig",
     "ServePool",
     "resolve_serve_config",
+    # lifecycle
+    "ArtifactWatcher",
+    "DriftMonitor",
+    "FollowUpTrainer",
+    "ModelHandle",
+    "ModelLifecycle",
+    "ShadowRunner",
+    "centroid_from_counts",
+    "training_centroid",
     # scenarios / load harness
     "LoadReport",
     "ScenarioError",
@@ -257,6 +285,7 @@ __all__ = [
     "load_bench",
     "load_scenario",
     "run_load",
+    "run_rollout",
     "run_scenario",
     "sweep_workers",
     # parallel + observability + kernels

@@ -152,3 +152,35 @@ class OnlineHDClassifier(BaseEstimator, ClassifierMixin):
         """Records absorbed per class (affected by retraining updates)."""
         self._check_fitted("_counts")
         return self._n.copy()
+
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted accumulator state for :mod:`repro.persist` artifacts.
+
+        The base-class default only captures trailing-underscore
+        attributes; the integer accumulators (``_counts`` / ``_n``) are
+        the whole point of this classifier, so they are persisted
+        explicitly — a loaded instance keeps absorbing follow-ups
+        (``partial_fit`` / ``retrain``) exactly where the saved one
+        stopped.
+        """
+        self._check_fitted("_counts")
+        return {
+            "params": {"dim": self.dim, "tie": self.tie},
+            "classes": self.classes_,
+            "counts": self._counts,
+            "n": self._n,
+        }
+
+    def set_state(self, state: dict) -> "OnlineHDClassifier":
+        params = state["params"]
+        self.__init__(dim=int(params["dim"]), tie=str(params["tie"]))
+        self.classes_ = np.asarray(state["classes"])
+        self._counts = np.asarray(state["counts"], dtype=np.int64)
+        self._n = np.asarray(state["n"], dtype=np.int64)
+        if self._counts.shape != (self.classes_.size, self.dim):
+            raise ValueError(
+                f"counts state must be ({self.classes_.size}, {self.dim}), "
+                f"got {self._counts.shape}"
+            )
+        return self

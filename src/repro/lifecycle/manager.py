@@ -1,0 +1,232 @@
+"""Model lifecycle state machine: primary handle, candidate, atomic swap.
+
+:class:`ModelLifecycle` owns *references*, never IO: loading and
+verifying artifacts is the caller's job (:class:`repro.serve.service.
+InferenceService` does it on the HTTP handler thread), so the only work
+ever done under the lifecycle lock is swapping immutable
+:class:`ModelHandle` snapshots.  That is the whole swap-safety argument:
+the micro-batcher reads the primary handle once per flush, a reload
+builds the fully-loaded replacement outside the lock and then swaps one
+reference — requests in flight finish on the model that started them,
+the next flush picks up the new one, and nothing is ever dropped.
+
+The candidate slot mounts a second model in one of two modes:
+
+* ``shadow`` — mirrored traffic through a :class:`~repro.lifecycle.
+  shadow.ShadowRunner` (async, bounded queue, never affects primary
+  responses);
+* ``ab`` — a deterministic traffic splitter routes ``fraction`` of live
+  requests to the candidate (low-discrepancy credit accumulator, so a
+  0.25 split serves exactly one request in four, not a noisy coin flip).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.lifecycle.metrics import (
+    record_reload,
+    record_shadow_dropped,
+    set_generation,
+)
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """Immutable snapshot of one served model.
+
+    ``generation`` increments on every swap/promotion so envelopes and
+    metrics can distinguish "same sha re-applied" from "new build".
+    """
+
+    model: Any
+    artifact_sha: Optional[str] = None
+    path: Optional[str] = None
+    generation: int = 0
+
+    def info(self, schema_version: int) -> Dict[str, Any]:
+        """The ``model`` block of a ``/v1`` response envelope."""
+        return {
+            "kind": type(self.model).__name__,
+            "schema_version": schema_version,
+            "artifact_sha": self.artifact_sha,
+        }
+
+
+@dataclass(frozen=True)
+class CandidateState:
+    """A mounted candidate: its handle plus the routing policy."""
+
+    handle: ModelHandle
+    mode: str  # "shadow" | "ab"
+    fraction: float = 0.5
+    shadow: Optional[Any] = None  # ShadowRunner when mode == "shadow"
+
+
+class ModelLifecycle:
+    """Thread-safe primary/candidate reference holder with atomic swap."""
+
+    def __init__(self, handle: ModelHandle) -> None:
+        # One lock guards the primary/candidate references and the A/B
+        # credit accumulator; everything held under it is O(1) pointer
+        # work, so the serving hot path never waits on IO here.
+        self._lock = threading.Lock()
+        self._primary = handle
+        self._candidate: Optional[CandidateState] = None
+        self._ab_credit = 0.0
+        set_generation(handle.generation)
+
+    # -- snapshots -----------------------------------------------------
+    def primary(self) -> ModelHandle:
+        with self._lock:
+            return self._primary
+
+    def candidate(self) -> Optional[CandidateState]:
+        with self._lock:
+            return self._candidate
+
+    # -- swap ----------------------------------------------------------
+    def swap(
+        self,
+        model: Any,
+        *,
+        artifact_sha: Optional[str],
+        path: Optional[str],
+        seconds: float = 0.0,
+    ) -> ModelHandle:
+        """Install ``model`` as the new primary (next generation).
+
+        The caller has already loaded and verified it; this only swaps
+        the reference, so requests mid-flush finish on the old model and
+        the next flush serves the new one.
+        """
+        with self._lock:
+            handle = ModelHandle(
+                model=model,
+                artifact_sha=artifact_sha,
+                path=path,
+                generation=self._primary.generation + 1,
+            )
+            self._primary = handle
+        record_reload(seconds)
+        set_generation(handle.generation)
+        return handle
+
+    # -- candidate -----------------------------------------------------
+    def mount_candidate(
+        self,
+        model: Any,
+        *,
+        artifact_sha: Optional[str],
+        path: Optional[str],
+        mode: str = "shadow",
+        fraction: float = 0.5,
+        shadow: Optional[Any] = None,
+    ) -> CandidateState:
+        if mode not in ("shadow", "ab"):
+            raise ValueError(f"candidate mode must be shadow|ab, got {mode!r}")
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        state = CandidateState(
+            handle=ModelHandle(model=model, artifact_sha=artifact_sha, path=path),
+            mode=mode,
+            fraction=float(fraction),
+            shadow=shadow,
+        )
+        with self._lock:
+            previous = self._candidate
+            self._candidate = state
+            self._ab_credit = 0.0
+        if previous is not None and previous.shadow is not None:
+            previous.shadow.stop()
+        return state
+
+    def unmount_candidate(self) -> bool:
+        with self._lock:
+            previous = self._candidate
+            self._candidate = None
+            self._ab_credit = 0.0
+        if previous is not None and previous.shadow is not None:
+            previous.shadow.stop()
+        return previous is not None
+
+    def promote_candidate(self, *, seconds: float = 0.0) -> ModelHandle:
+        """Candidate becomes the primary (next generation); slot empties."""
+        with self._lock:
+            state = self._candidate
+            if state is None:
+                raise RuntimeError("no candidate is mounted")
+            handle = ModelHandle(
+                model=state.handle.model,
+                artifact_sha=state.handle.artifact_sha,
+                path=state.handle.path,
+                generation=self._primary.generation + 1,
+            )
+            self._primary = handle
+            self._candidate = None
+            self._ab_credit = 0.0
+        if state.shadow is not None:
+            state.shadow.stop()
+        record_reload(seconds)
+        set_generation(handle.generation)
+        return handle
+
+    # -- routing -------------------------------------------------------
+    def take_ab_slot(self) -> Optional[ModelHandle]:
+        """Candidate handle when this request should be A/B-routed.
+
+        Deterministic low-discrepancy split: a credit accumulator gains
+        ``fraction`` per request and routes to the candidate each time it
+        crosses 1, so the realised split tracks ``fraction`` exactly.
+        """
+        with self._lock:
+            state = self._candidate
+            if state is None or state.mode != "ab":
+                return None
+            self._ab_credit += state.fraction
+            if self._ab_credit < 1.0:
+                return None
+            self._ab_credit -= 1.0
+            return state.handle
+
+    def mirror(self, rows: np.ndarray, primary_out: np.ndarray) -> None:
+        """Mirror one primary flush to the shadow candidate (non-blocking)."""
+        with self._lock:
+            state = self._candidate
+        if state is None or state.shadow is None:
+            return
+        if not state.shadow.submit(rows, primary_out):
+            record_shadow_dropped()
+
+    # -- introspection -------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            primary = self._primary
+            state = self._candidate
+        out: Dict[str, Any] = {
+            "primary": {
+                "kind": type(primary.model).__name__,
+                "artifact_sha": primary.artifact_sha,
+                "path": primary.path,
+                "generation": primary.generation,
+            },
+            "candidate": None,
+        }
+        if state is not None:
+            out["candidate"] = {
+                "kind": type(state.handle.model).__name__,
+                "artifact_sha": state.handle.artifact_sha,
+                "path": state.handle.path,
+                "mode": state.mode,
+                "fraction": state.fraction,
+            }
+            if state.shadow is not None:
+                out["candidate"]["shadow"] = state.shadow.describe()
+        return out
+
+
+__all__ = ["CandidateState", "ModelHandle", "ModelLifecycle"]

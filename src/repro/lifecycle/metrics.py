@@ -1,0 +1,157 @@
+"""lifecycle.* metrics: the model-lifecycle layer's view into :mod:`repro.obs`.
+
+Same pattern as :mod:`repro.serve.metrics`: every metric lives in the
+process-local ``repro.obs.REGISTRY`` (so pool workers snapshot and merge
+them like any ``serve.*`` series) and every mutation goes through one
+module lock because the registry's metric objects are not internally
+locked.  Names (after the exporter's ``repro_`` prefix and counter
+``_total`` suffix):
+
+================================  =========  ============================
+``lifecycle.reloads``             counter    successful hot-swaps applied
+``lifecycle.reload_errors``       counter    reloads that failed to apply
+``lifecycle.generation``          gauge      current primary generation
+``lifecycle.swap_seconds``        histogram  verify+load+swap duration
+``lifecycle.shadow_rows``         counter    rows mirrored to the candidate
+``lifecycle.shadow_disagreements`` counter   mirrored rows where the
+                                             candidate disagreed
+``lifecycle.shadow_dropped``      counter    mirrored batches dropped
+                                             because the shadow queue was
+                                             full (back-pressure, never
+                                             blocking the primary)
+``lifecycle.shadow_agreement``    gauge      cumulative agreement fraction
+``lifecycle.candidate_seconds``   histogram  candidate predict duration
+``lifecycle.candidate_errors``    counter    candidate predicts that raised
+``lifecycle.ab_candidate_requests`` counter  A/B requests routed to the
+                                             candidate
+``lifecycle.drift_rows``          counter    rows folded into the traffic
+                                             centroid
+``lifecycle.drift_distance``      gauge      normalised Hamming distance
+                                             traffic centroid vs training
+``lifecycle.drift_alert``         gauge      1 while distance > threshold
+``lifecycle.follow_ups``          counter    labelled follow-up rows
+                                             absorbed by the trainer
+================================  =========  ============================
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import REGISTRY
+
+_LOCK = threading.Lock()
+
+
+def record_reload(seconds: float) -> None:
+    """One successful hot-swap (verify + load + reference swap)."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.reloads", "Successful hot-swap artifact reloads."
+        ).add(1)
+        REGISTRY.histogram(
+            "lifecycle.swap_seconds",
+            "Duration of each hot-swap (verify, load, swap).",
+        ).observe(seconds)
+
+
+def record_reload_error() -> None:
+    """One reload attempt that failed (old model keeps serving)."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.reload_errors", "Hot-swap reloads that failed to apply."
+        ).add(1)
+
+
+def set_generation(generation: int) -> None:
+    with _LOCK:
+        REGISTRY.gauge(
+            "lifecycle.generation", "Generation counter of the primary model."
+        ).set(float(generation))
+
+
+def record_shadow(rows: int, disagreements: int, seconds: float, agreement: float) -> None:
+    """One mirrored batch evaluated by the shadow candidate."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.shadow_rows", "Rows mirrored to the shadow candidate."
+        ).add(rows)
+        REGISTRY.counter(
+            "lifecycle.shadow_disagreements",
+            "Mirrored rows where the candidate disagreed with the primary.",
+        ).add(disagreements)
+        REGISTRY.histogram(
+            "lifecycle.candidate_seconds",
+            "Candidate model predict duration per batch.",
+        ).observe(seconds)
+        REGISTRY.gauge(
+            "lifecycle.shadow_agreement",
+            "Cumulative candidate/primary agreement fraction.",
+        ).set(agreement)
+
+
+def record_shadow_dropped() -> None:
+    """One mirrored batch dropped because the shadow queue was full."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.shadow_dropped",
+            "Mirrored batches dropped by shadow back-pressure.",
+        ).add(1)
+
+
+def record_candidate_error() -> None:
+    """One candidate predict that raised (swallowed; primary unaffected)."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.candidate_errors", "Candidate predict calls that raised."
+        ).add(1)
+
+
+def record_ab_candidate(seconds: float) -> None:
+    """One live request served by the A/B candidate."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.ab_candidate_requests",
+            "Requests routed to the candidate by the A/B splitter.",
+        ).add(1)
+        REGISTRY.histogram(
+            "lifecycle.candidate_seconds",
+            "Candidate model predict duration per batch.",
+        ).observe(seconds)
+
+
+def record_drift(rows: int, distance: float, alert: bool) -> None:
+    """One drift observation over ``rows`` encoded records."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.drift_rows", "Rows folded into the traffic centroid."
+        ).add(rows)
+        REGISTRY.gauge(
+            "lifecycle.drift_distance",
+            "Normalised Hamming distance of traffic vs training centroid.",
+        ).set(distance)
+        REGISTRY.gauge(
+            "lifecycle.drift_alert", "1 while drift distance exceeds the threshold."
+        ).set(1.0 if alert else 0.0)
+
+
+def record_follow_ups(rows: int) -> None:
+    """Labelled follow-up rows absorbed by the continual-learning trainer."""
+    with _LOCK:
+        REGISTRY.counter(
+            "lifecycle.follow_ups",
+            "Labelled follow-up rows absorbed for continual learning.",
+        ).add(rows)
+
+
+__all__ = [
+    "record_ab_candidate",
+    "record_candidate_error",
+    "record_drift",
+    "record_follow_ups",
+    "record_reload",
+    "record_reload_error",
+    "record_shadow",
+    "record_shadow_dropped",
+    "set_generation",
+]

@@ -1,0 +1,175 @@
+"""Shadow evaluation: mirror primary traffic to a candidate, off-thread.
+
+The primary flush path hands each ``(rows, primary_predictions)`` pair to
+:meth:`ShadowRunner.submit`, which is a non-blocking bounded-queue put —
+if the candidate cannot keep up, batches are *dropped* (and counted as
+``lifecycle.shadow_dropped``), never queued into the primary's latency.
+A single daemon thread drains the queue, runs the candidate, and scores
+elementwise agreement; disagreeing rows land in a bounded ring log the
+admin API exposes for inspection.  A candidate that raises is recorded
+(``lifecycle.candidate_errors``) and the batch skipped — by construction
+nothing on this path can affect a primary response.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lifecycle.metrics import record_candidate_error, record_shadow
+
+#: Queue sentinel that tells the worker thread to exit.
+_STOP = object()
+
+
+class ShadowRunner:
+    """Async mirrored-traffic evaluator for one candidate model.
+
+    Parameters
+    ----------
+    model:
+        The candidate; anything with ``predict(rows) -> labels``.
+    max_queue:
+        Bound on mirrored batches waiting for the candidate.  Full queue
+        = drop (back-pressure never reaches the primary).
+    log_size:
+        Disagreement ring-log capacity (most recent kept).
+    """
+
+    def __init__(self, model: Any, *, max_queue: int = 64, log_size: int = 32) -> None:
+        self._model = model
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
+        self._log_size = int(log_size)
+        # Guards the totals and the disagreement log (worker thread
+        # writes, admin/describe threads read) plus the thread handle.
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._rows = 0
+        self._disagreements = 0
+        self._errors = 0
+        self._pending = 0
+        self._log: List[Dict[str, Any]] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ShadowRunner":
+        with self._lock:
+            if self._thread is None:
+                thread = threading.Thread(
+                    target=self._run, name="repro-lifecycle-shadow", daemon=True
+                )
+                self._thread = thread
+                thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._queue.put(_STOP)
+        thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._thread is not None
+
+    # -- producer side (primary flush path) ----------------------------
+    def submit(self, rows: np.ndarray, primary_out: np.ndarray) -> bool:
+        """Enqueue one mirrored batch; False when dropped (queue full)."""
+        try:
+            self._queue.put_nowait((np.asarray(rows), np.asarray(primary_out)))
+        except queue.Full:
+            return False
+        with self._lock:
+            self._pending += 1
+        return True
+
+    # -- worker side ---------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            rows, primary_out = item
+            try:
+                started = time.perf_counter()
+                try:
+                    candidate_out = np.asarray(self._model.predict(rows))
+                except Exception:
+                    with self._lock:
+                        self._errors += 1
+                    record_candidate_error()
+                    continue
+                elapsed = time.perf_counter() - started
+                agreement = self._score(rows, primary_out, candidate_out, elapsed)
+                record_shadow(
+                    int(rows.shape[0]),
+                    int(np.sum(primary_out != candidate_out)),
+                    elapsed,
+                    agreement,
+                )
+            finally:
+                with self._lock:
+                    self._pending -= 1
+
+    def _score(
+        self,
+        rows: np.ndarray,
+        primary_out: np.ndarray,
+        candidate_out: np.ndarray,
+        elapsed: float,
+    ) -> float:
+        disagree = np.flatnonzero(primary_out != candidate_out)
+        with self._lock:
+            self._rows += int(rows.shape[0])
+            self._disagreements += int(disagree.size)
+            for i in disagree:
+                self._log.append(
+                    {
+                        "row": np.asarray(rows[i], dtype=np.float64).tolist(),
+                        "primary": np.asarray(primary_out[i]).tolist(),
+                        "candidate": np.asarray(candidate_out[i]).tolist(),
+                        "candidate_seconds": elapsed,
+                    }
+                )
+            del self._log[: max(0, len(self._log) - self._log_size)]
+            return 1.0 - (self._disagreements / self._rows) if self._rows else 1.0
+
+    # -- introspection -------------------------------------------------
+    def drain(self, timeout: float = 5.0) -> None:
+        """Block until every queued batch has been evaluated (tests)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                pending = self._pending
+            if pending == 0:
+                return
+            time.sleep(0.01)
+
+    def disagreements(self) -> List[Dict[str, Any]]:
+        """Most recent disagreeing rows (bounded by ``log_size``)."""
+        with self._lock:
+            return [dict(entry) for entry in self._log]
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            rows = self._rows
+            disagreements = self._disagreements
+            errors = self._errors
+            running = self._thread is not None
+        return {
+            "running": running,
+            "rows": rows,
+            "disagreements": disagreements,
+            "errors": errors,
+            "agreement": 1.0 - (disagreements / rows) if rows else None,
+        }
+
+
+__all__ = ["ShadowRunner"]

@@ -1,0 +1,118 @@
+"""Artifact watcher: poll a directory's manifest sha, fire on change.
+
+``repro-serve --watch-artifact`` points one of these at the served
+artifact directory.  Re-saving the artifact in place (``save_artifact(
+..., overwrite=True)``) changes the manifest bytes, hence
+:func:`repro.persist.artifact_sha`; the watcher notices on its next poll
+and invokes the callback — the single-server CLI reloads in place, the
+pool supervisor verifies once and publishes a deploy record every worker
+applies.
+
+Mid-write races are benign: a half-written artifact raises
+:class:`~repro.persist.errors.ArtifactError` inside the poll, the tick
+is skipped, and the *next* poll sees the completed write (save_artifact
+replaces the manifest atomically, so a parseable manifest is always a
+complete one).  Callback exceptions are swallowed after being reported —
+a failed reload (already metered as ``lifecycle.reload_errors``) must
+not kill the watch loop.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Callable, Optional
+
+
+class ArtifactWatcher:
+    """Poll ``artifact_sha(path)`` and call ``on_change`` when it moves.
+
+    Parameters
+    ----------
+    path:
+        Artifact directory to watch.
+    on_change:
+        ``callback(path: str)`` invoked (from the watcher thread) each
+        time the manifest sha differs from the last observed one.
+    interval_s:
+        Poll period.
+    initial_sha:
+        Sha currently being served; polls matching it do not fire.
+        ``None`` reads the current sha on the first poll without firing.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        on_change: Callable[[str], None],
+        *,
+        interval_s: float = 2.0,
+        initial_sha: Optional[str] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.path = str(path)
+        self.interval_s = float(interval_s)
+        self._on_change = on_change
+        self._last_sha = initial_sha
+        # Guards the thread handle (start/stop may race from CLI signal
+        # handling); the sha is only touched by the watcher thread.
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ArtifactWatcher":
+        with self._lock:
+            if self._thread is None:
+                self._stop.clear()
+                thread = threading.Thread(
+                    target=self._run, name="repro-lifecycle-watch", daemon=True
+                )
+                self._thread = thread
+                thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._thread is not None
+
+    # -- poll loop -----------------------------------------------------
+    def poll_once(self) -> bool:
+        """One poll; True when the callback fired.  Public for tests."""
+        from repro.persist import ArtifactError, artifact_sha
+
+        try:
+            sha = artifact_sha(self.path)
+        except (ArtifactError, OSError):
+            return False  # mid-write or missing; the next poll retries
+        if self._last_sha is None:
+            self._last_sha = sha
+            return False
+        if sha == self._last_sha:
+            return False
+        self._last_sha = sha
+        try:
+            self._on_change(self.path)
+        except Exception as exc:
+            print(
+                f"repro-serve: watch: reload callback failed: {exc}",
+                file=sys.stderr,
+            )
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.poll_once()
+
+
+__all__ = ["ArtifactWatcher"]

@@ -51,15 +51,21 @@ class LockDisciplineRule(ProjectRule):
     code = "HD009"
     name = "lock-discipline"
     description = (
-        "In the threaded packages (repro.serve, repro.parallel, "
-        "repro.scenarios.load) instance attributes shared with a worker "
-        "thread must be guarded: no unlocked writes visible to a thread "
-        "entry point, no access to a lock-guarded attribute outside its "
-        "`with self._lock`, no unlocked read-modify-write, no attribute "
-        "re-assigned by several public lifecycle methods without a lock, "
-        "and no two locks acquired in opposite orders (deadlock)."
+        "In the threaded packages (repro.serve, repro.lifecycle, "
+        "repro.parallel, repro.scenarios.load) instance attributes shared "
+        "with a worker thread must be guarded: no unlocked writes visible "
+        "to a thread entry point, no access to a lock-guarded attribute "
+        "outside its `with self._lock`, no unlocked read-modify-write, no "
+        "attribute re-assigned by several public lifecycle methods "
+        "without a lock, and no two locks acquired in opposite orders "
+        "(deadlock)."
     )
-    scope = ("repro/serve", "repro/parallel", "repro/scenarios/load")
+    scope = (
+        "repro/serve",
+        "repro/lifecycle",
+        "repro/parallel",
+        "repro/scenarios/load",
+    )
 
     def check_project(
         self, index: ProjectIndex, *, respect_scope: bool = True
@@ -283,9 +289,9 @@ class ObservabilityDriftRule(ProjectRule):
         "repro.obs metric/span name literals must keep one kind per "
         "name, use the lowercase dotted grammar, avoid near-miss prefix "
         "families (a lone `serv.*` next to an established `serve.*` is a "
-        "typo creating a new series), and every serve.*/loadgen.* metric "
-        "must appear in the Prometheus test corpus under its exported "
-        "repro_* name."
+        "typo creating a new series), and every serve.*/lifecycle.*/"
+        "loadgen.* metric must appear in the Prometheus test corpus "
+        "under its exported repro_* name."
     )
     scope = ("src/repro", "repro/")
 
@@ -348,7 +354,7 @@ class ObservabilityDriftRule(ProjectRule):
                         )
                     break
 
-        # (d) Prometheus test-corpus coverage for serve.*/loadgen.*.
+        # (d) Prometheus test-corpus coverage for the served families.
         if not index.has_test_modules:
             return
         corpus: Set[str] = set()
@@ -360,7 +366,11 @@ class ObservabilityDriftRule(ProjectRule):
             if kind == "span" or name in seen:
                 continue
             seen.add(name)
-            if not (name.startswith("serve.") or name.startswith("loadgen.")):
+            if not (
+                name.startswith("serve.")
+                or name.startswith("lifecycle.")
+                or name.startswith("loadgen.")
+            ):
                 continue
             base = "repro_" + name.replace(".", "_").replace("-", "_")
             if any(lit.startswith(base) for lit in corpus):

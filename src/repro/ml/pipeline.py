@@ -97,6 +97,12 @@ class HDCFeaturePipeline(BaseEstimator, ClassifierMixin):
         self.encoder = encoder
         self.estimator = estimator
         self.dense = dense
+        # Observation-only tap: when set to a callable it receives
+        # ``(features, is_dense)`` for every predict() batch — the
+        # serving drift monitor reuses the features HDC already computed
+        # instead of re-encoding traffic.  Runtime wiring, never
+        # persisted (set_state re-runs __init__, which clears it).
+        self.feature_hook = None
 
     def _wants_dense(self) -> bool:
         if self.dense is not None:
@@ -126,7 +132,13 @@ class HDCFeaturePipeline(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimator_")
         X = check_array(X, dtype=np.float64, name="X")
-        return self.estimator_.predict(self._features(X))
+        feats = self._features(X)
+        hook = self.feature_hook
+        if hook is not None:
+            # predict() only (not predict_proba): it is the serving hot
+            # path, and hooking both would double-count traffic.
+            hook(feats, self._dense_)
+        return self.estimator_.predict(feats)
 
     def predict_proba(self, X) -> np.ndarray:
         self._check_fitted("estimator_")

@@ -19,6 +19,7 @@ from repro.persist.artifact import (
     MANIFEST_NAME,
     PAYLOAD_DIR,
     SCHEMA_VERSION,
+    artifact_extras,
     artifact_info,
     artifact_sha,
     load_artifact,
@@ -44,6 +45,7 @@ __all__ = [
     "ArtifactIntegrityError",
     "ArtifactSchemaError",
     "StateError",
+    "artifact_extras",
     "artifact_info",
     "artifact_sha",
     "decode_state",

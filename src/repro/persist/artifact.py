@@ -88,6 +88,7 @@ def save_artifact(
     path: PathLike,
     *,
     meta: Optional[Dict[str, Any]] = None,
+    extras: Optional[Dict[str, np.ndarray]] = None,
     overwrite: bool = False,
 ) -> Path:
     """Persist a registered (fitted) object as an artifact directory.
@@ -106,6 +107,14 @@ def save_artifact(
     meta:
         Optional JSON-able user metadata stored verbatim in the manifest
         (dataset name, git revision, training accuracy, ...).
+    extras:
+        Optional named side-car arrays stored as first-class payloads
+        (checksummed and verified like model state) but *not* part of the
+        decoded object — e.g. the training-set centroid
+        (``"train_centroid"``) the serving drift monitor compares live
+        traffic against.  Read back with :func:`artifact_extras`.  The
+        key is additive within schema v1: readers that predate it simply
+        never dereference the extra payload refs.
     """
     import repro
 
@@ -117,6 +126,13 @@ def save_artifact(
             f"{path} already contains an artifact; pass overwrite=True to replace it"
         )
     tree, payloads = encode_state(obj)
+    # Extras ride the payload table under an "x" ref prefix, disjoint
+    # from encode_state's "a" refs, so one verification pass covers both.
+    extras_index: Dict[str, str] = {}
+    for i, name in enumerate(sorted(extras or {})):
+        ref = f"x{i:04d}"
+        payloads[ref] = np.asarray(extras[name])
+        extras_index[name] = ref
 
     payload_root.mkdir(parents=True, exist_ok=True)
     if overwrite:
@@ -146,6 +162,7 @@ def save_artifact(
         "kind": tree["class"],
         "state": tree,
         "payloads": payload_table,
+        "extras": extras_index,
         "meta": dict(meta) if meta else {},
     }
     tmp = manifest_path.with_suffix(".json.tmp")
@@ -341,6 +358,36 @@ def load_artifact(
     return decode_state(manifest["state"], payloads)
 
 
+def artifact_extras(
+    path: PathLike, *, mmap: bool = False, verify: bool = True
+) -> Dict[str, np.ndarray]:
+    """Read an artifact's named side-car arrays (see ``save_artifact``).
+
+    Returns ``{}`` for artifacts saved without extras.  Each array goes
+    through the same checksum/layout verification as model payloads;
+    ``verify=False`` skips re-hashing when the artifact was already
+    verified in this deployment.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    index = manifest.get("extras", {})
+    if not isinstance(index, dict):
+        raise ArtifactSchemaError(f"{path}: manifest extras must be an object")
+    table = manifest["payloads"]
+    if not isinstance(table, dict):
+        raise ArtifactSchemaError(f"{path}: manifest payload table must be an object")
+    out: Dict[str, np.ndarray] = {}
+    for name in sorted(index):
+        ref = index[name]
+        entry = table.get(ref)
+        if not isinstance(entry, dict):
+            raise ArtifactSchemaError(
+                f"{path}: extras entry {name!r} references unknown payload {ref!r}"
+            )
+        out[name] = _read_payload(path, entry, ref, mmap=mmap, verify=verify)
+    return out
+
+
 def artifact_info(path: PathLike) -> Dict[str, Any]:
     """Manifest summary without loading payloads (kind, versions, sizes)."""
     manifest = read_manifest(path)
@@ -362,6 +409,7 @@ __all__ = [
     "MANIFEST_NAME",
     "PAYLOAD_DIR",
     "SCHEMA_VERSION",
+    "artifact_extras",
     "artifact_info",
     "artifact_sha",
     "load_artifact",

@@ -83,6 +83,7 @@ def registered_names() -> list:
 def _register_catalogue() -> None:
     from repro.core.classifier import HammingClassifier, PrototypeClassifier
     from repro.core.encoding import BinaryEncoder, CategoricalEncoder, LevelEncoder
+    from repro.core.online import OnlineHDClassifier
     from repro.core.records import FeatureSpec, RecordEncoder
     from repro.core.search import HDIndex
     from repro.ml.linear import LogisticRegression, SGDClassifier
@@ -99,6 +100,7 @@ def _register_catalogue() -> None:
         RecordEncoder,
         HammingClassifier,
         PrototypeClassifier,
+        OnlineHDClassifier,
         HDIndex,
         LogisticRegression,
         SGDClassifier,

@@ -38,6 +38,7 @@ from repro.scenarios.resolve import (
     build_pipeline,
     run_offline,
 )
+from repro.scenarios.rollout import run_rollout
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.sweep import (
     WorkerScalingReport,
@@ -52,6 +53,7 @@ from repro.scenarios.schema import (
     DatasetSpec,
     EncoderSpec,
     ModelSpec,
+    RolloutSpec,
     ScenarioSpec,
     ServeSpec,
     SLOSpec,
@@ -74,6 +76,7 @@ __all__ = [
     "HttpTransport",
     "LoadReport",
     "ModelSpec",
+    "RolloutSpec",
     "SLOSpec",
     "ScenarioError",
     "ScenarioSpec",
@@ -101,6 +104,7 @@ __all__ = [
     "new_bench",
     "run_load",
     "run_offline",
+    "run_rollout",
     "run_scenario",
     "scenario_from_dict",
     "scenario_to_dict",

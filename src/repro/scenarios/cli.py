@@ -5,8 +5,8 @@ Subcommands::
     repro-scenarios list   [--dir scenarios/]
     repro-scenarios show   <name> [--dir ...] [--preset fast]
     repro-scenarios run    <name> [--dir ...] [--preset fast] [--out .]
-                           [--offline] [--saturation] [--check-slo]
-                           [--artifact-dir DIR]
+                           [--offline] [--saturation] [--rollout]
+                           [--check-slo] [--artifact-dir DIR]
     repro-scenarios validate <path.json|path.toml|BENCH_*.json>
 
 ``run`` executes the scenario end-to-end (train → persist → serve on an
@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="also sweep open-loop rates for the saturation point",
     )
     p_run.add_argument(
+        "--rollout", action="store_true",
+        help="also run the swap-under-load rollout drill (needs rollout.enabled)",
+    )
+    p_run.add_argument(
         "--check-slo", action="store_true",
         help="exit 1 if the load report violates the scenario's SLO",
     )
@@ -133,6 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         artifact_dir=args.artifact_dir,
         offline=args.offline,
         saturation=args.saturation,
+        rollout=args.rollout,
     )
     load = entry["load"]
     print(
@@ -143,6 +148,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"p99 {load['latency_ms']['p99']:.2f} ms, "
         f"error rate {load['error_rate']:.4f}"
     )
+    rollout_block = entry.get("rollout")
+    if rollout_block:
+        swap = rollout_block["swap"]
+        print(
+            f"repro-scenarios: rollout: {rollout_block['n_requests']} requests "
+            f"through {rollout_block['workers']} workers "
+            f"({rollout_block['mode']} candidate), "
+            f"{rollout_block['n_dropped']} dropped, {rollout_block['n_5xx']} 5xx, "
+            f"swap converged={swap['converged']}"
+        )
     bench_file = Path(args.out) / f"BENCH_{args.name}.json"
     print(f"repro-scenarios: trajectory updated: {bench_file}")
     if load["slo_violations"]:

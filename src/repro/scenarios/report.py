@@ -21,7 +21,8 @@ Document shape (``BENCH_SCHEMA_VERSION = 1``)::
           "offline": {...} | null,
           "server_metrics": {"serve.requests": ..., ...} | null,
           "saturation": {...} | null,
-          "sweep": { ...WorkerScalingReport.to_dict()... } | null
+          "sweep": { ...WorkerScalingReport.to_dict()... } | null,
+          "rollout": { ...swap-under-load drill block... } | null
         },
         ...
       ]
@@ -97,6 +98,7 @@ def make_run_entry(
     server_metrics: Optional[Mapping[str, float]] = None,
     saturation: Optional[Mapping[str, Any]] = None,
     sweep: Optional[Mapping[str, Any]] = None,
+    rollout: Optional[Mapping[str, Any]] = None,
     timestamp: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One trajectory point: the config that ran and what it measured."""
@@ -112,6 +114,7 @@ def make_run_entry(
         "server_metrics": dict(server_metrics) if server_metrics is not None else None,
         "saturation": dict(saturation) if saturation is not None else None,
         "sweep": dict(sweep) if sweep is not None else None,
+        "rollout": dict(rollout) if rollout is not None else None,
     }
 
 
@@ -220,7 +223,13 @@ def validate_bench(doc: Any) -> None:
         )
         _require(isinstance(run.get("config"), Mapping), f"{prefix}.config", "expected an object")
         _validate_load_section(run.get("load"), f"{prefix}.load")
-        for optional_section in ("offline", "server_metrics", "saturation", "sweep"):
+        for optional_section in (
+            "offline",
+            "server_metrics",
+            "saturation",
+            "sweep",
+            "rollout",
+        ):
             value = run.get(optional_section)
             _require(
                 value is None or isinstance(value, Mapping),

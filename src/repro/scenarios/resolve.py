@@ -34,6 +34,7 @@ from repro.data.sylhet import load_sylhet
 from repro.eval.crossval import leave_one_out_hamming, train_test_split
 from repro.eval.experiments import ExperimentConfig, encode_dataset, replace_levels
 from repro.eval.metrics import classification_report
+from repro.lifecycle import training_centroid
 from repro.ml.linear import LogisticRegression
 from repro.ml.pipeline import HDCFeaturePipeline
 from repro.obs import span
@@ -192,7 +193,12 @@ def build_artifact(
     path: Union[str, Path],
     dataset: Optional[Dataset] = None,
 ) -> Path:
-    """Fit the scenario pipeline and persist it as a served-model artifact."""
+    """Fit the scenario pipeline and persist it as a served-model artifact.
+
+    The artifact carries a ``train_centroid`` extra — the packed majority
+    hypervector of the training traffic — so a server loading it can arm
+    the :class:`~repro.lifecycle.DriftMonitor` without the dataset.
+    """
     pipeline, dataset = build_pipeline(spec, dataset)
     path = Path(path)
     save_artifact(
@@ -204,6 +210,7 @@ def build_artifact(
             "dim": spec.encoder.dim,
             "model_kind": spec.model.kind,
         },
+        extras={"train_centroid": training_centroid(pipeline.encoder_, dataset.X)},
     )
     return path
 

@@ -9,8 +9,9 @@
    run also exercises the artifact round-trip;
 4. drive the scenario's traffic shape at it with the load generator;
 5. fold the outcome (client-side report, server-side ``serve.*`` counter
-   deltas, optional offline experiment + saturation sweep) into a run
-   entry and merge it into ``BENCH_<scenario>.json``.
+   deltas, optional offline experiment + saturation sweep + swap-under-
+   load rollout drill) into a run entry and merge it into
+   ``BENCH_<scenario>.json``.
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from repro.scenarios.report import (
     update_bench_file,
 )
 from repro.scenarios.resolve import boot_server, build_artifact, build_dataset, run_offline
+from repro.scenarios.rollout import run_rollout
 from repro.scenarios.schema import ScenarioSpec, apply_preset
 
 
@@ -40,6 +42,7 @@ def run_scenario(
     artifact_dir: Union[str, Path, None] = None,
     offline: bool = False,
     saturation: bool = False,
+    rollout: bool = False,
     write_bench: bool = True,
 ) -> Dict[str, Any]:
     """Run one scenario end-to-end; returns the BENCH run entry.
@@ -60,6 +63,10 @@ def run_scenario(
         Also run the scenario as an offline experiment (accuracy block).
     saturation:
         Also sweep open-loop rates to find the saturation point.
+    rollout:
+        Also run the swap-under-load drill
+        (:func:`repro.scenarios.rollout.run_rollout`) — requires the
+        spec's ``rollout.enabled``.
     write_bench:
         Set False to get the run entry without touching any file.
     """
@@ -95,6 +102,10 @@ def run_scenario(
             finally:
                 server.stop()
 
+        # After the single-server run so the pool's forked workers never
+        # share its port; own artifacts (primary + candidate generations).
+        rollout_block = run_rollout(spec) if rollout else None
+
     entry = make_run_entry(
         spec,
         load_report,
@@ -102,6 +113,7 @@ def run_scenario(
         offline=offline_block,
         server_metrics=server_metrics,
         saturation=saturation_block,
+        rollout=rollout_block,
     )
     if write_bench:
         path = bench_path(out_dir if out_dir is not None else Path.cwd(), spec.name)

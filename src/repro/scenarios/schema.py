@@ -234,6 +234,41 @@ class ServeSpec:
 
 
 @dataclass(frozen=True, eq=True)
+class RolloutSpec:
+    """Hot-swap rollout drill riding on the load harness (DESIGN.md §13).
+
+    When ``enabled``, the scenario runner boots a ``workers``-process
+    :class:`~repro.serve.pool.ServePool`, mounts a ``candidate_seed``
+    re-fit of the same pipeline as a shadow/A-B candidate, drives the
+    scenario's closed-loop traffic, and hot-swaps the primary artifact
+    after ``swap_after_fraction`` of the requests — asserting zero
+    dropped requests and recording the swap settle point in BENCH.
+    """
+
+    enabled: bool = False
+    workers: int = 2
+    swap_after_fraction: float = 0.5
+    candidate_seed: int = 101
+    mode: str = "shadow"
+    ab_fraction: float = 0.5
+
+    def validate(self, prefix: str = "rollout") -> "RolloutSpec":
+        _require(
+            isinstance(self.enabled, bool),
+            f"{prefix}.enabled",
+            f"expected a boolean, got {type(self.enabled).__name__}",
+        )
+        _as_int(self.workers, f"{prefix}.workers", minimum=1)
+        frac = _as_float(self.swap_after_fraction, f"{prefix}.swap_after_fraction", minimum=0.0)
+        _require(frac < 1.0, f"{prefix}.swap_after_fraction", f"must be < 1, got {frac}")
+        _as_int(self.candidate_seed, f"{prefix}.candidate_seed", minimum=0)
+        _as_str(self.mode, f"{prefix}.mode", choices=("shadow", "ab"))
+        ab = _as_float(self.ab_fraction, f"{prefix}.ab_fraction")
+        _require(0.0 < ab <= 1.0, f"{prefix}.ab_fraction", f"must be in (0, 1], got {ab}")
+        return self
+
+
+@dataclass(frozen=True, eq=True)
 class ScenarioSpec:
     """One complete scenario: everything a run needs, nothing ambient.
 
@@ -251,6 +286,7 @@ class ScenarioSpec:
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     slo: SLOSpec = field(default_factory=SLOSpec)
     serve: ServeSpec = field(default_factory=ServeSpec)
+    rollout: RolloutSpec = field(default_factory=RolloutSpec)
     fast: Optional[Mapping[str, Any]] = None
 
     def validate(self) -> "ScenarioSpec":
@@ -268,11 +304,21 @@ class ScenarioSpec:
         self.traffic.validate()
         self.slo.validate()
         self.serve.validate()
+        self.rollout.validate()
         if self.fast is not None:
             overrides = _as_section(self.fast, "fast")
             _no_unknown_keys(
                 overrides,
-                ("description", "dataset", "encoder", "model", "traffic", "slo", "serve"),
+                (
+                    "description",
+                    "dataset",
+                    "encoder",
+                    "model",
+                    "traffic",
+                    "slo",
+                    "serve",
+                    "rollout",
+                ),
                 "fast",
             )
         return self
@@ -285,6 +331,7 @@ _SECTION_TYPES = {
     "traffic": TrafficSpec,
     "slo": SLOSpec,
     "serve": ServeSpec,
+    "rollout": RolloutSpec,
 }
 
 
@@ -439,6 +486,7 @@ __all__ = [
     "DatasetSpec",
     "EncoderSpec",
     "ModelSpec",
+    "RolloutSpec",
     "SLOSpec",
     "ScenarioSpec",
     "ServeSpec",

@@ -21,10 +21,17 @@ Public surface:
   and its admission-control signal.
 * ``repro-serve`` CLI (:mod:`repro.serve.cli`) — serve a
   :mod:`repro.persist` artifact directory (``--workers/--shards/--mmap``
-  select the pool).
+  select the pool; ``--watch-artifact`` / ``--candidate-artifact`` wire
+  in the live lifecycle).
+
+Hot-swap reloads, shadow/A-B candidates and drift detection live in
+:mod:`repro.lifecycle` and surface here through ``POST /v1/admin/*``
+plus the :class:`~repro.serve.service.ReloadError` /
+:class:`~repro.serve.service.PredictFailedError` error codes.
 
 See DESIGN.md §9 for the scheduler's flush rules and error-to-status
-mapping, and §12 for the pool architecture and the ``/v1`` contract.
+mapping, §12 for the pool architecture and the ``/v1`` contract, and
+§13 for the model lifecycle.
 """
 
 from repro.serve.batcher import MicroBatcher, QueueFullError
@@ -35,6 +42,8 @@ from repro.serve.service import (
     InferenceService,
     NotReadyError,
     PayloadTooLargeError,
+    PredictFailedError,
+    ReloadError,
     ServeError,
     ValidationError,
 )
@@ -45,7 +54,9 @@ __all__ = [
     "ModelServer",
     "NotReadyError",
     "PayloadTooLargeError",
+    "PredictFailedError",
     "QueueFullError",
+    "ReloadError",
     "ServeConfig",
     "ServeError",
     "ServePool",

@@ -11,6 +11,13 @@ serves the artifact: N processes share one ``SO_REUSEPORT`` address and
 also resolve from the environment (``REPRO_SERVE_WORKERS``,
 ``REPRO_SERVE_SHARDS``, ``REPRO_SERVE_MMAP``); explicit flags win.
 
+Lifecycle flags (PR 10): ``--watch-artifact`` polls the served artifact
+directory and hot-swaps in place when its manifest sha changes;
+``--candidate-artifact`` mounts a second model for shadow or A/B
+(``--candidate-mode``, ``--ab-fraction``) evaluation; ``--drift-threshold``
+/ ``--drift-window`` tune the HDC traffic-vs-training drift monitor.
+Everything is also reachable at runtime through ``POST /v1/admin/*``.
+
 Exit codes: 0 = clean shutdown (Ctrl-C), 2 = bad arguments or an
 unloadable artifact.
 """
@@ -88,6 +95,36 @@ def build_parser() -> argparse.ArgumentParser:
             "env REPRO_SERVE_MMAP"
         ),
     )
+    parser.add_argument(
+        "--watch-artifact", action="store_true",
+        help="poll the artifact directory and hot-swap when its sha changes",
+    )
+    parser.add_argument(
+        "--watch-interval", type=float, default=defaults.watch_interval_s,
+        metavar="S", help="artifact watch poll period in seconds",
+    )
+    parser.add_argument(
+        "--candidate-artifact", default=None, metavar="DIR",
+        help="artifact to mount as the shadow/A-B candidate at startup",
+    )
+    parser.add_argument(
+        "--candidate-mode", choices=("shadow", "ab"),
+        default=defaults.candidate_mode,
+        help="candidate routing: mirrored shadow traffic or a live A/B split",
+    )
+    parser.add_argument(
+        "--ab-fraction", type=float, default=defaults.ab_fraction,
+        metavar="F", help="fraction of live requests A/B-routed to the candidate",
+    )
+    parser.add_argument(
+        "--drift-threshold", type=float, default=defaults.drift_threshold,
+        metavar="D",
+        help="normalised Hamming distance beyond which drift is flagged",
+    )
+    parser.add_argument(
+        "--drift-window", type=int, default=defaults.drift_window,
+        metavar="ROWS", help="soft row window for the traffic drift centroid",
+    )
     # Pre-PR-9 spellings; forwarded through resolve_serve_config's
     # renamed_kwargs shim, which emits the DeprecationWarning.
     parser.add_argument(
@@ -123,6 +160,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             queue_size=args.queue_size,
             max_rows_per_request=args.max_rows_per_request,
             log_requests=args.log_requests,
+            watch_artifact=args.watch_artifact,
+            watch_interval_s=args.watch_interval,
+            candidate_artifact=args.candidate_artifact,
+            candidate_mode=args.candidate_mode,
+            ab_fraction=args.ab_fraction,
+            drift_threshold=args.drift_threshold,
+            drift_window=args.drift_window,
             **pool_knobs,
         )
     except ValueError as exc:
@@ -148,14 +192,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{', mmap' if config.mmap else ''}]",
             flush=True,
         )
+        watcher = _start_watcher(config, args.artifact, pool=pool)
         try:
             pool.serve_forever()
         finally:
+            if watcher is not None:
+                watcher.stop()
             pool.stop()
         return 0
     try:
         server = ModelServer.from_artifact(args.artifact, config)
-    except ArtifactError as exc:
+        if config.candidate_artifact is not None:
+            server.service.mount_candidate(config.candidate_artifact)
+    except (ArtifactError, RuntimeError) as exc:  # ReloadError is a RuntimeError
         print(f"repro-serve: error: {exc}", file=sys.stderr)
         return 2
     host, port = server.start()
@@ -165,11 +214,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"on http://{host}:{port}",
         flush=True,
     )
+    watcher = _start_watcher(config, args.artifact, server=server)
     try:
         server.serve_forever()
     finally:
+        if watcher is not None:
+            watcher.stop()
         server.stop()
     return 0
+
+
+def _start_watcher(config, artifact: str, *, server=None, pool=None):
+    """Wire ``--watch-artifact`` to the right reload path, if enabled.
+
+    A single server reloads in place; a pool verifies once in the
+    supervisor and publishes a deploy record every worker applies.
+    """
+    if not config.watch_artifact:
+        return None
+    from repro.lifecycle import ArtifactWatcher
+    from repro.persist import artifact_sha
+
+    if pool is not None:
+        on_change = lambda path: pool.publish_deploy(artifact=path)  # noqa: E731
+    else:
+        on_change = lambda path: server.service.reload_artifact(path)  # noqa: E731
+    watcher = ArtifactWatcher(
+        artifact,
+        on_change,
+        interval_s=config.watch_interval_s,
+        initial_sha=artifact_sha(artifact),
+    )
+    watcher.start()
+    print(
+        f"repro-serve: watching {artifact} every {config.watch_interval_s}s "
+        f"for hot-swap",
+        flush=True,
+    )
+    return watcher
 
 
 if __name__ == "__main__":

@@ -68,6 +68,34 @@ class ServeConfig:
         Load the artifact's payloads as read-only memory maps
         (``load_artifact(..., mmap=True)``) so pool workers share one
         set of physical pages instead of copying the packed arrays.
+    watch_artifact:
+        Poll the served artifact directory for manifest-sha changes and
+        hot-swap in place when it moves (:class:`repro.lifecycle.watch.
+        ArtifactWatcher`).  Pool mode verifies once in the supervisor and
+        publishes a deploy record every worker applies.
+    watch_interval_s:
+        Poll period for ``watch_artifact``.
+    candidate_artifact:
+        Artifact directory mounted as a candidate at startup (shadow or
+        A/B per ``candidate_mode``).  ``None`` starts with an empty
+        candidate slot; candidates can always be mounted later through
+        ``POST /v1/admin/candidate``.
+    candidate_mode:
+        ``"shadow"`` mirrors primary traffic to the candidate
+        asynchronously; ``"ab"`` routes ``ab_fraction`` of live requests
+        to it.
+    ab_fraction:
+        Fraction of live traffic the A/B splitter routes to the
+        candidate (deterministic credit accumulator, not a coin flip).
+    drift_threshold:
+        Normalised Hamming-distance bound between the traffic centroid
+        and the artifact's training centroid; beyond it the
+        ``lifecycle.drift_alert`` gauge and the ``/readyz`` drift block
+        flag drift (informational — never a 503).
+    drift_window:
+        Soft size of the traffic-centroid window: once ``2 * window``
+        rows accumulate the counts are halved, so the centroid tracks
+        recent traffic instead of all history.
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +109,13 @@ class ServeConfig:
     workers: int = 1
     shards: int = 1
     mmap: bool = False
+    watch_artifact: bool = False
+    watch_interval_s: float = 2.0
+    candidate_artifact: Optional[str] = None
+    candidate_mode: str = "shadow"
+    ab_fraction: float = 0.5
+    drift_threshold: float = 0.25
+    drift_window: int = 2048
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -103,6 +138,26 @@ class ServeConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.watch_interval_s <= 0:
+            raise ValueError(
+                f"watch_interval_s must be > 0, got {self.watch_interval_s}"
+            )
+        if self.candidate_mode not in ("shadow", "ab"):
+            raise ValueError(
+                f"candidate_mode must be shadow|ab, got {self.candidate_mode!r}"
+            )
+        if not (0.0 < self.ab_fraction <= 1.0):
+            raise ValueError(
+                f"ab_fraction must be in (0, 1], got {self.ab_fraction}"
+            )
+        if not (0.0 <= self.drift_threshold <= 1.0):
+            raise ValueError(
+                f"drift_threshold must be in [0, 1], got {self.drift_threshold}"
+            )
+        if self.drift_window < 1:
+            raise ValueError(
+                f"drift_window must be >= 1, got {self.drift_window}"
+            )
 
 
 def _env_int(name: str) -> Optional[int]:

@@ -18,7 +18,21 @@ Endpoints:
   any dead worker turns every worker's ``/readyz`` 503.
 * ``GET /metrics`` — Prometheus text exposition via
   :func:`repro.obs.export.to_prometheus`, including the ``serve.*``
-  counters/histograms (queue depth, batch size, request latency).
+  counters/histograms (queue depth, batch size, request latency) and the
+  ``lifecycle.*`` series (reloads, shadow agreement, drift).
+
+Admin endpoints (PR 10, the live model lifecycle):
+
+* ``POST /v1/admin/reload`` — hot-swap the primary from an artifact
+  directory (body ``{"artifact": "path"}``; empty body re-reads the
+  artifact the primary was loaded from).
+* ``POST /v1/admin/candidate`` — mount (``{"artifact", "mode",
+  "fraction"}``), ``{"action": "unmount"}`` or ``{"action": "promote"}``
+  the shadow/A-B candidate.
+* ``POST /v1/admin/feedback`` — labelled follow-up rows (``{"rows",
+  "labels"}``) for the continual trainer, or ``{"build": "path"}`` to
+  snapshot it as a candidate artifact.
+* ``GET /v1/admin/lifecycle`` — routing/drift/follow-up status.
 
 Errors are structured (PR 9): every non-2xx body is
 ``{"error": {"code", "message", "detail"}}`` with a stable
@@ -31,6 +45,7 @@ anywhere the package itself runs.
 from __future__ import annotations
 
 import json
+import signal
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -39,11 +54,12 @@ from typing import Any, Optional, Tuple
 from repro.obs.export import to_prometheus
 from repro.serve.batcher import QueueFullError
 from repro.serve.config import ServeConfig
-from repro.serve.metrics import record_deprecated
+from repro.serve.metrics import record_deprecated, record_error
 from repro.serve.service import (
     InferenceService,
     NotReadyError,
     PayloadTooLargeError,
+    ReloadError,
     ServeError,
     ValidationError,
 )
@@ -181,6 +197,8 @@ def _make_handler(service: InferenceService, config: ServeConfig):
                     body.encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
+            elif path == "/v1/admin/lifecycle":
+                self._run_admin(service.lifecycle_status)
             else:
                 self._send_error_json(404, "not_found", f"unknown path {path!r}")
 
@@ -226,10 +244,11 @@ def _make_handler(service: InferenceService, config: ServeConfig):
                 return None
             return payload
 
-        def _predict(self, payload: dict) -> Optional[list]:
-            """Run the service; None means an error response was sent."""
+        def _predict(self, payload: dict) -> Optional[tuple]:
+            """Run the service; returns ``(predictions, model_block)`` or
+            None when an error response was already sent."""
             try:
-                return service.predict(payload["rows"])
+                return service.predict_with_info(payload["rows"])
             except QueueFullError as exc:
                 self._send_error_json(429, "queue_full", str(exc))
             except (
@@ -245,7 +264,136 @@ def _make_handler(service: InferenceService, config: ServeConfig):
                 self._send_error_json(status, exc.code, str(exc))
             except ServeError as exc:
                 self._send_error_json(500, exc.code, str(exc))
+            except Exception as exc:  # noqa: BLE001 — structured 500, never a dropped socket
+                record_error()
+                self._send_error_json(
+                    500, "internal", f"unexpected server error: {exc}"
+                )
             return None
+
+        def _read_json_body(self, *, allow_empty: bool = False):
+            """Parse an admin request body; ``(ok, payload_dict)``.
+
+            ``allow_empty`` maps a missing body to ``{}`` (e.g. a reload
+            of the currently-served artifact needs no parameters).
+            """
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                self._send_error_json(
+                    400, "invalid_request", "invalid Content-Length"
+                )
+                return False, {}
+            if length <= 0:
+                if allow_empty:
+                    return True, {}
+                self._send_error_json(400, "invalid_request", "empty request body")
+                return False, {}
+            if length > _MAX_BODY_BYTES:
+                self._send_error_json(
+                    413, "payload_too_large", "request body too large",
+                    {"max_bytes": _MAX_BODY_BYTES},
+                )
+                return False, {}
+            try:
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._send_error_json(
+                    400, "invalid_request", f"body is not valid JSON: {exc}"
+                )
+                return False, {}
+            if not isinstance(payload, dict):
+                self._send_error_json(
+                    400, "invalid_request", "body must be a JSON object"
+                )
+                return False, {}
+            return True, payload
+
+        def _run_admin(self, fn) -> None:
+            """Run an admin operation, translating the error hierarchy."""
+            try:
+                result = fn()
+            except (ReloadError, ValidationError) as exc:
+                self._send_error_json(400, exc.code, str(exc))
+                return
+            except NotReadyError as exc:
+                self._send_error_json(503, exc.code, str(exc))
+                return
+            except ServeError as exc:
+                self._send_error_json(500, exc.code, str(exc))
+                return
+            except Exception as exc:  # noqa: BLE001 — structured 500
+                self._send_error_json(
+                    500, "internal", f"admin operation failed: {exc}"
+                )
+                return
+            self._send_json(200, result)
+
+        def _handle_admin_candidate(self, payload: dict) -> None:
+            action = payload.get("action", "mount")
+            if action == "unmount":
+                self._run_admin(service.unmount_candidate)
+            elif action == "promote":
+                self._run_admin(service.promote_candidate)
+            elif action == "mount":
+                artifact = payload.get("artifact")
+                if not isinstance(artifact, str) or not artifact:
+                    self._send_error_json(
+                        400, "invalid_request",
+                        'mounting a candidate needs {"artifact": "path"}',
+                    )
+                    return
+                mode = payload.get("mode")
+                if mode is not None and not isinstance(mode, str):
+                    self._send_error_json(
+                        400, "invalid_request", "mode must be a string"
+                    )
+                    return
+                fraction = payload.get("fraction")
+                if fraction is not None and not isinstance(fraction, (int, float)):
+                    self._send_error_json(
+                        400, "invalid_request", "fraction must be a number"
+                    )
+                    return
+                self._run_admin(
+                    lambda: service.mount_candidate(
+                        artifact, mode=mode, fraction=fraction
+                    )
+                )
+            else:
+                self._send_error_json(
+                    400, "invalid_request",
+                    f"unknown candidate action {action!r}",
+                )
+
+        def _handle_admin_feedback(self, payload: dict) -> None:
+            if "rows" in payload:
+                if not isinstance(payload.get("labels"), (list, tuple)):
+                    self._send_error_json(
+                        400, "invalid_request",
+                        'feedback needs {"rows": [[...]], "labels": [...]}',
+                    )
+                    return
+                self._run_admin(
+                    lambda: service.feedback(payload["rows"], payload["labels"])
+                )
+            elif "build" in payload:
+                build = payload["build"]
+                if not isinstance(build, str) or not build:
+                    self._send_error_json(
+                        400, "invalid_request", "build must be an artifact path"
+                    )
+                    return
+                self._run_admin(
+                    lambda: service.build_follow_up_candidate(
+                        build, mount=bool(payload.get("mount", False))
+                    )
+                )
+            else:
+                self._send_error_json(
+                    400, "invalid_request",
+                    'feedback body must carry "rows"/"labels" or "build"',
+                )
 
         def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
             path = self.path.split("?", 1)[0]
@@ -253,15 +401,18 @@ def _make_handler(service: InferenceService, config: ServeConfig):
                 payload = self._read_predict_payload()
                 if payload is None:
                     return
-                predictions = self._predict(payload)
-                if predictions is None:
+                result = self._predict(payload)
+                if result is None:
                     return
+                predictions, model_block = result
                 self._send_json(
                     200,
                     {
                         "predictions": predictions,
                         "n": len(predictions),
-                        "model": service.model_info(),
+                        # The handle that actually served the request, so
+                        # post-swap responses carry the new artifact_sha.
+                        "model": model_block,
                         "request_id": payload.get("request_id"),
                     },
                 )
@@ -274,14 +425,36 @@ def _make_handler(service: InferenceService, config: ServeConfig):
                 payload = self._read_predict_payload()
                 if payload is None:
                     return
-                predictions = self._predict(payload)
-                if predictions is None:
+                result = self._predict(payload)
+                if result is None:
                     return
+                predictions = result[0]
                 self._send_json(
                     200,
                     {"predictions": predictions, "n": len(predictions)},
                     deprecation_headers,
                 )
+            elif path == "/v1/admin/reload":
+                ok, payload = self._read_json_body(allow_empty=True)
+                if not ok:
+                    return
+                artifact = payload.get("artifact")
+                if artifact is not None and not isinstance(artifact, str):
+                    self._send_error_json(
+                        400, "invalid_request", "artifact must be a path string"
+                    )
+                    return
+                self._run_admin(lambda: service.reload_artifact(artifact))
+            elif path == "/v1/admin/candidate":
+                ok, payload = self._read_json_body()
+                if not ok:
+                    return
+                self._handle_admin_candidate(payload)
+            elif path == "/v1/admin/feedback":
+                ok, payload = self._read_json_body()
+                if not ok:
+                    return
+                self._handle_admin_feedback(payload)
             else:
                 self._send_error_json(404, "not_found", f"unknown path {path!r}")
 
@@ -384,17 +557,31 @@ class ModelServer:
         self.service.stop()
 
     def serve_forever(self) -> None:
-        """Blocking variant for the CLI; Ctrl-C stops cleanly."""
+        """Blocking variant for the CLI; Ctrl-C or SIGTERM stops cleanly.
+
+        SIGTERM is what init systems, containers, and CI runners send —
+        and a non-interactive shell backgrounding the CLI with ``&``
+        leaves SIGINT ignored, so it is the only reliable stop signal
+        there.  The handler just sets an event (no locks: it runs on
+        the main thread, possibly mid-critical-section).
+        """
         self.start()
         with self._lifecycle:
             thread = self._thread
         assert thread is not None
+        shutdown = threading.Event()
         try:
-            while thread.is_alive():
+            previous = signal.signal(signal.SIGTERM, lambda *_: shutdown.set())
+        except ValueError:  # not the main thread; Ctrl-C still applies
+            previous = None
+        try:
+            while thread.is_alive() and not shutdown.is_set():
                 thread.join(timeout=0.5)
         except KeyboardInterrupt:
             pass
         finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
             self.stop()
 
     def __enter__(self) -> "ModelServer":

@@ -17,6 +17,8 @@ no second registry, no new exposition code.  Names (after the exporter's
 ``serve.request_seconds`` histogram  submit→response latency per request
 ``serve.flush_seconds``   histogram  model-call duration per flush
 ``serve.model_loaded``    gauge      1 while a model is serving
+``serve.worker_restarts`` counter    dead pool workers replaced by the
+                                     supervisor
 ========================  =========  =====================================
 
 The registry's metric *objects* are not internally locked (`add` /
@@ -102,6 +104,31 @@ def set_model_loaded(loaded: bool) -> None:
         ).set(1.0 if loaded else 0.0)
 
 
+def record_worker_restart() -> None:
+    """One dead pool worker replaced by the supervisor."""
+    with _LOCK:
+        _counter(
+            "serve.worker_restarts",
+            "Dead pool workers replaced by the supervisor.",
+        ).add(1)
+
+
+def worker_restarts_snapshot() -> dict:
+    """The restart counter's registry snapshot (supervisor-side).
+
+    The supervisor is not a worker: it has no flush loop, so its restart
+    counter is folded into the pool-wide ``/metrics`` view by writing
+    this snapshot to a ``metrics-supervisor.json`` scratch file.
+    """
+    with _LOCK:
+        snap = REGISTRY.collect()
+    return {
+        name: value
+        for name, value in snap.items()
+        if name == "serve.worker_restarts"
+    }
+
+
 __all__ = [
     "COUNT_BUCKETS",
     "record_deprecated",
@@ -109,5 +136,7 @@ __all__ = [
     "record_flush",
     "record_rejected",
     "record_request",
+    "record_worker_restart",
     "set_model_loaded",
+    "worker_restarts_snapshot",
 ]

@@ -36,6 +36,27 @@ children from a monitor thread; every worker's ``GET /readyz`` checks
 the roster (plus a direct liveness probe of its siblings), so one dead
 worker turns the whole pool's ``/readyz`` 503 even though the kernel
 still happily routes connections to the survivors.
+
+Worker restarts (PR 10)
+-----------------------
+The monitor thread also *replaces* dead workers: a crashed child is
+re-forked with bounded exponential backoff (up to
+:data:`MAX_WORKER_RESTARTS` replacements per pool lifetime, so a
+crash-looping artifact cannot fork-bomb the host), counted by the
+``serve.worker_restarts`` metric, which the supervisor folds into the
+pool-wide ``/metrics`` view through a ``metrics-supervisor.json``
+scratch snapshot.
+
+Lifecycle propagation (PR 10)
+-----------------------------
+Hot-swaps and candidate mounts reach every worker through a
+``deploy.json`` record in the scratch directory: whoever initiates the
+change (the supervisor's :meth:`ServePool.publish_deploy`, or the one
+worker whose admin endpoint took the request, via the
+``service.pool_publish`` hook) verifies the artifact once and writes the
+desired state with a bumped ``deploy_id``; every worker picks it up at
+its next metrics-flush tick (within :data:`FLUSH_PERIOD_S`) and applies
+it idempotently — re-forked workers catch up before marking ready.
 """
 
 from __future__ import annotations
@@ -57,16 +78,28 @@ from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.export import to_prometheus
 from repro.serve.config import ServeConfig
 from repro.serve.http import ModelServer
+from repro.serve.metrics import record_worker_restart, worker_restarts_snapshot
 from repro.serve.service import InferenceService
 
 #: How long ServePool.start() waits for every worker's ready marker.
 READY_TIMEOUT_S = 30.0
 #: Supervisor monitor-thread poll period (child reaping + roster refresh).
 MONITOR_POLL_S = 0.1
-#: Worker metrics-snapshot flush period.
+#: Worker metrics-snapshot flush period (also the deploy-record poll).
 FLUSH_PERIOD_S = 0.5
+#: First restart backoff; doubles per replacement up to the max below.
+RESTART_BACKOFF_S = 0.5
+RESTART_BACKOFF_MAX_S = 10.0
+#: Replacements per pool lifetime — a crash-looping artifact must not
+#: turn the supervisor into a fork bomb.
+MAX_WORKER_RESTARTS = 16
 
 _ROSTER_NAME = "pool.json"
+_DEPLOY_NAME = "deploy.json"
+_SUPERVISOR_METRICS_NAME = "metrics-supervisor.json"
+
+#: publish_deploy sentinel: "leave the candidate slot untouched".
+_UNSET: Any = object()
 
 
 def _write_json_atomic(path: Path, payload: Any) -> None:
@@ -129,6 +162,74 @@ def _pool_ready(scratch: Path) -> Tuple[bool, Any]:
     return True, roster
 
 
+# ----------------------------------------------------------------------
+# Deploy-record plumbing (lifecycle fan-out across workers)
+# ----------------------------------------------------------------------
+def _publish_deploy_record(scratch: Path, record: Dict[str, Any]) -> int:
+    """Write ``record`` to ``deploy.json`` with the next ``deploy_id``.
+
+    The read-increment-write is not atomic across processes, but deploy
+    semantics are last-write-wins desired state, so a lost increment in
+    the (rare) race of two simultaneous publishers just coalesces the
+    two publishes into one.
+    """
+    path = scratch / _DEPLOY_NAME
+    existing = _read_json(path)
+    last = existing.get("deploy_id", 0) if isinstance(existing, dict) else 0
+    record = dict(record, deploy_id=int(last) + 1)
+    _write_json_atomic(path, record)
+    return record["deploy_id"]
+
+
+def _apply_candidate(service: InferenceService, desired: Optional[dict]) -> None:
+    """Converge the worker's candidate slot onto the deploy record's."""
+    current = service.lifecycle_status()["candidate"]
+    if desired is None:
+        if current is not None:
+            service.unmount_candidate(publish=False)
+        return
+    if (
+        current is not None
+        and current.get("artifact_sha") == desired.get("artifact_sha")
+        and current.get("mode") == desired.get("mode")
+        and current.get("fraction") == desired.get("fraction")
+    ):
+        return
+    service.mount_candidate(
+        desired["artifact"],
+        mode=desired.get("mode"),
+        fraction=desired.get("fraction"),
+        verify=False,  # the publisher verified once, same trust domain
+        publish=False,
+    )
+
+
+def _apply_deploy(scratch: Path, service: InferenceService, applied_id: int) -> int:
+    """Apply any deploy record newer than ``applied_id``; returns its id.
+
+    Idempotent: the worker that initiated (and already applied) a change
+    sees its own record, finds the shas already match, and does nothing.
+    A record that fails to apply is still marked applied — retrying a
+    broken deploy every flush tick would melt the worker; the next
+    *successful* publish supersedes it.
+    """
+    record = _read_json(scratch / _DEPLOY_NAME)
+    if not isinstance(record, dict):
+        return applied_id
+    deploy_id = int(record.get("deploy_id", 0))
+    if deploy_id <= applied_id:
+        return applied_id
+    try:
+        artifact = record.get("artifact")
+        if artifact is not None and record.get("artifact_sha") != service.artifact_sha:
+            service.reload_artifact(artifact, verify=False, publish=False)
+        if "candidate" in record:
+            _apply_candidate(service, record["candidate"])
+    except Exception:
+        traceback.print_exc()
+    return deploy_id
+
+
 class ServePool:
     """Supervisor for a pre-fork pool of model-serving workers.
 
@@ -176,11 +277,15 @@ class ServePool:
         self._dead: Dict[int, int] = {}  # pid -> exit status
         self._started = False
         self._stopping = False
+        self._ready = False  # restarts only begin after a clean boot
         self._scratch: Optional[Path] = None
         self._socket: Optional[socket.socket] = None  # placeholder or listener
         self._address: Optional[Tuple[str, int]] = None
         self._monitor_thread: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
+        self._resolved: Optional[ServeConfig] = None  # post-bind config
+        self._restarts = 0
+        self._restart_at = 0.0  # monotonic deadline for the next restart
 
     # -- address -------------------------------------------------------
     @property
@@ -210,6 +315,8 @@ class ServePool:
                 raise RuntimeError("pool is already started (one-shot lifecycle)")
             self._started = True
         verify_artifact(self.artifact)  # once, streamed; workers skip it
+        if self.config.candidate_artifact is not None:
+            verify_artifact(self.config.candidate_artifact)
         scratch = Path(tempfile.mkdtemp(prefix="repro-serve-pool-"))
         shared = self._bind_shared_socket()
         host, port = shared.getsockname()[:2]
@@ -218,6 +325,7 @@ class ServePool:
             self._scratch = scratch
             self._socket = shared
             self._address = (str(host), int(port))
+            self._resolved = resolved
         pids = [
             self._fork_worker(resolved, scratch, shared)
             for _ in range(self.config.workers)
@@ -232,6 +340,8 @@ class ServePool:
         thread.start()
         self._await_ready(scratch, pids)
         self._write_roster()
+        with self._lock:
+            self._ready = True
         return (str(host), int(port))
 
     def stop(self) -> None:
@@ -266,24 +376,36 @@ class ServePool:
             self._socket = None
 
     def serve_forever(self) -> None:
-        """Blocking variant for the CLI; Ctrl-C stops the pool cleanly.
+        """Blocking variant for the CLI; Ctrl-C or SIGTERM stops cleanly.
 
         Starts the pool unless the caller already did (the CLI starts it
-        first to print the bound address).
+        first to print the bound address).  SIGTERM matters beyond
+        politeness: init systems, containers, and CI runners stop
+        services with it, and a non-interactive shell backgrounding the
+        CLI with ``&`` leaves SIGINT ignored (so Ctrl-C semantics never
+        exist there at all).  The handler only sets an event — it runs
+        on the main thread, possibly mid-critical-section, so it must
+        not touch locks.
         """
         with self._lock:
             started = self._started
         if not started:
             self.start()
+        shutdown = threading.Event()
         try:
-            while True:
-                time.sleep(0.5)
+            previous = signal.signal(signal.SIGTERM, lambda *_: shutdown.set())
+        except ValueError:  # not the main thread; Ctrl-C still applies
+            previous = None
+        try:
+            while not shutdown.wait(0.5):
                 with self._lock:
                     if self._stopping:
                         break
         except KeyboardInterrupt:
             pass
         finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
             self.stop()
 
     def __enter__(self) -> "ServePool":
@@ -372,7 +494,7 @@ class ServePool:
             time.sleep(0.02)
 
     def _monitor(self) -> None:
-        """Reap dead children and keep the roster file current."""
+        """Reap dead children, restart them, keep the roster current."""
         while not self._monitor_stop.is_set():
             changed = False
             with self._lock:
@@ -388,7 +510,58 @@ class ServePool:
                     changed = True
             if changed:
                 self._write_roster()
+            self._maybe_restart()
             self._monitor_stop.wait(MONITOR_POLL_S)
+
+    def _maybe_restart(self) -> None:
+        """Replace one dead worker per backoff window.
+
+        Only after a clean boot (``_ready``): a pool whose workers never
+        came up should fail :meth:`start`, not crash-loop.  The backoff
+        doubles per replacement (capped at :data:`RESTART_BACKOFF_MAX_S`)
+        and :data:`MAX_WORKER_RESTARTS` bounds the pool's lifetime total.
+        """
+        with self._lock:
+            if self._stopping or not self._ready or self._resolved is None:
+                return
+            dead = [pid for pid in self._children if pid in self._dead]
+            if not dead or self._restarts >= MAX_WORKER_RESTARTS:
+                return
+            if time.monotonic() < self._restart_at:
+                return
+            pid = dead[0]
+            resolved = self._resolved
+            scratch = self._scratch
+            shared = self._socket
+            restarts = self._restarts
+        if scratch is None or shared is None:
+            return
+        new_pid = self._fork_worker(resolved, scratch, shared)
+        backoff = min(
+            RESTART_BACKOFF_S * (2 ** min(restarts, 6)), RESTART_BACKOFF_MAX_S
+        )
+        with self._lock:
+            self._children[self._children.index(pid)] = new_pid
+            self._dead.pop(pid, None)
+            self._restarts += 1
+            self._restart_at = time.monotonic() + backoff
+        record_worker_restart()
+        self._flush_supervisor_metrics()
+        self._write_roster()
+
+    def _flush_supervisor_metrics(self) -> None:
+        """Fold the supervisor's restart counter into the pool metrics.
+
+        The supervisor has no flush loop of its own; its snapshot file
+        rides the same ``metrics-*.json`` glob the workers' files do.
+        """
+        with self._lock:
+            scratch = self._scratch
+            if self._stopping or scratch is None:
+                return
+        snap = worker_restarts_snapshot()
+        if snap:
+            _write_json_atomic(scratch / _SUPERVISOR_METRICS_NAME, snap)
 
     def _write_roster(self) -> None:
         with self._lock:
@@ -405,10 +578,59 @@ class ServePool:
         }
         _write_json_atomic(scratch / _ROSTER_NAME, roster)
 
+    # -- lifecycle fan-out ---------------------------------------------
+    def publish_deploy(
+        self,
+        *,
+        artifact: Optional[str] = None,
+        candidate: Any = _UNSET,
+        verify: bool = True,
+    ) -> int:
+        """Publish a desired lifecycle state every worker converges onto.
+
+        ``artifact`` hot-swaps the primary; ``candidate`` is a
+        ``{"artifact", "mode", "fraction"}`` dict to mount, ``None`` to
+        unmount, or omitted to leave the slot untouched.  Artifacts are
+        verified here **once**; workers apply with ``verify=False``.
+        Returns the published ``deploy_id``.
+        """
+        from repro.persist import artifact_sha, verify_artifact
+
+        with self._lock:
+            scratch = self._scratch
+            started = self._started and not self._stopping
+        if scratch is None or not started:
+            raise RuntimeError("pool is not started")
+        record: Dict[str, Any] = {}
+        if artifact is not None:
+            if verify:
+                verify_artifact(artifact)
+            record["artifact"] = str(artifact)
+            record["artifact_sha"] = artifact_sha(artifact)
+        if candidate is not _UNSET:
+            if candidate is None:
+                record["candidate"] = None
+            else:
+                desired = dict(candidate)
+                if "artifact" not in desired:
+                    raise ValueError('candidate needs an "artifact" path')
+                if verify:
+                    verify_artifact(desired["artifact"])
+                desired.setdefault(
+                    "artifact_sha", artifact_sha(desired["artifact"])
+                )
+                record["candidate"] = desired
+        return _publish_deploy_record(scratch, record)
+
     # -- introspection -------------------------------------------------
     def worker_pids(self) -> List[int]:
         with self._lock:
             return [pid for pid in self._children if pid not in self._dead]
+
+    def restart_count(self) -> int:
+        """Workers replaced since start (see ``serve.worker_restarts``)."""
+        with self._lock:
+            return self._restarts
 
 
 def _worker_main(
@@ -432,13 +654,31 @@ def _worker_main(
     # into SIGTERM per worker, so workers ignore the raw SIGINT.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     service = InferenceService.from_artifact(artifact, config, verify=False)
+    if config.candidate_artifact is not None:
+        # The supervisor verified the configured candidate before forking.
+        service.mount_candidate(
+            config.candidate_artifact, verify=False, publish=False
+        )
 
     def pool_metrics() -> str:
         _flush_metrics(scratch)  # our own counts first, then everyone's
         return _aggregate_metrics(scratch)
 
+    def pool_publish(
+        *, artifact: Optional[str], artifact_sha: Optional[str], candidate: Any
+    ) -> None:
+        # An admin request lands on whichever worker the kernel picked;
+        # that worker has already applied the change locally and here
+        # publishes its (fully known) state for the siblings.
+        record: Dict[str, Any] = {"candidate": candidate}
+        if artifact is not None:
+            record["artifact"] = artifact
+            record["artifact_sha"] = artifact_sha
+        _publish_deploy_record(scratch, record)
+
     service.pool_ready = lambda: _pool_ready(scratch)
     service.pool_metrics = pool_metrics
+    service.pool_publish = pool_publish
     server = ModelServer(
         service,
         config,
@@ -446,10 +686,14 @@ def _worker_main(
         listen_socket=listen_socket,
     )
     server.start()
+    # Catch up on any deploy published before this worker existed (a
+    # restarted worker boots from the original artifact path).
+    applied = _apply_deploy(scratch, service, 0)
     _flush_metrics(scratch)
     (scratch / f"ready-{os.getpid()}").touch()
     while not stop.wait(FLUSH_PERIOD_S):
         _flush_metrics(scratch)
+        applied = _apply_deploy(scratch, service, applied)
     server.stop()
     _flush_metrics(scratch)
     sys.stderr.flush()

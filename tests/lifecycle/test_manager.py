@@ -1,0 +1,234 @@
+"""ModelLifecycle: atomic swap, the candidate slot, deterministic A/B.
+
+Pins the swap-safety contract of DESIGN.md §13: a swap is one reference
+assignment (old handles stay valid for requests in flight), generations
+only ever increase, and the A/B splitter is a low-discrepancy credit
+accumulator — a 0.25 split routes exactly one request in four.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import ModelHandle, ModelLifecycle
+from repro.obs.metrics import REGISTRY
+from repro.persist import SCHEMA_VERSION
+
+
+class _Stub:
+    """Minimal model: predicts a constant label."""
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def predict(self, rows):
+        return np.full(np.asarray(rows).shape[0], self.label)
+
+
+class _FakeShadow:
+    """Records submit/stop calls; ``accept`` drives the return value."""
+
+    def __init__(self, accept: bool = True) -> None:
+        self.accept = accept
+        self.submitted = []
+        self.stopped = False
+
+    def submit(self, rows, primary_out) -> bool:
+        if not self.accept:
+            return False
+        self.submitted.append((rows, primary_out))
+        return True
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def describe(self):
+        return {"running": not self.stopped}
+
+
+def _counter(name: str) -> float:
+    metric = REGISTRY.get(name)
+    return float(metric.value) if metric is not None else 0.0
+
+
+@pytest.fixture()
+def lifecycle():
+    return ModelLifecycle(ModelHandle(model=_Stub(0), artifact_sha="aa", path="/a"))
+
+
+# -- swap --------------------------------------------------------------
+
+
+def test_swap_bumps_generation_and_replaces_primary(lifecycle):
+    old = lifecycle.primary()
+    assert old.generation == 0
+    new = lifecycle.swap(_Stub(1), artifact_sha="bb", path="/b", seconds=0.01)
+    assert new.generation == 1
+    assert lifecycle.primary() is new
+    assert lifecycle.primary().artifact_sha == "bb"
+    # The old handle is an immutable snapshot: a request that grabbed it
+    # before the swap still finishes on the model it started with.
+    assert old.model.label == 0
+    assert old.artifact_sha == "aa"
+
+
+def test_generation_is_monotonic_even_for_same_sha(lifecycle):
+    lifecycle.swap(_Stub(1), artifact_sha="aa", path="/a")
+    lifecycle.swap(_Stub(2), artifact_sha="aa", path="/a")
+    assert lifecycle.primary().generation == 2
+
+
+def test_handle_info_is_the_envelope_model_block(lifecycle):
+    info = lifecycle.primary().info(SCHEMA_VERSION)
+    assert info == {
+        "kind": "_Stub",
+        "schema_version": SCHEMA_VERSION,
+        "artifact_sha": "aa",
+    }
+
+
+# -- candidate slot ----------------------------------------------------
+
+
+def test_mount_validates_mode_and_fraction(lifecycle):
+    with pytest.raises(ValueError, match="mode"):
+        lifecycle.mount_candidate(_Stub(1), artifact_sha=None, path=None, mode="canary")
+    for bad in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError, match="fraction"):
+            lifecycle.mount_candidate(
+                _Stub(1), artifact_sha=None, path=None, mode="ab", fraction=bad
+            )
+
+
+def test_mount_replaces_and_stops_previous_shadow(lifecycle):
+    first = _FakeShadow()
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="shadow", shadow=first
+    )
+    lifecycle.mount_candidate(_Stub(2), artifact_sha="cc", path="/c", mode="shadow")
+    assert first.stopped
+    assert lifecycle.candidate().handle.artifact_sha == "cc"
+
+
+def test_unmount_empties_the_slot_and_stops_the_shadow(lifecycle):
+    shadow = _FakeShadow()
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="shadow", shadow=shadow
+    )
+    assert lifecycle.unmount_candidate() is True
+    assert shadow.stopped
+    assert lifecycle.candidate() is None
+    assert lifecycle.unmount_candidate() is False  # already empty
+
+
+def test_promote_moves_candidate_to_primary(lifecycle):
+    lifecycle.mount_candidate(_Stub(7), artifact_sha="bb", path="/b", mode="ab")
+    handle = lifecycle.promote_candidate()
+    assert handle.generation == 1
+    assert lifecycle.primary().artifact_sha == "bb"
+    assert lifecycle.primary().model.label == 7
+    assert lifecycle.candidate() is None
+
+
+def test_promote_without_candidate_raises(lifecycle):
+    with pytest.raises(RuntimeError, match="no candidate"):
+        lifecycle.promote_candidate()
+
+
+# -- A/B routing -------------------------------------------------------
+
+
+def test_ab_split_is_exact_not_a_coin_flip(lifecycle):
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="ab", fraction=0.25
+    )
+    routed = [lifecycle.take_ab_slot() is not None for _ in range(100)]
+    assert sum(routed) == 25
+    # Low-discrepancy: the candidate serves every 4th request exactly.
+    assert all(routed[i] == ((i + 1) % 4 == 0) for i in range(100))
+
+
+def test_ab_fraction_one_routes_every_request(lifecycle):
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="ab", fraction=1.0
+    )
+    assert all(lifecycle.take_ab_slot() is not None for _ in range(10))
+
+
+def test_shadow_candidate_never_takes_ab_slots(lifecycle):
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="shadow", shadow=_FakeShadow()
+    )
+    assert all(lifecycle.take_ab_slot() is None for _ in range(10))
+
+
+def test_remount_resets_ab_credit(lifecycle):
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="ab", fraction=0.5
+    )
+    lifecycle.take_ab_slot()  # credit 0.5
+    lifecycle.mount_candidate(
+        _Stub(2), artifact_sha="cc", path="/c", mode="ab", fraction=0.5
+    )
+    # Fresh accumulator: first post-remount request must not be routed.
+    assert lifecycle.take_ab_slot() is None
+    assert lifecycle.take_ab_slot() is not None
+
+
+# -- mirroring ---------------------------------------------------------
+
+
+def test_mirror_hands_batches_to_the_shadow(lifecycle):
+    shadow = _FakeShadow()
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="shadow", shadow=shadow
+    )
+    rows = np.zeros((3, 2))
+    lifecycle.mirror(rows, np.zeros(3))
+    assert len(shadow.submitted) == 1
+
+
+def test_mirror_counts_drops_when_the_shadow_queue_is_full(lifecycle):
+    shadow = _FakeShadow(accept=False)
+    lifecycle.mount_candidate(
+        _Stub(1), artifact_sha="bb", path="/b", mode="shadow", shadow=shadow
+    )
+    before = _counter("lifecycle.shadow_dropped")
+    lifecycle.mirror(np.zeros((2, 2)), np.zeros(2))
+    assert _counter("lifecycle.shadow_dropped") == before + 1
+
+
+def test_mirror_is_a_noop_without_a_shadow(lifecycle):
+    lifecycle.mirror(np.zeros((2, 2)), np.zeros(2))  # must not raise
+    lifecycle.mount_candidate(_Stub(1), artifact_sha="bb", path="/b", mode="ab")
+    lifecycle.mirror(np.zeros((2, 2)), np.zeros(2))
+
+
+# -- introspection -----------------------------------------------------
+
+
+def test_describe_reports_primary_and_candidate(lifecycle):
+    shadow = _FakeShadow()
+    lifecycle.mount_candidate(
+        _Stub(1),
+        artifact_sha="bb",
+        path="/b",
+        mode="shadow",
+        fraction=0.5,
+        shadow=shadow,
+    )
+    out = lifecycle.describe()
+    assert out["primary"] == {
+        "kind": "_Stub",
+        "artifact_sha": "aa",
+        "path": "/a",
+        "generation": 0,
+    }
+    assert out["candidate"]["artifact_sha"] == "bb"
+    assert out["candidate"]["mode"] == "shadow"
+    assert out["candidate"]["shadow"] == {"running": True}
+
+
+def test_describe_candidate_none_when_slot_empty(lifecycle):
+    assert lifecycle.describe()["candidate"] is None

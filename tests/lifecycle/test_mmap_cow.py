@@ -1,0 +1,103 @@
+"""Hot-swap over mmap'd artifacts: copy-on-write protects the store.
+
+PR 9 introduced read-only mmap adoption; PR 10 makes the replaced model
+outlive the swap (requests in flight, a still-mounted candidate, a
+follow-up trainer holding the encoder).  The contract: mutating a
+replaced mmap-backed store promotes it to a private heap copy, and the
+artifact bytes on disk — possibly being re-mapped by a sibling worker
+right now — stay bit-identical and verifiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.records import RecordEncoder
+from repro.core.search import HDIndex
+from repro.lifecycle import ModelHandle, ModelLifecycle
+from repro.persist import artifact_sha, load_artifact, save_artifact, verify_artifact
+from repro.serve import ModelServer, ServeConfig
+
+DIM = 256
+
+
+@pytest.fixture(scope="module")
+def fitted_encoder(pima_r):
+    return RecordEncoder(specs=pima_r.specs, dim=DIM, seed=7).fit(pima_r.X)
+
+
+@pytest.fixture(scope="module")
+def index_artifacts(tmp_path_factory, pima_r, fitted_encoder):
+    """Two HDIndex artifacts: the served store and its hot-swap successor."""
+    packed = fitted_encoder.transform(pima_r.X)
+    root = tmp_path_factory.mktemp("cow")
+    paths = []
+    for name, rows in (("old", packed[:64]), ("new", packed[:96])):
+        index = HDIndex(dim=DIM)
+        index.add_batch(list(range(len(rows))), rows)
+        path = root / name
+        save_artifact(index, path)
+        paths.append(path)
+    return paths
+
+
+def test_swap_then_mutate_promotes_the_replaced_store(index_artifacts):
+    old_path, new_path = index_artifacts
+    old_sha = artifact_sha(old_path)
+    old_index = load_artifact(old_path, mmap=True)
+    lifecycle = ModelLifecycle(
+        ModelHandle(model=old_index, artifact_sha=old_sha, path=str(old_path))
+    )
+    replaced = lifecycle.primary()
+    assert not replaced.model._buf.flags.writeable  # mapped read-only
+
+    new_index = load_artifact(new_path, mmap=True)
+    lifecycle.swap(
+        new_index, artifact_sha=artifact_sha(new_path), path=str(new_path)
+    )
+    assert len(lifecycle.primary().model) == 96
+
+    # A worker still holding the replaced handle keeps mutating its
+    # store (e.g. a follow-up accumulation): the write must land in a
+    # private copy, never in the shared file pages.
+    replaced.model.add(9999, np.zeros(DIM // 64, dtype=np.uint64))
+    assert replaced.model._buf.flags.writeable
+    assert len(replaced.model) == 65
+
+    # The artifact a sibling would map right now is untouched.
+    assert artifact_sha(old_path) == old_sha
+    verify_artifact(old_path)
+    remapped = load_artifact(old_path, mmap=True)
+    assert len(remapped) == 64
+    # And the new primary's mapping never saw the old handle's write.
+    assert len(lifecycle.primary().model) == 96
+
+
+def test_service_reload_under_mmap_keeps_old_model_usable(
+    tmp_path_factory, pima_r, fitted_encoder
+):
+    """A served pipeline hot-swapped under ``mmap=True``: the old model's
+    packed prototypes stay readable for requests that started on it."""
+    from repro.core.classifier import PrototypeClassifier
+    from repro.ml.pipeline import HDCFeaturePipeline
+
+    root = tmp_path_factory.mktemp("cow-serve")
+    pipe = HDCFeaturePipeline(fitted_encoder, PrototypeClassifier(dim=DIM)).fit(
+        pima_r.X, pima_r.y
+    )
+    path_a, path_b = root / "a", root / "b"
+    save_artifact(pipe, path_a)
+    save_artifact(pipe, path_b, meta={"rebuild": True})
+
+    config = ServeConfig(port=0, mmap=True)
+    with ModelServer.from_artifact(path_a, config) as srv:
+        old_model = srv.service.model
+        expected = old_model.predict(pima_r.X[:4])
+        srv.service.reload_artifact(str(path_b))
+        assert srv.service.artifact_sha == artifact_sha(path_b)
+        # The replaced mmap-backed model still answers — its pages are
+        # alive as long as the handle is.
+        np.testing.assert_array_equal(old_model.predict(pima_r.X[:4]), expected)
+    verify_artifact(path_a)
+    verify_artifact(path_b)

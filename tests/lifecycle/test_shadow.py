@@ -1,0 +1,114 @@
+"""ShadowRunner: async mirrored traffic that can never hurt the primary.
+
+The contract under test: submits are non-blocking (full queue = counted
+drop), candidate exceptions are swallowed and metered, agreement is
+scored elementwise, and disagreeing rows land in a bounded ring log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import ShadowRunner
+from repro.obs.metrics import REGISTRY
+
+
+class _Constant:
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def predict(self, rows):
+        return np.full(np.asarray(rows).shape[0], self.label)
+
+
+class _Broken:
+    def predict(self, rows):
+        raise RuntimeError("candidate exploded")
+
+
+def _counter(name: str) -> float:
+    metric = REGISTRY.get(name)
+    return float(metric.value) if metric is not None else 0.0
+
+
+def test_agreement_and_disagreement_scoring():
+    runner = ShadowRunner(_Constant(1)).start()
+    try:
+        rows = np.arange(6.0).reshape(3, 2)
+        # Primary said [1, 1, 0]; the candidate answers all-1s: one
+        # disagreeing row out of three.
+        assert runner.submit(rows, np.array([1, 1, 0]))
+        runner.drain()
+        out = runner.describe()
+        assert out["rows"] == 3
+        assert out["disagreements"] == 1
+        assert out["agreement"] == pytest.approx(2 / 3)
+        (entry,) = runner.disagreements()
+        assert entry["row"] == [4.0, 5.0]
+        assert entry["primary"] == 0
+        assert entry["candidate"] == 1
+        assert entry["candidate_seconds"] >= 0.0
+    finally:
+        runner.stop()
+
+
+def test_disagreement_log_is_a_bounded_ring():
+    runner = ShadowRunner(_Constant(1), log_size=3).start()
+    try:
+        rows = np.arange(10.0).reshape(5, 2)
+        assert runner.submit(rows, np.zeros(5))  # all 5 rows disagree
+        runner.drain()
+        log = runner.disagreements()
+        assert len(log) == 3
+        # Most recent kept: the tail of the batch survives.
+        assert [entry["row"][0] for entry in log] == [4.0, 6.0, 8.0]
+    finally:
+        runner.stop()
+
+
+def test_broken_candidate_is_counted_and_skipped():
+    runner = ShadowRunner(_Broken()).start()
+    try:
+        before = _counter("lifecycle.candidate_errors")
+        assert runner.submit(np.zeros((2, 2)), np.zeros(2))
+        runner.drain()
+        out = runner.describe()
+        assert out["errors"] == 1
+        assert out["rows"] == 0  # the batch never scored
+        assert _counter("lifecycle.candidate_errors") == before + 1
+    finally:
+        runner.stop()
+
+
+def test_full_queue_drops_instead_of_blocking():
+    # No worker thread: the queue only fills.
+    runner = ShadowRunner(_Constant(1), max_queue=2)
+    rows = np.zeros((1, 2))
+    assert runner.submit(rows, np.zeros(1))
+    assert runner.submit(rows, np.zeros(1))
+    assert runner.submit(rows, np.zeros(1)) is False
+
+
+def test_start_is_idempotent_and_stop_ends_the_thread():
+    runner = ShadowRunner(_Constant(1))
+    assert runner.running is False
+    runner.start()
+    runner.start()  # second start must not spawn a second worker
+    assert runner.running is True
+    runner.stop()
+    assert runner.running is False
+    runner.stop()  # idempotent
+
+
+def test_drain_returns_immediately_when_idle():
+    runner = ShadowRunner(_Constant(1)).start()
+    try:
+        runner.drain(timeout=0.5)
+    finally:
+        runner.stop()
+
+
+def test_agreement_is_none_before_any_traffic():
+    runner = ShadowRunner(_Constant(1))
+    assert runner.describe()["agreement"] is None

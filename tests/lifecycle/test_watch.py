@@ -1,0 +1,118 @@
+"""ArtifactWatcher: manifest-sha polling with benign-race semantics.
+
+A poll that sees the same sha does nothing, a changed sha fires the
+callback once, a missing/half-written artifact skips the tick, and a
+callback that raises must never kill the watch loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.records import RecordEncoder
+from repro.lifecycle import ArtifactWatcher
+from repro.ml.pipeline import HDCFeaturePipeline
+from repro.persist import artifact_sha, save_artifact
+
+DIM = 256
+
+
+def _model(pima_r, seed: int):
+    encoder = RecordEncoder(specs=pima_r.specs, dim=DIM, seed=seed)
+    return HDCFeaturePipeline(encoder, PrototypeClassifier(dim=DIM)).fit(
+        pima_r.X, pima_r.y
+    )
+
+
+@pytest.fixture()
+def artifact(pima_r, tmp_path):
+    path = tmp_path / "model"
+    save_artifact(_model(pima_r, seed=7), path)
+    return path
+
+
+def test_interval_must_be_positive(artifact):
+    with pytest.raises(ValueError, match="interval_s"):
+        ArtifactWatcher(str(artifact), lambda p: None, interval_s=0)
+
+
+def test_first_poll_without_initial_sha_does_not_fire(artifact):
+    fired = []
+    watcher = ArtifactWatcher(str(artifact), fired.append)
+    assert watcher.poll_once() is False  # adopts the current sha
+    assert watcher.poll_once() is False  # unchanged
+    assert fired == []
+
+
+def test_fires_once_per_sha_change(artifact, pima_r):
+    fired = []
+    watcher = ArtifactWatcher(
+        str(artifact), fired.append, initial_sha=artifact_sha(artifact)
+    )
+    assert watcher.poll_once() is False
+    save_artifact(_model(pima_r, seed=11), artifact, overwrite=True)
+    assert watcher.poll_once() is True
+    assert fired == [str(artifact)]
+    assert watcher.poll_once() is False  # already caught up
+    assert fired == [str(artifact)]
+
+
+def test_missing_artifact_skips_the_tick(tmp_path):
+    fired = []
+    watcher = ArtifactWatcher(str(tmp_path / "nope"), fired.append)
+    assert watcher.poll_once() is False
+    assert fired == []
+
+
+def test_mid_write_artifact_skips_then_recovers(artifact):
+    watcher = ArtifactWatcher(
+        str(artifact), lambda p: None, initial_sha=artifact_sha(artifact)
+    )
+    # save_artifact writes payloads first and replaces the manifest
+    # atomically last, so "mid-write" means the manifest is not there
+    # yet; the tick must skip, and the completed write must not re-fire
+    # when the bytes come back identical to what is already served.
+    manifest = artifact / "manifest.json"
+    intact = manifest.read_bytes()
+    manifest.unlink()
+    assert watcher.poll_once() is False
+    manifest.write_bytes(intact)
+    assert watcher.poll_once() is False
+
+
+def test_callback_exception_is_swallowed(artifact, pima_r, capsys):
+    def explode(path):
+        raise RuntimeError("reload failed")
+
+    watcher = ArtifactWatcher(
+        str(artifact), explode, initial_sha=artifact_sha(artifact)
+    )
+    save_artifact(_model(pima_r, seed=11), artifact, overwrite=True)
+    assert watcher.poll_once() is True  # the change was still consumed
+    assert "reload callback failed" in capsys.readouterr().err
+    assert watcher.poll_once() is False
+
+
+def test_background_thread_fires_the_callback(artifact, pima_r):
+    fired = []
+    watcher = ArtifactWatcher(
+        str(artifact),
+        fired.append,
+        interval_s=0.05,
+        initial_sha=artifact_sha(artifact),
+    )
+    watcher.start()
+    try:
+        assert watcher.running is True
+        watcher.start()  # idempotent
+        save_artifact(_model(pima_r, seed=11), artifact, overwrite=True)
+        deadline = time.monotonic() + 5.0
+        while not fired and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert fired == [str(artifact)]
+    finally:
+        watcher.stop()
+    assert watcher.running is False

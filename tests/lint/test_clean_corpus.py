@@ -29,6 +29,10 @@ PROJECT_RULE_HOT_PATHS = [
     "repro/serve/http.py",
     "repro/serve/pool.py",
     "repro/serve/service.py",
+    "repro/lifecycle/manager.py",
+    "repro/lifecycle/drift.py",
+    "repro/lifecycle/shadow.py",
+    "repro/lifecycle/watch.py",
     "repro/scenarios/load.py",
     "repro/scenarios/sweep.py",
     "repro/parallel/pool.py",

@@ -1,14 +1,25 @@
-"""Exposition corpus: every serve.*/loadgen.* metric reaches /metrics.
+"""Exposition corpus: every serve.*/lifecycle.*/loadgen.* metric reaches /metrics.
 
 This is the corpus hdlint's HD011 rule checks declarations against: a
-metric declared in ``repro.serve.metrics`` / ``repro.scenarios.metrics``
-whose exported ``repro_*`` name is missing from the literals below fails
-lint, and a renamed/typo'd exposition name fails these assertions — so
-the two can only drift together, loudly.
+metric declared in ``repro.serve.metrics`` / ``repro.lifecycle.metrics``
+/ ``repro.scenarios.metrics`` whose exported ``repro_*`` name is missing
+from the literals below fails lint, and a renamed/typo'd exposition name
+fails these assertions — so the two can only drift together, loudly.
 """
 
 import pytest
 
+from repro.lifecycle.metrics import (
+    record_ab_candidate,
+    record_candidate_error,
+    record_drift,
+    record_follow_ups,
+    record_reload,
+    record_reload_error,
+    record_shadow,
+    record_shadow_dropped,
+    set_generation,
+)
 from repro.obs.export import to_prometheus
 from repro.obs.metrics import REGISTRY
 from repro.scenarios.load import LoadReport
@@ -19,6 +30,7 @@ from repro.serve.metrics import (
     record_flush,
     record_rejected,
     record_request,
+    record_worker_restart,
     set_model_loaded,
 )
 
@@ -36,6 +48,25 @@ SERVE_SERIES = [
     "repro_serve_request_seconds_bucket",
     "repro_serve_flush_seconds_bucket",
     "repro_serve_model_loaded",
+    "repro_serve_worker_restarts_total",
+]
+
+LIFECYCLE_SERIES = [
+    "repro_lifecycle_reloads_total",
+    "repro_lifecycle_reload_errors_total",
+    "repro_lifecycle_generation",
+    "repro_lifecycle_swap_seconds_bucket",
+    "repro_lifecycle_shadow_rows_total",
+    "repro_lifecycle_shadow_disagreements_total",
+    "repro_lifecycle_shadow_dropped_total",
+    "repro_lifecycle_shadow_agreement",
+    "repro_lifecycle_candidate_seconds_bucket",
+    "repro_lifecycle_candidate_errors_total",
+    "repro_lifecycle_ab_candidate_requests_total",
+    "repro_lifecycle_drift_rows_total",
+    "repro_lifecycle_drift_distance",
+    "repro_lifecycle_drift_alert",
+    "repro_lifecycle_follow_ups_total",
 ]
 
 LOADGEN_SERIES = [
@@ -72,6 +103,16 @@ def exposition() -> str:
     record_deprecated()
     record_flush(rows=8, seconds=0.002, queue_depth=3)
     set_model_loaded(True)
+    record_worker_restart()
+    record_reload(0.05)
+    record_reload_error()
+    set_generation(1)
+    record_shadow(rows=4, disagreements=1, seconds=0.002, agreement=0.75)
+    record_shadow_dropped()
+    record_candidate_error()
+    record_ab_candidate(0.001)
+    record_drift(rows=4, distance=0.1, alert=False)
+    record_follow_ups(2)
     record_load_request(0.004, 200)
     record_load_request(0.009, 500)
     record_load_run(_report())
@@ -83,6 +124,11 @@ def exposition() -> str:
 
 @pytest.mark.parametrize("series", SERVE_SERIES)
 def test_serve_series_exported(exposition, series):
+    assert series in exposition, f"{series} missing from /metrics exposition"
+
+
+@pytest.mark.parametrize("series", LIFECYCLE_SERIES)
+def test_lifecycle_series_exported(exposition, series):
     assert series in exposition, f"{series} missing from /metrics exposition"
 
 

@@ -1,0 +1,73 @@
+"""The swap-under-load proof scenario (ISSUE 10's acceptance drill).
+
+Boots a 2-worker pool over the checked-in ``scenarios/rollout.json``
+(fast preset), mounts a shadow candidate, fires a hot-swap while
+closed-loop traffic is in flight, and asserts the lifecycle guarantees:
+zero dropped requests, zero 5xx, post-swap envelopes carrying the new
+``artifact_sha``, and shadow + drift series present in the merged
+``/metrics`` scrape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioError,
+    apply_preset,
+    load_scenario,
+    run_rollout,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCENARIO = REPO_ROOT / "scenarios" / "rollout.json"
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return apply_preset(load_scenario(SCENARIO), "fast")
+
+
+def test_rollout_requires_the_rollout_section(spec):
+    import dataclasses
+
+    disabled = dataclasses.replace(
+        spec, rollout=dataclasses.replace(spec.rollout, enabled=False)
+    )
+    with pytest.raises(ScenarioError) as excinfo:
+        run_rollout(disabled)
+    assert excinfo.value.key == "rollout.enabled"
+
+
+@pytest.mark.slow
+def test_swap_under_load_drops_nothing(spec, tmp_path):
+    block = run_rollout(spec, artifact_dir=tmp_path)
+
+    # -- the hard acceptance gates ------------------------------------
+    assert block["n_requests"] == spec.traffic.n_requests
+    assert block["n_dropped"] == 0
+    assert block["n_5xx"] == 0
+    assert set(block["status_counts"]) == {"200"}
+
+    # -- swap mechanics -----------------------------------------------
+    swap = block["swap"]
+    assert swap["reload_status"] == 200
+    assert swap["old_sha"] != swap["new_sha"]
+    assert swap["converged"] is True
+    assert swap["old_responses"] > 0
+    assert swap["new_responses"] > 0
+    assert swap["old_responses"] + swap["new_responses"] == spec.traffic.n_requests
+    assert swap["generation"] >= 1
+
+    # -- candidate + lifecycle telemetry ------------------------------
+    assert block["candidate_mounted"] is True
+    assert block["workers"] == spec.rollout.workers
+    assert block["mode"] == "shadow"
+    metrics = block["lifecycle_metrics"]
+    assert metrics.get("repro_lifecycle_reloads_total", 0) >= 1
+    assert metrics.get("repro_lifecycle_shadow_rows_total", 0) > 0
+    assert metrics.get("repro_lifecycle_drift_rows_total", 0) > 0
+    assert "repro_lifecycle_drift_distance" in metrics
+    assert "repro_lifecycle_drift_alert" in metrics

@@ -103,3 +103,60 @@ def test_subprocess_boot_and_predict(artifact, pima_r):
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+def test_subprocess_pool_sigterm_with_sigint_ignored(artifact):
+    """SIGTERM stops a 2-worker pool cleanly even when SIGINT is ignored.
+
+    This is exactly the state a non-interactive shell leaves a
+    backgrounded ``repro-serve ... &`` in: SIGINT arrives as SIG_IGN, so
+    Python never installs the Ctrl-C handler and ``kill -INT`` is a
+    no-op.  Init systems, containers, and CI stop services with SIGTERM
+    instead — the supervisor must exit 0 and take its forked workers
+    (which hold the SO_REUSEPORT socket) down with it.
+    """
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve",
+         "--artifact", str(artifact), "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        preexec_fn=lambda: signal.signal(signal.SIGINT, signal.SIG_IGN),
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"on (http://[\d.]+:\d+)", line)
+        assert match, f"no serving banner in {line!r} (stderr: {proc.stderr.read()!r})"
+        url = match.group(1)
+
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            try:
+                with urllib.request.urlopen(url + "/healthz", timeout=2) as resp:
+                    assert resp.status == 200
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            pytest.fail("pool never became healthy")
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+
+        # No orphaned worker may still be accepting on the shared port.
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                with urllib.request.urlopen(url + "/healthz", timeout=2):
+                    time.sleep(0.1)  # a worker is still alive; give it a beat
+            except OSError:
+                break
+        else:
+            pytest.fail("workers survived the supervisor's SIGTERM shutdown")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

@@ -1,0 +1,100 @@
+"""Structured error envelopes on the serving failure paths (PR 10).
+
+Two regressions pinned here: a request arriving while the service is
+stopped (mid-swap teardown / shutdown) gets a structured 503 with code
+``not_ready``, and a model that raises inside the batched flush gets a
+structured 500 with code ``predict_failed`` — never a dropped socket or
+an opaque ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ModelServer, ServeConfig
+from repro.serve.service import (
+    NotReadyError,
+    PredictFailedError,
+    ReloadError,
+    ServeError,
+    ValidationError,
+)
+
+
+class _BrokenModel:
+    """Accepts any rows, then explodes inside the flush."""
+
+    def predict(self, rows):
+        raise RuntimeError("weights corrupted")
+
+
+class _OkModel:
+    def predict(self, rows):
+        return [0] * len(rows)
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_stopped_service_returns_structured_503():
+    with ModelServer(_OkModel(), ServeConfig(port=0)) as srv:
+        srv.service.stop()  # the window a mid-swap teardown would open
+        status, body = _post(srv.url + "/v1/predict", {"rows": [[1.0, 2.0]]})
+        assert status == 503
+        assert body["error"]["code"] == "not_ready"
+        assert "message" in body["error"]
+        srv.service.start()  # let the context manager exit cleanly
+
+
+def test_raising_model_returns_structured_500_predict_failed():
+    with ModelServer(_BrokenModel(), ServeConfig(port=0)) as srv:
+        status, body = _post(srv.url + "/v1/predict", {"rows": [[1.0, 2.0]]})
+        assert status == 500
+        err = body["error"]
+        assert err["code"] == "predict_failed"
+        assert "weights corrupted" in err["message"]
+        # The service survives a model bug: the next request still gets
+        # a structured answer instead of a dead server.
+        status, body = _post(srv.url + "/v1/predict", {"rows": [[1.0]]})
+        assert status == 500
+        assert body["error"]["code"] == "predict_failed"
+
+
+def test_error_hierarchy_codes_are_stable():
+    # Clients switch on these codes; renaming one is a breaking change.
+    assert ServeError.code == "internal"
+    assert ValidationError.code == "invalid_request"
+    assert NotReadyError.code == "not_ready"
+    assert PredictFailedError.code == "predict_failed"
+    assert ReloadError.code == "reload_failed"
+    for exc_type in (ValidationError, NotReadyError, PredictFailedError, ReloadError):
+        assert issubclass(exc_type, ServeError)
+
+
+def test_predict_failed_is_distinct_from_internal():
+    with ModelServer(_BrokenModel(), ServeConfig(port=0)) as srv:
+        status, body = _post(srv.url + "/v1/predict", {"rows": [[1.0]]})
+    assert status == 500
+    assert body["error"]["code"] != "internal"
+
+
+def test_not_ready_raised_synchronously_too():
+    from repro.serve import InferenceService
+
+    service = InferenceService(_OkModel(), ServeConfig())
+    with pytest.raises(NotReadyError):
+        service.predict([[1.0, 2.0]])

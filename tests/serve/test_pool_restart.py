@@ -1,0 +1,152 @@
+"""Pool supervision: a killed worker is replaced, with bounded backoff.
+
+PR 10's supervisor loop: the monitor thread notices a dead worker,
+forks a replacement (one per backoff window), counts it in
+``serve.worker_restarts``, and ``/readyz`` returns to 200 once the
+roster is whole again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.classifier import PrototypeClassifier
+from repro.core.records import RecordEncoder
+from repro.ml.pipeline import HDCFeaturePipeline
+from repro.persist import save_artifact
+from repro.serve import ServeConfig, ServePool
+
+DIM = 256
+N_WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def artifact(pima_r, tmp_path_factory):
+    encoder = RecordEncoder(specs=pima_r.specs, dim=DIM, seed=7)
+    model = HDCFeaturePipeline(encoder, PrototypeClassifier(dim=DIM)).fit(
+        pima_r.X, pima_r.y
+    )
+    path = tmp_path_factory.mktemp("restart") / "model"
+    save_artifact(model, path)
+    return path
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _await_roster(pool, n, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        pids = pool.worker_pids()
+        if len(pids) == n and all(_alive(p) for p in pids):
+            return pids
+        time.sleep(0.05)
+    raise AssertionError(f"pool never returned to {n} live workers")
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def test_killed_worker_is_replaced_and_counted(artifact, pima_r):
+    config = ServeConfig(port=0, workers=N_WORKERS, mmap=True)
+    with ServePool(artifact, config) as pool:
+        original = _await_roster(pool, N_WORKERS)
+        victim = original[0]
+        os.kill(victim, signal.SIGKILL)
+
+        deadline = time.monotonic() + 30.0
+        while pool.restart_count() < 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool.restart_count() >= 1
+
+        replaced = _await_roster(pool, N_WORKERS)
+        assert victim not in replaced
+
+        status, _ = _get(pool.url + "/readyz")
+        assert status == 200
+
+        # The refilled pool still serves correct traffic.
+        status, body = _post(
+            pool.url + "/v1/predict", {"rows": pima_r.X[:2].tolist()}
+        )
+        assert status == 200
+        assert body["n"] == 2
+
+        # The supervisor's restart counter reaches the merged scrape.
+        deadline = time.monotonic() + 10.0
+        restarts = 0.0
+        while time.monotonic() < deadline:
+            _, metrics = _get(pool.url + "/metrics")
+            restarts = next(
+                (
+                    float(line.split()[1])
+                    for line in metrics.splitlines()
+                    if line.startswith("repro_serve_worker_restarts_total")
+                ),
+                0.0,
+            )
+            if restarts >= 1:
+                break
+            time.sleep(0.1)
+        assert restarts >= 1
+
+
+def test_readyz_degrades_while_a_worker_is_down(artifact):
+    config = ServeConfig(port=0, workers=N_WORKERS, mmap=True)
+    with ServePool(artifact, config) as pool:
+        pids = _await_roster(pool, N_WORKERS)
+        os.kill(pids[0], signal.SIGKILL)
+        # Before the backoff window elapses, /readyz may report the gap;
+        # after the replacement lands it must be 200 again.  A probe the
+        # kernel routes to the victim's still-registered accept queue
+        # comes back as a reset — transient, not a verdict either way.
+        saw_degraded = False
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                status, body = _get(pool.url + "/readyz")
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.05)
+                continue
+            assert status in (200, 503)
+            if status == 503:
+                saw_degraded = True
+                assert json.loads(body)["error"]["code"] == "pool_degraded"
+            if status == 200 and pool.restart_count() >= 1:
+                break
+            time.sleep(0.05)
+        assert pool.restart_count() >= 1
+        # Degradation is transient — not required to be observed, but if
+        # it was, it must have been the structured pool_degraded error.
+        status, _ = _get(pool.url + "/readyz")
+        assert status == 200 or not saw_degraded

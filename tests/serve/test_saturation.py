@@ -160,7 +160,9 @@ def test_dead_worker_behind_live_socket_is_all_503(pipeline, pima_r):
         server.stop()
 
 
-def test_pool_dead_worker_degrades_readyz_everywhere(pipeline, pima_r, tmp_path):
+def test_pool_dead_worker_degrades_readyz_everywhere(
+    pipeline, pima_r, tmp_path, monkeypatch
+):
     """A SIGKILLed worker flips every connection's /readyz to 503.
 
     The single-process version of this invariant is
@@ -171,6 +173,11 @@ def test_pool_dead_worker_degrades_readyz_everywhere(pipeline, pima_r, tmp_path)
     surviving worker *also* reports 503 — a load balancer sees the
     degraded pool no matter which worker answers — while ``/predict``
     keeps serving from the survivors.
+
+    Restart supervision would replace the victim within one backoff
+    window and erase the degraded state this test pins, so it is
+    disabled here; the recover-after-restart side of the story lives in
+    ``tests/serve/test_pool_restart.py``.
     """
     import json
     import os
@@ -180,6 +187,9 @@ def test_pool_dead_worker_degrades_readyz_everywhere(pipeline, pima_r, tmp_path)
 
     from repro.persist import save_artifact
     from repro.serve import ServePool
+    from repro.serve import pool as pool_module
+
+    monkeypatch.setattr(pool_module, "MAX_WORKER_RESTARTS", 0)
 
     save_artifact(pipeline, tmp_path / "model")
     config = ServeConfig(port=0, workers=2, mmap=True)
